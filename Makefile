@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments claims fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/centrality/ ./internal/uds/ ./internal/stream/
+
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Reproduce every paper artifact at laptop scale and self-audit the shapes.
+experiments:
+	$(GO) run ./cmd/experiments -run all -scale 32 -out results/full_scale32.txt
+	$(GO) run ./cmd/checkclaims -in results/full_scale32.txt
+
+claims:
+	$(GO) run ./cmd/checkclaims -in results/full_scale8.txt
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f test_output.txt bench_output.txt

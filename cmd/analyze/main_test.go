@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+)
+
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := graph.WriteEdgeListFile(path, gen.BarabasiAlbert(60, 2, 7), nil); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllTasks(t *testing.T) {
+	path := writeTestGraph(t)
+	var buf bytes.Buffer
+	err := run(&buf, path, "degree,sp,hopplot,cc,topk,components,betweenness,closeness,structure", 10, 0, 1)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"vertex degree distribution", "shortest paths", "hop-plot",
+		"clustering coefficient", "top-10%", "connected components",
+		"betweenness centrality", "closeness centrality", "assortativity",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", "degree", 10, 0, 1); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run(&buf, filepath.Join(t.TempDir(), "nope.txt"), "degree", 10, 0, 1); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeTestGraph(t)
+	if err := run(&buf, path, "no-such-task", 10, 0, 1); err == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+func TestRunBinaryInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.esg")
+	if err := graph.SaveFile(path, gen.BarabasiAlbert(50, 2, 8), nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, path, "degree,components", 10, 0, 1); err != nil {
+		t.Fatalf("binary input: %v", err)
+	}
+	if !strings.Contains(buf.String(), "|V|=50") {
+		t.Errorf("binary graph not loaded:\n%s", buf.String())
+	}
+}
+
+func TestRunSampledSources(t *testing.T) {
+	path := writeTestGraph(t)
+	var buf bytes.Buffer
+	if err := run(&buf, path, "sp,betweenness", 10, 16, 3); err != nil {
+		t.Fatalf("sampled run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "shortest paths") {
+		t.Error("sampled output incomplete")
+	}
+}

@@ -1,0 +1,55 @@
+// Command checkclaims verifies the paper's qualitative claims against a
+// results file produced by cmd/experiments, making the reproduction
+// self-auditing:
+//
+//	experiments -run all -scale 32 -out results.txt
+//	checkclaims -in results.txt
+//
+// It exits non-zero when any claim fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"edgeshed/internal/claims"
+)
+
+func main() {
+	in := flag.String("in", "", "results file from cmd/experiments (required)")
+	flag.Parse()
+	code, err := run(os.Stdout, *in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkclaims:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(w io.Writer, in string) (int, error) {
+	if in == "" {
+		return 0, fmt.Errorf("-in is required")
+	}
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return 0, err
+	}
+	outcomes := claims.Check(string(data))
+	fails := 0
+	for _, o := range outcomes {
+		fmt.Fprintf(w, "%-4s %-28s %s\n", o.Status, o.ID, o.Description)
+		if o.Detail != "" {
+			fmt.Fprintf(w, "     %s\n", o.Detail)
+		}
+		if o.Status == claims.Fail {
+			fails++
+		}
+	}
+	fmt.Fprintf(w, "\n%d claims, %d failed\n", len(outcomes), fails)
+	if fails > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}

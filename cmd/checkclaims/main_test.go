@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const passingResults = `Figure 4 (test): CRR steps sweep
+x   avg delta  time (s)
+-----------------------
+1   0.6312     0.003
+10  0.3395     0.007
+`
+
+const failingResults = `Figure 4 (test): CRR steps sweep
+x   avg delta  time (s)
+-----------------------
+1   0.3395     0.003
+10  0.6312     0.007
+`
+
+func write(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "r.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPassing(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(&buf, write(t, passingResults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "0 failed") {
+		t.Errorf("summary missing:\n%s", buf.String())
+	}
+}
+
+func TestRunFailing(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(&buf, write(t, failingResults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "FAIL fig4-rewiring-improves") {
+		t.Errorf("failure row missing:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run(&buf, ""); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if _, err := run(&buf, filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

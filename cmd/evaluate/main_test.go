@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edgeshed/internal/core"
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+)
+
+func writePair(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	g := gen.BarabasiAlbert(80, 3, 5)
+	origPath := filepath.Join(dir, "orig.txt")
+	if err := graph.WriteEdgeListFile(origPath, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := (core.BM2{}).Reduce(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	redPath := filepath.Join(dir, "red.txt")
+	if err := graph.WriteEdgeListFile(redPath, res.Reduced, nil); err != nil {
+		t.Fatal(err)
+	}
+	return origPath, redPath
+}
+
+func TestRunEvaluatesAllTasks(t *testing.T) {
+	origPath, redPath := writePair(t)
+	var buf bytes.Buffer
+	if err := run(&buf, origPath, redPath, 0, 5000, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"vertex degree", "shortest-path distance", "betweenness centrality",
+		"clustering coefficient", "hop-plot", "top-10% query",
+		"link prediction (node2vec)", "link prediction (label prop)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// BM2 has no exact-count guarantee; just check the ratio line exists.
+	if !strings.Contains(out, "p ≈ 0.4") && !strings.Contains(out, "p ≈ 0.5") {
+		t.Errorf("missing ratio line:\n%s", out)
+	}
+}
+
+func TestRunSelfComparisonIsPerfect(t *testing.T) {
+	origPath, _ := writePair(t)
+	var buf bytes.Buffer
+	if err := run(&buf, origPath, origPath, 0, 5000, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	// Degree TVD of a graph against itself is zero; top-k utility is one.
+	if !strings.Contains(out, "vertex degree                    0.0000") {
+		t.Errorf("self degree TVD not zero:\n%s", out)
+	}
+	if !strings.Contains(out, "top-10% query                    1.0000") {
+		t.Errorf("self top-k utility not one:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", "", 0, 0, 1); err == nil {
+		t.Error("missing paths accepted")
+	}
+	origPath, _ := writePair(t)
+	if err := run(&buf, origPath, filepath.Join(t.TempDir(), "nope.txt"), 0, 0, 1); err == nil {
+		t.Error("missing reduced file accepted")
+	}
+}
+
+func TestRunRejectsForeignNodes(t *testing.T) {
+	dir := t.TempDir()
+	origPath := filepath.Join(dir, "orig.txt")
+	if err := graph.WriteEdgeListFile(origPath, gen.Path(4), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Reduced graph mentions node 99, absent from the original.
+	redPath := filepath.Join(dir, "red.txt")
+	if err := graph.WriteEdgeListFile(redPath, gen.Path(100), nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, origPath, redPath, 0, 0, 1); err == nil {
+		t.Error("reduced graph with foreign nodes accepted")
+	}
+}

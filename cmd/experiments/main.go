@@ -1,0 +1,88 @@
+// Command experiments reproduces the paper's tables and figures on the
+// synthetic SNAP stand-ins.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run t3 -scale 16
+//	experiments -run all -scale 32 -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"edgeshed/internal/experiments"
+)
+
+func main() {
+	var (
+		runID   = flag.String("run", "", "experiment id (fig4..fig10, t3..t10, ab1..ab5) or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		scale   = flag.Int("scale", 16, "dataset scale divisor (1 = paper sizes; larger = smaller graphs)")
+		seed    = flag.Int64("seed", 0, "seed offset for replication")
+		psFlag  = flag.String("ps", "", "comma-separated preservation ratios (default 0.9..0.1)")
+		out     = flag.String("out", "", "output file (default: stdout)")
+		skipUDS = flag.Bool("skip-uds", false, "skip the UDS comparator (it dominates runtime)")
+		md      = flag.Bool("md", false, "render tables as GitHub-flavored Markdown")
+	)
+	flag.Parse()
+	if err := run(*runID, *list, *scale, *seed, *psFlag, *out, *skipUDS, *md); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(runID string, list bool, scale int, seed int64, psFlag, out string, skipUDS, md bool) error {
+	if list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if runID == "" {
+		return fmt.Errorf("-run or -list is required")
+	}
+	var ps []float64
+	if psFlag != "" {
+		for _, s := range strings.Split(psFlag, ",") {
+			p, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("bad -ps entry %q: %v", s, err)
+			}
+			ps = append(ps, p)
+		}
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	cfg := experiments.Config{Out: w, Scale: scale, Seed: seed, Ps: ps, SkipUDS: skipUDS, Markdown: md}
+	fmt.Fprintf(w, "# edgeshed experiments: run=%s scale=%d seed=%d ps=%v skip-uds=%v (%s)\n\n",
+		runID, scale, seed, cfg.PsOrDefault(), skipUDS, runtime.Version())
+
+	if runID == "all" {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "== running %s: %s\n", e.ID, e.Title)
+			if err := e.Run(cfg); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		}
+		return nil
+	}
+	e, err := experiments.ByID(runID)
+	if err != nil {
+		return err
+	}
+	return e.Run(cfg)
+}

@@ -1,0 +1,89 @@
+// Command gengraph emits synthetic graphs as SNAP-style edge lists: either a
+// catalog stand-in for one of the paper's datasets, or a raw random model.
+//
+// Usage:
+//
+//	gengraph -dataset ca-GrQc -scale 8 > grqc.txt
+//	gengraph -model ba -n 10000 -m 3 > ba.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgeshed/internal/dataset"
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+)
+
+func main() {
+	var (
+		ds    = flag.String("dataset", "", "catalog dataset: "+fmt.Sprint(dataset.Names()))
+		scale = flag.Int("scale", 16, "dataset scale divisor (1 = paper size)")
+		model = flag.String("model", "", "raw model: ba, hk, er, ws, sbm, powerlaw, rmat")
+		n     = flag.Int("n", 1000, "node count (raw models)")
+		m     = flag.Int("m", 3, "edges per node (ba/hk), total edges (er), ring degree (ws)")
+		prob  = flag.Float64("prob", 0.3, "model probability (hk triad closure, ws rewire, sbm p_in)")
+		k     = flag.Int("k", 4, "communities (sbm)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("out", "", "output file (default: stdout)")
+	)
+	flag.Parse()
+	if err := run(*ds, *scale, *model, *n, *m, *prob, *k, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ds string, scale int, model string, n, m int, prob float64, k int, seed int64, out string) error {
+	var g *graph.Graph
+	switch {
+	case ds != "":
+		spec, err := dataset.ByName(ds)
+		if err != nil {
+			return err
+		}
+		g, err = spec.Build(scale, seed)
+		if err != nil {
+			return err
+		}
+	case model != "":
+		switch model {
+		case "ba":
+			g = gen.BarabasiAlbert(n, m, seed)
+		case "hk":
+			g = gen.HolmeKim(n, m, prob, seed)
+		case "er":
+			g = gen.ErdosRenyi(n, m, seed)
+		case "ws":
+			g = gen.WattsStrogatz(n, m, prob, seed)
+		case "sbm":
+			g = gen.PlantedPartition(k, n/k, prob, prob/20, seed)
+		case "powerlaw":
+			g = gen.ConfigurationModel(gen.PowerLawDegrees(n, 2.1, 1, n/20, seed), seed+1)
+		case "rmat":
+			// n is rounded up to the next power of two; m edges per node.
+			scale := 1
+			for 1<<scale < n {
+				scale++
+			}
+			g = gen.RMAT(scale, n*m, 0.57, 0.19, 0.19, seed)
+		default:
+			return fmt.Errorf("unknown model %q", model)
+		}
+	default:
+		return fmt.Errorf("one of -dataset or -model is required")
+	}
+	fmt.Fprintf(os.Stderr, "generated |V|=%d |E|=%d\n", g.NumNodes(), g.NumEdges())
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return graph.WriteEdgeList(w, g, nil)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"edgeshed/internal/graph"
+)
+
+func TestRunDatasetMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.txt")
+	if err := run("ca-GrQc", 64, "", 0, 0, 0, 0, 1, out); err != nil {
+		t.Fatalf("dataset mode: %v", err)
+	}
+	g, _, err := graph.ReadEdgeListFile(out)
+	if err != nil {
+		t.Fatalf("reading output: %v", err)
+	}
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		t.Errorf("empty output graph: %v", g)
+	}
+}
+
+func TestRunModelModes(t *testing.T) {
+	for _, model := range []string{"ba", "hk", "er", "ws", "sbm", "powerlaw", "rmat"} {
+		out := filepath.Join(t.TempDir(), model+".txt")
+		m := 3
+		if model == "er" {
+			m = 100
+		}
+		if model == "ws" {
+			m = 4
+		}
+		if err := run("", 0, model, 100, m, 0.3, 4, 1, out); err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		g, _, err := graph.ReadEdgeListFile(out)
+		if err != nil {
+			t.Fatalf("%s: reading output: %v", model, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: invalid graph: %v", model, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.txt")
+	if err := run("", 0, "", 100, 3, 0.3, 4, 1, out); err == nil {
+		t.Error("neither dataset nor model rejected")
+	}
+	if err := run("", 0, "bogus", 100, 3, 0.3, 4, 1, out); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run("bogus", 8, "", 0, 0, 0, 0, 1, out); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

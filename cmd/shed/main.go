@@ -1,0 +1,150 @@
+// Command shed reduces an edge-list graph with one of the paper's methods.
+//
+// Usage:
+//
+//	shed -in graph.txt -out reduced.txt -method crr -p 0.5
+//
+// The input is a SNAP-style whitespace edge list ('#' comments allowed); the
+// output preserves the original node labels. Reduction statistics (edge
+// counts, Δ, the theorem bound) are printed to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"edgeshed/internal/centrality"
+	"edgeshed/internal/core"
+	"edgeshed/internal/graph"
+	"edgeshed/internal/uds"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input edge-list file (required)")
+		out     = flag.String("out", "", "output edge-list file (default: stdout); with multiple -p values a .pN.NN suffix is inserted")
+		method  = flag.String("method", "crr", "reduction method: crr, bm2, random, uds, forestfire, spanningforest, weighted")
+		pFlag   = flag.String("p", "0.5", "edge preservation ratio(s) in (0,1), comma-separated; CRR sweeps share one betweenness computation")
+		steps   = flag.Int("steps", 0, "CRR rewiring steps (0 = paper default [10*P], <0 = off)")
+		samples = flag.Int("samples", 0, "betweenness source samples (0 = exact)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*in, *out, *method, *pFlag, *steps, *samples, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "shed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out, method, pFlag string, steps, samples int, seed int64) error {
+	if in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	ps, err := parsePs(pFlag)
+	if err != nil {
+		return err
+	}
+	g, rm, err := graph.LoadFile(in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %s: |V|=%d |E|=%d\n", in, g.NumNodes(), g.NumEdges())
+
+	var reducer core.Reducer
+	bopt := centrality.Options{Samples: samples, Seed: seed + 1}
+	switch strings.ToLower(method) {
+	case "crr":
+		reducer = core.CRR{Seed: seed, Steps: steps, Betweenness: bopt}
+	case "bm2":
+		reducer = core.BM2{}
+	case "random":
+		reducer = core.Random{Seed: seed}
+	case "forestfire":
+		reducer = core.ForestFire{Seed: seed}
+	case "spanningforest":
+		reducer = core.SpanningForest{Seed: seed}
+	case "weighted":
+		reducer = core.WeightedSample{Seed: seed}
+	case "uds":
+		reducer = uds.Reducer{
+			Summarizer: uds.Summarizer{Betweenness: bopt, Seed: seed},
+			ExpandSeed: seed + 2,
+		}
+	default:
+		return fmt.Errorf("unknown method %q (want crr, bm2, random, uds, forestfire, spanningforest or weighted)", method)
+	}
+
+	// Reduce at every requested ratio; CRR shares its Phase 1 betweenness
+	// across the sweep.
+	start := time.Now()
+	var results []*core.Result
+	if crr, ok := reducer.(core.CRR); ok && len(ps) > 1 {
+		results, err = crr.Sweep(g, ps)
+		if err != nil {
+			return err
+		}
+	} else {
+		for _, p := range ps {
+			res, err := reducer.Reduce(g, p)
+			if err != nil {
+				return err
+			}
+			results = append(results, res)
+		}
+	}
+	dur := time.Since(start)
+
+	for i, res := range results {
+		p := ps[i]
+		fmt.Fprintf(os.Stderr, "%s p=%.3f: |E'|=%d (%.1f%% of |E|), Δ=%.3f, avg |dis|=%.4f\n",
+			reducer.Name(), p, res.Reduced.NumEdges(),
+			100*float64(res.Reduced.NumEdges())/float64(g.NumEdges()),
+			res.Delta(), res.AvgDisPerNode())
+		switch reducer.Name() {
+		case "CRR":
+			fmt.Fprintf(os.Stderr, "Theorem 1 bound on avg |dis|: %.4f\n", core.CRRBound(g, p))
+		case "BM2":
+			fmt.Fprintf(os.Stderr, "Theorem 2 bound on avg |dis|: %.4f\n", core.BM2Bound(g, p))
+		}
+		switch {
+		case out == "":
+			if err := graph.WriteEdgeList(os.Stdout, res.Reduced, rm); err != nil {
+				return err
+			}
+		default:
+			if err := graph.SaveFile(outPath(out, p, len(ps) > 1), res.Reduced, rm); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "total time: %s\n", dur)
+	return nil
+}
+
+// parsePs parses one or more comma-separated preservation ratios.
+func parsePs(s string) ([]float64, error) {
+	var ps []float64
+	for _, part := range strings.Split(s, ",") {
+		p, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -p entry %q: %v", part, err)
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
+}
+
+// outPath inserts a .pN.NN suffix before the extension when writing a
+// multi-ratio sweep.
+func outPath(out string, p float64, multi bool) string {
+	if !multi {
+		return out
+	}
+	ext := filepath.Ext(out)
+	return fmt.Sprintf("%s.p%.2f%s", strings.TrimSuffix(out, ext), p, ext)
+}

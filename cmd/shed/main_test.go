@@ -1,0 +1,100 @@
+package main
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+)
+
+func writeTestGraph(t *testing.T) (string, *graph.Graph) {
+	t.Helper()
+	g := gen.BarabasiAlbert(80, 3, 9)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := graph.WriteEdgeListFile(path, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	return path, g
+}
+
+func TestRunAllMethods(t *testing.T) {
+	in, g := writeTestGraph(t)
+	for _, method := range []string{"crr", "bm2", "random", "uds", "forestfire", "spanningforest", "weighted"} {
+		out := filepath.Join(t.TempDir(), method+".txt")
+		if err := run(in, out, method, "0.5", 0, 0, 1); err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		red, _, err := graph.ReadEdgeListFile(out)
+		if err != nil {
+			t.Fatalf("%s: reading output: %v", method, err)
+		}
+		if red.NumEdges() == 0 {
+			t.Errorf("%s: empty reduction", method)
+		}
+		// Exact-budget methods must hit [P]; UDS and BM2 land near it.
+		want := int(math.Round(0.5 * float64(g.NumEdges())))
+		switch method {
+		case "crr", "random", "forestfire", "spanningforest", "weighted":
+			if red.NumEdges() != want {
+				t.Errorf("%s: |E'| = %d, want %d", method, red.NumEdges(), want)
+			}
+		}
+	}
+}
+
+func TestRunMethodOptions(t *testing.T) {
+	in, _ := writeTestGraph(t)
+	out := filepath.Join(t.TempDir(), "r.txt")
+	// Sampled betweenness and explicit steps for CRR.
+	if err := run(in, out, "crr", "0.4", 50, 20, 3); err != nil {
+		t.Fatalf("crr with options: %v", err)
+	}
+	// Method name matching is case-insensitive.
+	if err := run(in, out, "BM2", "0.4", 0, 0, 3); err != nil {
+		t.Fatalf("case-insensitive method: %v", err)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	in, g := writeTestGraph(t)
+	out := filepath.Join(t.TempDir(), "sweep.txt")
+	if err := run(in, out, "crr", "0.8,0.4", 0, 0, 1); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, p := range []string{"0.80", "0.40"} {
+		path := filepath.Join(filepath.Dir(out), "sweep.p"+p+".txt")
+		red, _, err := graph.ReadEdgeListFile(path)
+		if err != nil {
+			t.Fatalf("p=%s: %v", p, err)
+		}
+		if red.NumEdges() == 0 || red.NumEdges() >= g.NumEdges() {
+			t.Errorf("p=%s: |E'| = %d", p, red.NumEdges())
+		}
+	}
+}
+
+func TestRunBadPList(t *testing.T) {
+	in, _ := writeTestGraph(t)
+	if err := run(in, "", "crr", "0.5,abc", 0, 0, 1); err == nil {
+		t.Error("malformed -p list accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	in, _ := writeTestGraph(t)
+	out := filepath.Join(t.TempDir(), "r.txt")
+	if err := run("", out, "crr", "0.5", 0, 0, 1); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run(in, out, "bogus", "0.5", 0, 0, 1); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run(in, out, "crr", "1.5", 0, 0, 1); err == nil {
+		t.Error("p > 1 accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "nope.txt"), out, "crr", "0.5", 0, 0, 1); err == nil {
+		t.Error("missing input file accepted")
+	}
+}

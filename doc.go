@@ -1,0 +1,21 @@
+// Package edgeshed reproduces "Selective Edge Shedding in Large Graphs
+// Under Resource Constraints" (Zeng, Song, Ge — ICDE 2021) as a pure-Go,
+// stdlib-only library.
+//
+// The paper's contribution — the CRR and BM2 degree-preserving edge-shedding
+// algorithms — lives in internal/core. Every substrate the evaluation needs
+// is implemented from scratch: the graph representation (internal/graph),
+// synthetic stand-ins for the SNAP datasets (internal/dataset), Brandes
+// betweenness centrality (internal/centrality), b-matching and bipartite
+// matching (internal/matching), the UDS comparator (internal/uds), the seven
+// analysis tasks (internal/analysis, internal/tasks), node2vec embeddings
+// (internal/embed), and a harness reproducing every table and figure
+// (internal/experiments, cmd/experiments).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for the paper-vs-measured record.
+// The benchmarks in bench_test.go regenerate each table and figure's
+// measurements; run them with:
+//
+//	go test -bench=. -benchmem
+package edgeshed

@@ -1,0 +1,97 @@
+package edgeshed
+
+// A documentation lint: every exported top-level declaration in the module
+// must carry a doc comment. This enforces the "doc comments on every public
+// item" guarantee mechanically.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAllExportedDeclarationsDocumented(t *testing.T) {
+	var missing []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == "results" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, decl := range f.Decls {
+			switch dd := decl.(type) {
+			case *ast.FuncDecl:
+				if dd.Name.IsExported() && dd.Doc == nil && !isMethodOfUnexported(dd) {
+					missing = append(missing, pos(fset, dd.Pos())+" func "+dd.Name.Name)
+				}
+			case *ast.GenDecl:
+				if dd.Tok != token.TYPE && dd.Tok != token.VAR && dd.Tok != token.CONST {
+					continue
+				}
+				groupDoc := dd.Doc != nil
+				for _, spec := range dd.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && !groupDoc && s.Doc == nil {
+							missing = append(missing, pos(fset, s.Pos())+" type "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+								missing = append(missing, pos(fset, s.Pos())+" value "+n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range missing {
+		t.Errorf("undocumented exported declaration: %s", m)
+	}
+}
+
+// isMethodOfUnexported reports whether fn is a method on an unexported
+// receiver type (effectively internal even if the method name is exported,
+// e.g. interface satisfaction on private types).
+func isMethodOfUnexported(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && !id.IsExported()
+}
+
+func pos(fset *token.FileSet, p token.Pos) string {
+	position := fset.Position(p)
+	return position.Filename + ":" + strconv.Itoa(position.Line)
+}

@@ -1,0 +1,50 @@
+// Collaboration-network study: on a ca-GrQc-like co-authorship graph, track
+// how clustering structure and shortest-path structure survive shedding as
+// p falls — the scenario behind the paper's Figures 7 and 9.
+//
+// Run with: go run ./examples/collaboration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edgeshed/internal/analysis"
+	"edgeshed/internal/core"
+	"edgeshed/internal/dataset"
+	"edgeshed/internal/tasks"
+)
+
+func main() {
+	spec, err := dataset.ByName("ca-GrQc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Scale 8: ~650 nodes, laptop-instant; drop to scale 1 for paper size.
+	g := spec.MustBuild(8, spec.DefaultSeed)
+	fmt.Printf("%s stand-in: |V|=%d |E|=%d avg clustering=%.3f\n\n",
+		spec.Name, g.NumNodes(), g.NumEdges(), analysis.AverageClustering(g))
+
+	ccTask := tasks.ClusteringTask{}
+	spTask := tasks.SPDistanceTask{}
+	fmt.Printf("%-5s | %-22s | %-22s\n", "p", "clustering", "shortest paths")
+	fmt.Printf("%-5s | %-10s %-11s | %-10s %-11s\n", "", "CRR err", "BM2 err", "CRR TVD", "BM2 TVD")
+	fmt.Println("------+------------------------+-----------------------")
+	for _, p := range []float64{0.9, 0.7, 0.5, 0.3, 0.1} {
+		crr, err := (core.CRR{Seed: 1}).Reduce(g, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bm2, err := (core.BM2{}).Reduce(g, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5.1f | %-10.4f %-11.4f | %-10.4f %-11.4f\n",
+			p,
+			ccTask.Error(g, crr.Reduced), ccTask.Error(g, bm2.Reduced),
+			spTask.Error(g, crr.Reduced), spTask.Error(g, bm2.Reduced))
+	}
+	fmt.Println("\nSmall errors at large p, growing gracefully as the graph shrinks:")
+	fmt.Println("the reduced graphs remain usable proxies for structural analysis")
+	fmt.Println("even at a fraction of the original size.")
+}

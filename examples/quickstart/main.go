@@ -1,0 +1,49 @@
+// Quickstart: generate a small scale-free graph, shed half its edges with
+// each method, and compare how well each preserves vertex degrees — the
+// paper's core claim in thirty lines, written entirely against the public
+// edgeshed API.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edgeshed"
+)
+
+func main() {
+	// A Barabási–Albert graph: heavy-tailed degrees, like the paper's
+	// social and collaboration networks.
+	g := edgeshed.BarabasiAlbert(2000, 4, 42)
+	fmt.Printf("original graph: |V|=%d |E|=%d avg degree=%.2f\n\n",
+		g.NumNodes(), g.NumEdges(), g.AvgDegree())
+
+	p := 0.5
+	reducers := []edgeshed.Reducer{
+		edgeshed.CRR{Seed: 1},
+		edgeshed.BM2{},
+		edgeshed.Random{Seed: 2},
+	}
+	origDist := edgeshed.DegreeDistribution(g, 0)
+	fmt.Printf("shedding to p = %.1f (keep ~%d edges):\n\n", p, int(p*float64(g.NumEdges())))
+	fmt.Printf("%-8s %8s %10s %12s %14s\n", "method", "|E'|", "Δ", "avg |dis|", "degree TVD")
+	for _, r := range reducers {
+		res, err := r.Reduce(g, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		redDist := edgeshed.DegreeDistribution(res.Reduced, 0)
+		fmt.Printf("%-8s %8d %10.2f %12.4f %14.4f\n",
+			r.Name(), res.Reduced.NumEdges(), res.Delta(), res.AvgDisPerNode(),
+			edgeshed.TVD(origDist, redDist))
+	}
+
+	fmt.Println("\nTheoretical bounds on avg |dis| at p = 0.5:")
+	fmt.Printf("  CRR (Theorem 1): %.4f\n", edgeshed.CRRBound(g, p))
+	fmt.Printf("  BM2 (Theorem 2): %.4f\n", edgeshed.BM2Bound(g, p))
+	fmt.Println("\nBoth degree-preserving methods sit far below their bounds and far")
+	fmt.Println("below uniform random shedding on Δ — the property every downstream")
+	fmt.Println("task in the paper's evaluation builds on.")
+}

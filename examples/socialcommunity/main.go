@@ -1,0 +1,47 @@
+// Community link-prediction study: on a planted-partition social graph,
+// shed edges and test whether node2vec + K-means still recovers the same
+// same-community predictions on 2-hop pairs — the paper's Table X task.
+//
+// Run with: go run ./examples/socialcommunity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edgeshed/internal/core"
+	"edgeshed/internal/embed"
+	"edgeshed/internal/graph/gen"
+	"edgeshed/internal/tasks"
+)
+
+func main() {
+	// Five communities of 60 nodes: dense inside, sparse across.
+	g := gen.PlantedPartition(5, 60, 0.25, 0.01, 7)
+	fmt.Printf("planted-partition graph: |V|=%d |E|=%d, 5 communities\n\n",
+		g.NumNodes(), g.NumEdges())
+
+	task := tasks.LinkPredictionTask{
+		Clusters: 5, // the paper's K-means k
+		Walk:     embed.WalkConfig{WalksPerNode: 8, WalkLength: 30, Seed: 8},
+		SGNS:     embed.SGNSConfig{Dim: 32, Epochs: 2, Seed: 9},
+		Seed:     10,
+	}
+	base := task.Predict(g)
+	fmt.Printf("predictions on the original graph: %d same-community 2-hop pairs\n\n", len(base))
+
+	fmt.Printf("%-5s  %-10s  %-10s  %-10s\n", "p", "CRR", "BM2", "Random")
+	for _, p := range []float64{0.9, 0.7, 0.5, 0.3} {
+		fmt.Printf("%-5.1f", p)
+		for _, r := range []core.Reducer{core.CRR{Seed: 1}, core.BM2{}, core.Random{Seed: 2}} {
+			res, err := r.Reduce(g, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-10.3f", task.Utility(g, res.Reduced))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nDegree-preserving shedding keeps the community signal the embedding")
+	fmt.Println("needs; the utility decays with p but stays well above chance.")
+}

@@ -1,0 +1,3 @@
+module edgeshed
+
+go 1.22

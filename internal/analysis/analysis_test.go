@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := gen.Path(5)
+	dist := BFS(g, 0)
+	want := []int32{0, 1, 2, 3, 4}
+	for u, w := range want {
+		if dist[u] != w {
+			t.Errorf("dist[%d] = %d, want %d", u, dist[u], w)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}})
+	dist := BFS(g, 0)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Errorf("unreachable distances = %d, %d, want -1, -1", dist[2], dist[3])
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := graph.MustFromEdges(7, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
+	labels, count := ConnectedComponents(g)
+	if count != 4 { // {0,1,2}, {3,4}, {5}, {6}
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Error("first component split")
+	}
+	if labels[3] != labels[4] {
+		t.Error("second component split")
+	}
+	if labels[0] == labels[3] || labels[5] == labels[6] {
+		t.Error("distinct components merged")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := graph.MustFromEdges(7, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
+	lc := LargestComponent(g)
+	if len(lc) != 3 {
+		t.Fatalf("largest component size = %d, want 3", len(lc))
+	}
+	want := map[graph.NodeID]bool{0: true, 1: true, 2: true}
+	for _, u := range lc {
+		if !want[u] {
+			t.Errorf("unexpected member %d", u)
+		}
+	}
+}
+
+func TestDegreeDistribution(t *testing.T) {
+	g := gen.Star(5) // hub degree 4, four leaves degree 1
+	dist := DegreeDistribution(g, 0)
+	if len(dist) != 5 {
+		t.Fatalf("len = %d, want 5", len(dist))
+	}
+	if math.Abs(dist[1]-0.8) > 1e-9 || math.Abs(dist[4]-0.2) > 1e-9 {
+		t.Errorf("dist = %v, want 0.8 at degree 1 and 0.2 at degree 4", dist)
+	}
+	// With cap 2, the hub aggregates into bucket 2.
+	capped := DegreeDistribution(g, 2)
+	if len(capped) != 3 || math.Abs(capped[2]-0.2) > 1e-9 {
+		t.Errorf("capped dist = %v, want hub mass at index 2", capped)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := gen.Star(5)
+	h := DegreeHistogram(g)
+	if h[1] != 4 || h[4] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestMeanByDegree(t *testing.T) {
+	g := gen.Star(5)
+	score := []float64{10, 1, 2, 3, 4} // hub 10; leaves 1..4 (mean 2.5)
+	m := MeanByDegree(g, score)
+	if math.Abs(m[4]-10) > 1e-9 {
+		t.Errorf("mean at degree 4 = %v, want 10", m[4])
+	}
+	if math.Abs(m[1]-2.5) > 1e-9 {
+		t.Errorf("mean at degree 1 = %v, want 2.5", m[1])
+	}
+}
+
+func TestLocalClusteringTriangle(t *testing.T) {
+	// Triangle plus a pendant: nodes 0,1,2 form K3; 3 hangs off 0.
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 0, V: 3}})
+	cc := LocalClustering(g)
+	// Node 0 has neighbors {1,2,3}: one edge (1,2) of three pairs.
+	if math.Abs(cc[0]-1.0/3) > 1e-9 {
+		t.Errorf("cc[0] = %v, want 1/3", cc[0])
+	}
+	if math.Abs(cc[1]-1) > 1e-9 || math.Abs(cc[2]-1) > 1e-9 {
+		t.Errorf("cc[1], cc[2] = %v, %v, want 1, 1", cc[1], cc[2])
+	}
+	if cc[3] != 0 {
+		t.Errorf("pendant cc = %v, want 0", cc[3])
+	}
+}
+
+func TestAverageClustering(t *testing.T) {
+	if got := AverageClustering(gen.Complete(5)); math.Abs(got-1) > 1e-9 {
+		t.Errorf("K5 average clustering = %v, want 1", got)
+	}
+	if got := AverageClustering(gen.Cycle(6)); got != 0 {
+		t.Errorf("C6 average clustering = %v, want 0", got)
+	}
+}
+
+func TestTriangles(t *testing.T) {
+	if got := Triangles(gen.Complete(4)); got != 4 {
+		t.Errorf("K4 triangles = %d, want 4", got)
+	}
+	if got := Triangles(gen.Cycle(5)); got != 0 {
+		t.Errorf("C5 triangles = %d, want 0", got)
+	}
+	if got := Triangles(gen.Complete(5)); got != 10 {
+		t.Errorf("K5 triangles = %d, want 10", got)
+	}
+}
+
+func TestClusteringByDegree(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 0, V: 3}})
+	byDeg := ClusteringByDegree(g)
+	if math.Abs(byDeg[2]-1) > 1e-9 { // nodes 1 and 2, both cc = 1
+		t.Errorf("mean cc at degree 2 = %v, want 1", byDeg[2])
+	}
+	if math.Abs(byDeg[3]-1.0/3) > 1e-9 { // node 0
+		t.Errorf("mean cc at degree 3 = %v, want 1/3", byDeg[3])
+	}
+}
+
+func TestDistanceProfilePath(t *testing.T) {
+	g := gen.Path(4) // distances: six ordered pairs each way
+	p := NewDistanceProfile(g, ProfileOptions{})
+	// Ordered pairs: d=1: 6, d=2: 4, d=3: 2; total 12.
+	if p.ReachablePairs != 12 {
+		t.Errorf("reachable pairs = %v, want 12", p.ReachablePairs)
+	}
+	if p.Diameter != 3 {
+		t.Errorf("diameter = %d, want 3", p.Diameter)
+	}
+	dist := p.Distribution()
+	want := []float64{0, 0.5, 1.0 / 3, 1.0 / 6}
+	for d, w := range want {
+		if math.Abs(dist[d]-w) > 1e-9 {
+			t.Errorf("dist[%d] = %v, want %v", d, dist[d], w)
+		}
+	}
+	hop := p.HopPlot()
+	if math.Abs(hop[1]-0.5) > 1e-9 || math.Abs(hop[3]-1) > 1e-9 {
+		t.Errorf("hop-plot = %v", hop)
+	}
+	if got, want := p.MeanDistance(), (6.0+8+6)/12; math.Abs(got-want) > 1e-9 {
+		t.Errorf("mean distance = %v, want %v", got, want)
+	}
+}
+
+func TestDistanceProfileSampledApproximates(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, 12)
+	exact := NewDistanceProfile(g, ProfileOptions{})
+	sampled := NewDistanceProfile(g, ProfileOptions{Sources: 100, Seed: 3})
+	ed, sd := exact.Distribution(), sampled.Distribution()
+	for d := 0; d < len(ed) && d < len(sd); d++ {
+		if math.Abs(ed[d]-sd[d]) > 0.08 {
+			t.Errorf("distance %d: exact %v vs sampled %v", d, ed[d], sd[d])
+		}
+	}
+	if math.Abs(exact.MeanDistance()-sampled.MeanDistance()) > 0.3 {
+		t.Errorf("mean distance: exact %v vs sampled %v", exact.MeanDistance(), sampled.MeanDistance())
+	}
+}
+
+func TestDistanceProfileDisconnected(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	p := NewDistanceProfile(g, ProfileOptions{})
+	if p.ReachablePairs != 4 { // (0,1),(1,0),(2,3),(3,2)
+		t.Errorf("reachable pairs = %v, want 4", p.ReachablePairs)
+	}
+}
+
+func TestPageRankUniformOnRegular(t *testing.T) {
+	g := gen.Cycle(10)
+	pr := PageRank(g, PageRankOptions{})
+	for u, s := range pr {
+		if math.Abs(s-0.1) > 1e-6 {
+			t.Errorf("pr[%d] = %v, want 0.1 on a regular graph", u, s)
+		}
+	}
+}
+
+func TestPageRankStar(t *testing.T) {
+	g := gen.Star(11)
+	pr := PageRank(g, PageRankOptions{})
+	var total float64
+	for _, s := range pr {
+		total += s
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("mass = %v, want 1", total)
+	}
+	if pr[0] <= pr[1] {
+		t.Errorf("hub %v not above leaf %v", pr[0], pr[1])
+	}
+	for u := 2; u < 11; u++ {
+		if math.Abs(pr[u]-pr[1]) > 1e-9 {
+			t.Errorf("leaves differ: pr[%d]=%v pr[1]=%v", u, pr[u], pr[1])
+		}
+	}
+}
+
+func TestPageRankDangling(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}}) // node 2 isolated
+	pr := PageRank(g, PageRankOptions{})
+	var total float64
+	for _, s := range pr {
+		total += s
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("mass with dangling node = %v, want 1", total)
+	}
+	if pr[2] <= 0 {
+		t.Error("isolated node got no mass")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	scores := []float64{0.1, 0.5, 0.3, 0.5, 0.2}
+	got := TopK(scores, 3)
+	want := []graph.NodeID{1, 3, 2} // ties broken by lower index
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	if len(TopK(scores, 99)) != 5 {
+		t.Error("k > len not clamped")
+	}
+	if TopK(scores, 0) != nil {
+		t.Error("k = 0 should give nil")
+	}
+}
+
+func TestTwoHopPairsPath(t *testing.T) {
+	g := gen.Path(4)
+	pairs := TwoHopPairs(g, 0, 1)
+	// Distance-2 pairs: (0,2), (1,3).
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v, want 2 pairs", pairs)
+	}
+	set := map[graph.Edge]bool{}
+	for _, p := range pairs {
+		set[p] = true
+	}
+	if !set[graph.Edge{U: 0, V: 2}] || !set[graph.Edge{U: 1, V: 3}] {
+		t.Errorf("pairs = %v, want (0,2) and (1,3)", pairs)
+	}
+}
+
+func TestTwoHopPairsExcludesAdjacentAndFar(t *testing.T) {
+	g := gen.Path(5)
+	for _, p := range TwoHopPairs(g, 0, 1) {
+		if g.HasEdge(p.U, p.V) {
+			t.Errorf("adjacent pair %v emitted", p)
+		}
+		if d := BFS(g, p.U)[p.V]; d != 2 {
+			t.Errorf("pair %v at distance %d, want 2", p, d)
+		}
+	}
+}
+
+func TestTwoHopPairsCap(t *testing.T) {
+	g := gen.Complete(20) // no 2-hop pairs at all: everything adjacent
+	if got := TwoHopPairs(g, 5, 1); len(got) != 0 {
+		t.Errorf("K20 two-hop pairs = %v, want none", got)
+	}
+	g2 := gen.Star(50) // every leaf pair is a 2-hop pair: C(49,2) = 1176
+	capped := TwoHopPairs(g2, 100, 2)
+	if len(capped) != 100 {
+		t.Errorf("capped pairs = %d, want 100", len(capped))
+	}
+	all := TwoHopPairs(g2, 0, 1)
+	if len(all) != 1176 {
+		t.Errorf("uncapped pairs = %d, want 1176", len(all))
+	}
+}

@@ -1,0 +1,94 @@
+// Package analysis implements the graph-analysis algorithms behind the
+// paper's seven evaluation tasks: BFS shortest paths, degree distributions,
+// shortest-path distance distributions, hop-plots, clustering coefficients,
+// PageRank and connected components.
+package analysis
+
+import (
+	"edgeshed/internal/graph"
+)
+
+// BFS returns the hop distances from src to every node; unreachable nodes
+// get -1.
+func BFS(g *graph.Graph, src graph.NodeID) []int32 {
+	dist := make([]int32, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	bfsInto(g, src, dist, make([]graph.NodeID, 0, g.NumNodes()))
+	return dist
+}
+
+// bfsInto runs BFS from src using the caller's dist array (pre-filled with
+// -1) and queue buffer; it returns the visited nodes in BFS order so callers
+// can cheaply reset only the touched entries.
+func bfsInto(g *graph.Graph, src graph.NodeID, dist []int32, queue []graph.NodeID) []graph.NodeID {
+	dist[src] = 0
+	queue = append(queue[:0], src)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return queue
+}
+
+// ConnectedComponents labels each node with a component id in [0, count) and
+// returns the labels with the component count. Isolated nodes form their own
+// components.
+func ConnectedComponents(g *graph.Graph) (labels []int32, count int) {
+	n := g.NumNodes()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]graph.NodeID, 0, n)
+	for s := 0; s < n; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		labels[s] = id
+		queue = append(queue[:0], graph.NodeID(s))
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, w := range g.Neighbors(v) {
+				if labels[w] < 0 {
+					labels[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// LargestComponent returns the node set of the largest connected component.
+func LargestComponent(g *graph.Graph) []graph.NodeID {
+	labels, count := ConnectedComponents(g)
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = i
+		}
+	}
+	var nodes []graph.NodeID
+	for u, l := range labels {
+		if l == int32(best) {
+			nodes = append(nodes, graph.NodeID(u))
+		}
+	}
+	return nodes
+}

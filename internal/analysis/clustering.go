@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"edgeshed/internal/graph"
+)
+
+// LocalClustering returns each node's local clustering coefficient: the
+// fraction of its neighbor pairs that are themselves connected. Nodes of
+// degree < 2 get 0.
+func LocalClustering(g *graph.Graph) []float64 {
+	n := g.NumNodes()
+	cc := make([]float64, n)
+	mark := make([]bool, n)
+	for u := 0; u < n; u++ {
+		nb := g.Neighbors(graph.NodeID(u))
+		d := len(nb)
+		if d < 2 {
+			continue
+		}
+		// Mark u's neighborhood, then count neighbor-neighbor edges by
+		// scanning each neighbor's adjacency once: O(Σ_{v∈N(u)} deg v)
+		// instead of the quadratic pairwise probe.
+		for _, v := range nb {
+			mark[v] = true
+		}
+		links := 0
+		for _, v := range nb {
+			for _, w := range g.Neighbors(v) {
+				if w > v && mark[w] {
+					links++
+				}
+			}
+		}
+		for _, v := range nb {
+			mark[v] = false
+		}
+		cc[u] = 2 * float64(links) / float64(d*(d-1))
+	}
+	return cc
+}
+
+// AverageClustering returns the mean local clustering coefficient over all
+// nodes (the network average clustering coefficient).
+func AverageClustering(g *graph.Graph) float64 {
+	cc := LocalClustering(g)
+	if len(cc) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range cc {
+		sum += c
+	}
+	return sum / float64(len(cc))
+}
+
+// ClusteringByDegree returns the mean local clustering coefficient at each
+// degree, the series plotted in the paper's Figure 9.
+func ClusteringByDegree(g *graph.Graph) []float64 {
+	return MeanByDegree(g, LocalClustering(g))
+}
+
+// Triangles returns the total number of triangles in g.
+func Triangles(g *graph.Graph) int {
+	count := 0
+	for _, e := range g.Edges() {
+		a, b := g.Neighbors(e.U), g.Neighbors(e.V)
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] < b[j]:
+				i++
+			case a[i] > b[j]:
+				j++
+			default:
+				count++
+				i++
+				j++
+			}
+		}
+	}
+	return count / 3
+}

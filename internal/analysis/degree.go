@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"edgeshed/internal/graph"
+)
+
+// DegreeDistribution returns the fraction of nodes at each degree, indexed
+// by degree. Degrees above cap are aggregated into the cap bucket, matching
+// the paper's Figure 5(c)-(d) treatment ("vertex degrees larger than 300 are
+// aggregated as 300"); cap <= 0 means no aggregation.
+func DegreeDistribution(g *graph.Graph, cap int) []float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	maxDeg := g.MaxDegree()
+	if cap > 0 && maxDeg > cap {
+		maxDeg = cap
+	}
+	dist := make([]float64, maxDeg+1)
+	inc := 1 / float64(n)
+	for u := 0; u < n; u++ {
+		d := g.Degree(graph.NodeID(u))
+		if cap > 0 && d > cap {
+			d = cap
+		}
+		dist[d] += inc
+	}
+	return dist
+}
+
+// DegreeHistogram returns raw node counts per degree (no normalization, no
+// cap).
+func DegreeHistogram(g *graph.Graph) []int {
+	hist := make([]int, g.MaxDegree()+1)
+	for u := 0; u < g.NumNodes(); u++ {
+		hist[g.Degree(graph.NodeID(u))]++
+	}
+	return hist
+}
+
+// MeanByDegree groups a per-node score by node degree and returns the mean
+// score at each degree (NaN-free: degrees with no nodes get 0). It backs the
+// paper's Figure 8 (betweenness vs degree) and Figure 9 (clustering
+// coefficient vs degree).
+func MeanByDegree(g *graph.Graph, score []float64) []float64 {
+	sums := make([]float64, g.MaxDegree()+1)
+	counts := make([]int, g.MaxDegree()+1)
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.Degree(graph.NodeID(u))
+		sums[d] += score[u]
+		counts[d]++
+	}
+	for d := range sums {
+		if counts[d] > 0 {
+			sums[d] /= float64(counts[d])
+		}
+	}
+	return sums
+}

@@ -1,0 +1,38 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"edgeshed/internal/analysis"
+	"edgeshed/internal/graph/gen"
+)
+
+// ExamplePageRank ranks the hub of a star graph first.
+func ExamplePageRank() {
+	g := gen.Star(10)
+	pr := analysis.PageRank(g, analysis.PageRankOptions{})
+	top := analysis.TopK(pr, 1)
+	fmt.Println("top node:", top[0])
+	// Output:
+	// top node: 0
+}
+
+// ExampleNewDistanceProfile summarizes a path graph's distances.
+func ExampleNewDistanceProfile() {
+	g := gen.Path(5)
+	p := analysis.NewDistanceProfile(g, analysis.ProfileOptions{})
+	fmt.Println("diameter:", p.Diameter)
+	fmt.Printf("mean distance: %.1f\n", p.MeanDistance())
+	// Output:
+	// diameter: 4
+	// mean distance: 2.0
+}
+
+// ExampleKCore peels a clique with a pendant tail.
+func ExampleKCore() {
+	g := gen.Complete(4)
+	core := analysis.KCore(g)
+	fmt.Println("K4 core numbers:", core)
+	// Output:
+	// K4 core numbers: [3 3 3 3]
+}

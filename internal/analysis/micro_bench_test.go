@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"testing"
+
+	"edgeshed/internal/graph/gen"
+)
+
+func BenchmarkBFS(b *testing.B) {
+	g := gen.BarabasiAlbert(20000, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BFS(g, 0)
+	}
+}
+
+func BenchmarkPageRank(b *testing.B) {
+	g := gen.BarabasiAlbert(20000, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PageRank(g, PageRankOptions{})
+	}
+}
+
+func BenchmarkLocalClustering(b *testing.B) {
+	g := gen.HolmeKim(10000, 5, 0.5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LocalClustering(g)
+	}
+}
+
+func BenchmarkDistanceProfileSampled(b *testing.B) {
+	g := gen.BarabasiAlbert(10000, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewDistanceProfile(g, ProfileOptions{Sources: 128, Seed: 2})
+	}
+}
+
+func BenchmarkKCore(b *testing.B) {
+	g := gen.BarabasiAlbert(20000, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KCore(g)
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := gen.ErdosRenyi(20000, 30000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConnectedComponents(g)
+	}
+}
+
+func BenchmarkTwoHopPairsCapped(b *testing.B) {
+	g := gen.BarabasiAlbert(5000, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TwoHopPairs(g, 10000, 2)
+	}
+}

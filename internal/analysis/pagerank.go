@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"sort"
+
+	"edgeshed/internal/graph"
+)
+
+// PageRankOptions configures PageRank. The zero value selects the
+// conventional damping 0.85 and 50 iterations.
+type PageRankOptions struct {
+	// Damping is the restart-complement factor; 0 means 0.85.
+	Damping float64
+	// Iterations is the power-iteration count; 0 means 50.
+	Iterations int
+}
+
+func (o PageRankOptions) damping() float64 {
+	if o.Damping <= 0 || o.Damping >= 1 {
+		return 0.85
+	}
+	return o.Damping
+}
+
+func (o PageRankOptions) iterations() int {
+	if o.Iterations <= 0 {
+		return 50
+	}
+	return o.Iterations
+}
+
+// PageRank returns the PageRank vector of the undirected graph (each edge
+// treated as two directed links). Dangling (isolated) nodes redistribute
+// their mass uniformly. Scores sum to 1 for any non-empty graph.
+func PageRank(g *graph.Graph, opt PageRankOptions) []float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	d := opt.damping()
+	iters := opt.iterations()
+	pr := make([]float64, n)
+	next := make([]float64, n)
+	inv := 1 / float64(n)
+	for i := range pr {
+		pr[i] = inv
+	}
+	base := (1 - d) * inv
+	for it := 0; it < iters; it++ {
+		var dangling float64
+		for u := 0; u < n; u++ {
+			deg := g.Degree(graph.NodeID(u))
+			if deg == 0 {
+				dangling += pr[u]
+				continue
+			}
+			share := pr[u] / float64(deg)
+			for _, v := range g.Neighbors(graph.NodeID(u)) {
+				next[v] += share
+			}
+		}
+		danglingShare := dangling * inv
+		for u := 0; u < n; u++ {
+			pr[u] = base + d*(next[u]+danglingShare)
+			next[u] = 0
+		}
+	}
+	return pr
+}
+
+// TopK returns the indices of the k highest-scoring entries, ties broken by
+// lower index, in descending score order. k is clamped to len(scores).
+func TopK(scores []float64, k int) []graph.NodeID {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]graph.NodeID, len(scores))
+	for i := range idx {
+		idx[i] = graph.NodeID(i)
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		a, b := idx[i], idx[j]
+		if scores[a] != scores[b] {
+			return scores[a] > scores[b]
+		}
+		return a < b
+	})
+	return idx[:k]
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"math/rand"
+
+	"edgeshed/internal/graph"
+)
+
+// TwoHopPairs returns non-adjacent node pairs at distance exactly two (u < v
+// with at least one common neighbor), the candidate set for the paper's
+// link-prediction task. maxPairs > 0 caps the output by uniform reservoir
+// sampling with the given seed; maxPairs <= 0 returns all pairs.
+func TwoHopPairs(g *graph.Graph, maxPairs int, seed int64) []graph.Edge {
+	var out []graph.Edge
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	mark := make([]bool, n)
+	seen := 0
+	for u := 0; u < n; u++ {
+		uid := graph.NodeID(u)
+		for _, v := range g.Neighbors(uid) {
+			mark[v] = true
+		}
+		// Walk two hops; emit each (u, w) with w > u once via a dedup set
+		// local to u (the emitted flag doubles as visited-this-u).
+		for _, v := range g.Neighbors(uid) {
+			for _, w := range g.Neighbors(v) {
+				if w <= uid || mark[w] {
+					continue
+				}
+				mark[w] = true // dedup further common neighbors
+				pair := graph.Edge{U: uid, V: w}
+				seen++
+				if maxPairs <= 0 || len(out) < maxPairs {
+					out = append(out, pair)
+				} else if j := rng.Intn(seen); j < maxPairs {
+					out[j] = pair // reservoir replacement
+				}
+			}
+		}
+		// Clear marks: direct neighbors plus emitted two-hop nodes.
+		for _, v := range g.Neighbors(uid) {
+			mark[v] = false
+			for _, w := range g.Neighbors(v) {
+				mark[w] = false
+			}
+		}
+	}
+	return out
+}

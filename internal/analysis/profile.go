@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"math/rand"
+
+	"edgeshed/internal/graph"
+)
+
+// DistanceProfile summarizes the shortest-path structure of a graph: the
+// distribution of pairwise distances (Figure 7) and the hop-plot (Figure
+// 10), computed in one pass of BFS traversals.
+type DistanceProfile struct {
+	// DistCounts[d] is the number of ordered reachable (s, t) pairs, s != t,
+	// at distance d (or the sampling-scaled estimate thereof).
+	DistCounts []float64
+	// ReachablePairs is the total ordered reachable pair count.
+	ReachablePairs float64
+	// Sources is how many BFS sources were used.
+	Sources int
+	// Diameter is the largest distance observed.
+	Diameter int
+}
+
+// ProfileOptions configures NewDistanceProfile.
+type ProfileOptions struct {
+	// Sources caps the number of BFS sources; 0 (or >= |V|) means exact
+	// all-sources computation. Sampled profiles estimate the full pair
+	// counts by scaling with |V|/Sources.
+	Sources int
+	// Seed drives source sampling.
+	Seed int64
+}
+
+// NewDistanceProfile computes the distance profile of g.
+func NewDistanceProfile(g *graph.Graph, opt ProfileOptions) *DistanceProfile {
+	n := g.NumNodes()
+	srcs := make([]graph.NodeID, 0, n)
+	scale := 1.0
+	if opt.Sources > 0 && opt.Sources < n {
+		rng := rand.New(rand.NewSource(opt.Seed))
+		for _, i := range rng.Perm(n)[:opt.Sources] {
+			srcs = append(srcs, graph.NodeID(i))
+		}
+		scale = float64(n) / float64(opt.Sources)
+	} else {
+		for i := 0; i < n; i++ {
+			srcs = append(srcs, graph.NodeID(i))
+		}
+	}
+	p := &DistanceProfile{Sources: len(srcs)}
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]graph.NodeID, 0, n)
+	for _, s := range srcs {
+		visited := bfsInto(g, s, dist, queue)
+		for _, v := range visited {
+			d := int(dist[v])
+			if d == 0 {
+				continue
+			}
+			for d >= len(p.DistCounts) {
+				p.DistCounts = append(p.DistCounts, 0)
+			}
+			p.DistCounts[d] += scale
+			p.ReachablePairs += scale
+			if d > p.Diameter {
+				p.Diameter = d
+			}
+		}
+		// Reset only touched entries.
+		for _, v := range visited {
+			dist[v] = -1
+		}
+		queue = visited[:0]
+	}
+	return p
+}
+
+// Distribution returns the fraction of reachable pairs at each distance
+// (index = distance, starting at 0 with value 0), the series of Figure 7.
+func (p *DistanceProfile) Distribution() []float64 {
+	out := make([]float64, len(p.DistCounts))
+	if p.ReachablePairs == 0 {
+		return out
+	}
+	for d, c := range p.DistCounts {
+		out[d] = c / p.ReachablePairs
+	}
+	return out
+}
+
+// HopPlot returns the cumulative fraction of reachable pairs within each
+// hop count k (index = k), the series of Figure 10: HopPlot()[k] is the
+// percentage of reachable pairs at distance <= k.
+func (p *DistanceProfile) HopPlot() []float64 {
+	out := make([]float64, len(p.DistCounts))
+	if p.ReachablePairs == 0 {
+		return out
+	}
+	cum := 0.0
+	for d, c := range p.DistCounts {
+		cum += c
+		out[d] = cum / p.ReachablePairs
+	}
+	return out
+}
+
+// MeanDistance returns the average pairwise distance among reachable pairs.
+func (p *DistanceProfile) MeanDistance() float64 {
+	if p.ReachablePairs == 0 {
+		return 0
+	}
+	var sum float64
+	for d, c := range p.DistCounts {
+		sum += float64(d) * c
+	}
+	return sum / p.ReachablePairs
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+)
+
+// TestPageRankMassConservation: PageRank sums to 1 on any graph, including
+// ones with isolated nodes.
+func TestPageRankMassConservation(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		g := gen.ErdosRenyi(40, int(mRaw)%120+1, seed)
+		pr := PageRank(g, PageRankOptions{})
+		var sum float64
+		for _, s := range pr {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDistanceProfilePairCountsEven: ordered reachable pair counts are
+// symmetric, so the exact profile's total is always even.
+func TestDistanceProfilePairCountsEven(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(30, 45, seed)
+		p := NewDistanceProfile(g, ProfileOptions{})
+		total := int64(math.Round(p.ReachablePairs))
+		return total%2 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKCoreMatchesIterativePeel cross-checks the bucket implementation
+// against a naive repeated-peel oracle.
+func TestKCoreMatchesIterativePeel(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(25, 50, seed)
+		fast := KCore(g)
+		slow := naiveKCore(g)
+		for u := range fast {
+			if fast[u] != slow[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// naiveKCore computes core numbers by repeatedly deleting sub-k nodes.
+func naiveKCore(g *graph.Graph) []int {
+	n := g.NumNodes()
+	core := make([]int, n)
+	for k := 1; ; k++ {
+		// Compute the k-core by repeated peeling.
+		alive := make([]bool, n)
+		deg := make([]int, n)
+		for u := 0; u < n; u++ {
+			alive[u] = true
+			deg[u] = g.Degree(graph.NodeID(u))
+		}
+		for changed := true; changed; {
+			changed = false
+			for u := 0; u < n; u++ {
+				if alive[u] && deg[u] < k {
+					alive[u] = false
+					changed = true
+					for _, v := range g.Neighbors(graph.NodeID(u)) {
+						if alive[v] {
+							deg[v]--
+						}
+					}
+				}
+			}
+		}
+		any := false
+		for u := 0; u < n; u++ {
+			if alive[u] {
+				core[u] = k
+				any = true
+			}
+		}
+		if !any {
+			return core
+		}
+	}
+}
+
+// TestDegreeDistributionSumsToOne: distributions are probability vectors.
+func TestDegreeDistributionSumsToOne(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		g := gen.BarabasiAlbert(60, 2, seed)
+		cap := int(capRaw) % 20 // 0 disables
+		dist := DegreeDistribution(g, cap)
+		var sum float64
+		for _, x := range dist {
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComponentsPartition: component labels partition the node set and
+// respect edges.
+func TestComponentsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(40, 30, seed) // sparse: multiple components
+		labels, count := ConnectedComponents(g)
+		for _, l := range labels {
+			if l < 0 || int(l) >= count {
+				return false
+			}
+		}
+		for _, e := range g.Edges() {
+			if labels[e.U] != labels[e.V] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

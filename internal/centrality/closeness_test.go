@@ -1,0 +1,93 @@
+package centrality
+
+import (
+	"math"
+	"testing"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+)
+
+func TestClosenessStar(t *testing.T) {
+	g := gen.Star(5) // hub 0: distance 1 to all; leaves: 1 + 3×2 = 7
+	got := Closeness(g, Options{})
+	if !approx(got[0], 1) {
+		t.Errorf("hub closeness = %v, want 1", got[0])
+	}
+	want := 4.0 / 7.0
+	for u := 1; u < 5; u++ {
+		if !approx(got[u], want) {
+			t.Errorf("leaf %d closeness = %v, want %v", u, got[u], want)
+		}
+	}
+}
+
+func TestClosenessPath(t *testing.T) {
+	g := gen.Path(5)
+	got := Closeness(g, Options{})
+	// Center node 2: distances 2+1+1+2 = 6 → 4/6.
+	if !approx(got[2], 4.0/6.0) {
+		t.Errorf("center closeness = %v, want %v", got[2], 4.0/6.0)
+	}
+	// End node 0: 1+2+3+4 = 10 → 0.4.
+	if !approx(got[0], 0.4) {
+		t.Errorf("end closeness = %v, want 0.4", got[0])
+	}
+	if got[0] >= got[1] || got[1] >= got[2] {
+		t.Error("closeness not increasing toward the center of a path")
+	}
+}
+
+func TestClosenessDisconnected(t *testing.T) {
+	// Wasserman–Faust scales by component reach: the pair component scores
+	// (1/5)·(1/1) = 0.2; the isolated node scores 0.
+	g := graph.MustFromEdges(6, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 3, V: 4}})
+	got := Closeness(g, Options{})
+	if !approx(got[0], 0.2) {
+		t.Errorf("pair closeness = %v, want 0.2", got[0])
+	}
+	if got[5] != 0 {
+		t.Errorf("isolated closeness = %v, want 0", got[5])
+	}
+	// Middle of the triple beats its ends.
+	if got[3] <= got[2] {
+		t.Errorf("path middle %v not above end %v", got[3], got[2])
+	}
+}
+
+func TestClosenessParallelMatchesSerial(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 5)
+	a := Closeness(g, Options{Workers: 1})
+	b := Closeness(g, Options{Workers: 8})
+	for u := range a {
+		if math.Abs(a[u]-b[u]) > 1e-12 {
+			t.Fatalf("node %d: serial %v != parallel %v", u, a[u], b[u])
+		}
+	}
+}
+
+func TestClosenessTrivial(t *testing.T) {
+	var empty graph.Graph
+	if got := Closeness(&empty, Options{}); len(got) != 0 {
+		t.Errorf("empty closeness = %v", got)
+	}
+	single := graph.MustFromEdges(1, nil)
+	if got := Closeness(single, Options{}); got[0] != 0 {
+		t.Errorf("singleton closeness = %v, want 0", got[0])
+	}
+}
+
+func TestDegreeCentrality(t *testing.T) {
+	g := gen.Star(5)
+	got := Degree(g)
+	if !approx(got[0], 1) {
+		t.Errorf("hub degree centrality = %v, want 1", got[0])
+	}
+	if !approx(got[1], 0.25) {
+		t.Errorf("leaf degree centrality = %v, want 0.25", got[1])
+	}
+	var empty graph.Graph
+	if len(Degree(&empty)) != 0 {
+		t.Error("empty degree centrality not empty")
+	}
+}

@@ -1,0 +1,51 @@
+package centrality
+
+import (
+	"fmt"
+	"testing"
+
+	"edgeshed/internal/graph/gen"
+)
+
+func BenchmarkNodeBetweennessExact(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NodeBetweenness(g, Options{})
+	}
+}
+
+func BenchmarkEdgeBetweennessExact(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EdgeBetweenness(g, Options{})
+	}
+}
+
+func BenchmarkEdgeBetweennessSampled(b *testing.B) {
+	g := gen.BarabasiAlbert(5000, 3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EdgeBetweenness(g, Options{Samples: 128, Seed: 2})
+	}
+}
+
+func BenchmarkBetweennessWorkers(b *testing.B) {
+	g := gen.BarabasiAlbert(2000, 3, 1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				NodeBetweenness(g, Options{Workers: workers})
+			}
+		})
+	}
+}
+
+func BenchmarkCloseness(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Closeness(g, Options{})
+	}
+}

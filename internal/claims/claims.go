@@ -1,0 +1,391 @@
+package claims
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Status classifies a claim check.
+type Status int
+
+const (
+	// Pass means the claim held in the parsed results.
+	Pass Status = iota
+	// Fail means the results contradict the claim.
+	Fail
+	// Skip means the results file lacks the tables the claim needs.
+	Skip
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Pass:
+		return "PASS"
+	case Fail:
+		return "FAIL"
+	case Skip:
+		return "SKIP"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Outcome is one checked claim.
+type Outcome struct {
+	// ID names the claim, e.g. "t3-uds-cost-grows".
+	ID string
+	// Description states the paper's claim being verified.
+	Description string
+	// Status is the verdict.
+	Status Status
+	// Detail explains failures and skips.
+	Detail string
+}
+
+// Check parses a results file and verifies every registered claim.
+func Check(text string) []Outcome {
+	tables := Parse(text)
+	var out []Outcome
+	for _, c := range registry() {
+		status, detail := c.check(tables)
+		out = append(out, Outcome{ID: c.id, Description: c.desc, Status: status, Detail: detail})
+	}
+	return out
+}
+
+type claim struct {
+	id    string
+	desc  string
+	check func([]Table) (Status, string)
+}
+
+func registry() []claim {
+	return []claim{
+		{
+			"t3-uds-cost-grows",
+			"Table III: UDS reduction time grows as p falls",
+			func(ts []Table) (Status, string) {
+				checked := 0
+				for _, t := range TablesByTitle(ts, "Table III") {
+					hi, okHi := t.Float(t.FindRow("0.900"), "UDS")
+					lo, okLo := t.Float(t.FindRow("0.100"), "UDS")
+					if !okHi || !okLo {
+						continue // UDS skipped on this dataset
+					}
+					checked++
+					if lo <= hi {
+						return Fail, fmt.Sprintf("%s: UDS %.3fs at p=0.1 <= %.3fs at p=0.9", t.Title, lo, hi)
+					}
+				}
+				if checked == 0 {
+					return Skip, "no Table III with UDS columns"
+				}
+				return Pass, ""
+			},
+		},
+		{
+			"t3-bm2-fastest",
+			"Table III: BM2 reduces faster than CRR at every p",
+			func(ts []Table) (Status, string) {
+				checked := 0
+				for _, t := range TablesByTitle(ts, "Table III") {
+					for row := range t.Rows {
+						crr, ok1 := t.Float(row, "CRR")
+						bm2, ok2 := t.Float(row, "BM2")
+						if !ok1 || !ok2 {
+							continue
+						}
+						checked++
+						if bm2 > crr {
+							return Fail, fmt.Sprintf("%s row %d: BM2 %.3fs > CRR %.3fs", t.Title, row, bm2, crr)
+						}
+					}
+				}
+				if checked == 0 {
+					return Skip, "no Table III rows"
+				}
+				return Pass, ""
+			},
+		},
+		{
+			"topk-crr-beats-uds-small-p",
+			"Tables VIII-IX: CRR's top-k utility beats UDS at p <= 0.3",
+			func(ts []Table) (Status, string) {
+				checked := 0
+				for _, title := range []string{"Table VIII", "Table IX"} {
+					for _, t := range TablesByTitle(ts, title) {
+						for _, p := range []string{"0.300", "0.200", "0.100"} {
+							row := t.FindRow(p)
+							uds, ok1 := t.Float(row, "UDS")
+							crr, ok2 := t.Float(row, "CRR")
+							if !ok1 || !ok2 {
+								continue
+							}
+							checked++
+							if crr <= uds {
+								return Fail, fmt.Sprintf("%s p=%s: CRR %.3f <= UDS %.3f", t.Title, p, crr, uds)
+							}
+						}
+					}
+				}
+				if checked == 0 {
+					return Skip, "no top-k tables with UDS"
+				}
+				return Pass, ""
+			},
+		},
+		{
+			"topk-degrades-with-p",
+			"Tables VIII-IX: every method's top-k utility at p=0.9 beats its p=0.1",
+			func(ts []Table) (Status, string) {
+				checked := 0
+				for _, title := range []string{"Table VIII", "Table IX"} {
+					for _, t := range TablesByTitle(ts, title) {
+						for _, method := range []string{"UDS", "CRR", "BM2"} {
+							hi, ok1 := t.Float(t.FindRow("0.900"), method)
+							lo, ok2 := t.Float(t.FindRow("0.100"), method)
+							if !ok1 || !ok2 {
+								continue
+							}
+							checked++
+							if lo > hi {
+								return Fail, fmt.Sprintf("%s %s: utility %.3f at p=0.1 > %.3f at p=0.9", t.Title, method, lo, hi)
+							}
+						}
+					}
+				}
+				if checked == 0 {
+					return Skip, "no top-k tables"
+				}
+				return Pass, ""
+			},
+		},
+		{
+			"fig4-rewiring-improves",
+			"Figure 4: CRR quality at x=10 beats x=1",
+			func(ts []Table) (Status, string) {
+				checked := 0
+				for _, t := range TablesByTitle(ts, "Figure 4") {
+					one, ok1 := t.Float(t.FindRow("1"), "avg delta")
+					ten, ok2 := t.Float(t.FindRow("10"), "avg delta")
+					if !ok1 || !ok2 {
+						continue
+					}
+					checked++
+					if ten >= one {
+						return Fail, fmt.Sprintf("%s: avg delta %.4f at x=10 >= %.4f at x=1", t.Title, ten, one)
+					}
+				}
+				if checked == 0 {
+					return Skip, "no Figure 4 tables"
+				}
+				return Pass, ""
+			},
+		},
+		{
+			"fig5-theorem-bounds-hold",
+			"Figure 5(a)-(b): measured errors stay below the Theorem 1/2 bounds",
+			func(ts []Table) (Status, string) {
+				checked := 0
+				for _, t := range TablesByTitle(ts, "Figure 5(a)-(b)") {
+					for row := range t.Rows {
+						for _, pair := range [][2]string{{"CRR err", "CRR bound"}, {"BM2 err", "BM2 bound"}} {
+							err, ok1 := t.Float(row, pair[0])
+							bound, ok2 := t.Float(row, pair[1])
+							if !ok1 || !ok2 {
+								continue
+							}
+							checked++
+							if err >= bound {
+								return Fail, fmt.Sprintf("%s row %d: %s %.4f >= %s %.4f", t.Title, row, pair[0], err, pair[1], bound)
+							}
+						}
+					}
+				}
+				if checked == 0 {
+					return Skip, "no Figure 5(a)-(b) tables"
+				}
+				return Pass, ""
+			},
+		},
+		{
+			"degree-dist-uds-worst",
+			"Figures 5(c)-(d)/6: UDS's degree-distribution TVD exceeds CRR's and BM2's",
+			func(ts []Table) (Status, string) {
+				checked := 0
+				for _, t := range tablesWithHeader(ts, "TVD vs original (degree dist)") {
+					uds, ok1 := t.Float(t.FindRow("UDS"), "TVD vs original (degree dist)")
+					crr, ok2 := t.Float(t.FindRow("CRR"), "TVD vs original (degree dist)")
+					bm2, ok3 := t.Float(t.FindRow("BM2"), "TVD vs original (degree dist)")
+					if !ok1 || !ok2 || !ok3 {
+						continue
+					}
+					checked++
+					if uds <= crr || uds <= bm2 {
+						return Fail, fmt.Sprintf("degree TVD: UDS %.4f vs CRR %.4f / BM2 %.4f", uds, crr, bm2)
+					}
+				}
+				if checked == 0 {
+					return Skip, "no degree-distribution TVD tables"
+				}
+				return Pass, ""
+			},
+		},
+		{
+			"ab5-phase2-helps",
+			"Ablation 5: CRR's rewiring phase improves Δ at every p",
+			func(ts []Table) (Status, string) {
+				checked := 0
+				for _, t := range TablesByTitle(ts, "Ablation 5") {
+					for row := range t.Rows {
+						imp, ok := t.Float(row, "improvement")
+						if !ok {
+							continue
+						}
+						checked++
+						if imp <= 0 {
+							return Fail, fmt.Sprintf("%s row %d: improvement %.3f <= 0", t.Title, row, imp)
+						}
+					}
+				}
+				if checked == 0 {
+					return Skip, "no Ablation 5 tables"
+				}
+				return Pass, ""
+			},
+		},
+		{
+			"headline-gains-positive",
+			"Headline: CRR and BM2 gain accuracy over UDS and cost less time",
+			func(ts []Table) (Status, string) {
+				checked := 0
+				for _, t := range TablesByTitle(ts, "Headline") {
+					for row := range t.Rows {
+						for _, col := range []string{"max CRR-UDS gain", "max BM2-UDS gain"} {
+							cell, ok := t.Cell(row, col)
+							if !ok {
+								continue
+							}
+							checked++
+							if !strings.HasPrefix(cell, "+") || cell == "+0%" {
+								return Fail, fmt.Sprintf("%s: %s = %s", t.Title, col, cell)
+							}
+						}
+					}
+				}
+				if checked == 0 {
+					return Skip, "no Headline table"
+				}
+				return Pass, ""
+			},
+		},
+		{
+			"baselines-degree-preserving-wins",
+			"Baselines: CRR and BM2 beat every sampling baseline on delta",
+			func(ts []Table) (Status, string) {
+				checked := 0
+				for _, t := range TablesByTitle(ts, "Baselines") {
+					crr, ok1 := t.Float(t.FindRow("CRR"), "delta")
+					bm2, ok2 := t.Float(t.FindRow("BM2"), "delta")
+					if !ok1 || !ok2 {
+						continue
+					}
+					for _, base := range []string{"Random", "ForestFire", "SpanningForest", "WeightedSample"} {
+						bd, ok := t.Float(t.FindRow(base), "delta")
+						if !ok {
+							continue
+						}
+						checked++
+						if crr >= bd || bm2 >= bd {
+							return Fail, fmt.Sprintf("%s: CRR %.1f / BM2 %.1f vs %s %.1f", t.Title, crr, bm2, base, bd)
+						}
+					}
+				}
+				if checked == 0 {
+					return Skip, "no baselines tables"
+				}
+				return Pass, ""
+			},
+		},
+		{
+			"memory-savings-track-p",
+			"Memory: reduced-graph footprint savings grow as p falls",
+			func(ts []Table) (Status, string) {
+				checked := 0
+				for _, t := range TablesByTitle(ts, "Memory footprint") {
+					hi := parsePercent(t, t.FindRow("0.500"), "CRR saving")
+					lo := parsePercent(t, t.FindRow("0.100"), "CRR saving")
+					if hi < 0 || lo < 0 {
+						continue
+					}
+					checked++
+					if lo <= hi {
+						return Fail, fmt.Sprintf("%s: saving %.0f%% at p=0.1 <= %.0f%% at p=0.5", t.Title, lo, hi)
+					}
+				}
+				if checked == 0 {
+					return Skip, "no memory tables"
+				}
+				return Pass, ""
+			},
+		},
+		{
+			"stream-beats-reservoir",
+			"Streaming extension: the shedder's Δ beats reservoir sampling",
+			func(ts []Table) (Status, string) {
+				checked := 0
+				for _, t := range TablesByTitle(ts, "Streaming extension") {
+					// Rows group by p: stream / reservoir / BM2 per p.
+					for row := 0; row+1 < len(t.Rows); row++ {
+						if m, _ := t.Cell(row, "method"); m != "stream" {
+							continue
+						}
+						if m, _ := t.Cell(row+1, "method"); m != "reservoir" {
+							continue
+						}
+						sd, ok1 := t.Float(row, "delta")
+						rd, ok2 := t.Float(row+1, "delta")
+						if !ok1 || !ok2 {
+							continue
+						}
+						checked++
+						if sd >= rd {
+							return Fail, fmt.Sprintf("stream Δ %.1f >= reservoir Δ %.1f", sd, rd)
+						}
+					}
+				}
+				if checked == 0 {
+					return Skip, "no streaming table"
+				}
+				return Pass, ""
+			},
+		},
+	}
+}
+
+// parsePercent reads a "NN%" cell as a float, or -1 when absent/malformed.
+func parsePercent(t Table, row int, col string) float64 {
+	s, ok := t.Cell(row, col)
+	if !ok || !strings.HasSuffix(s, "%") {
+		return -1
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s, "%f%%", &v); err != nil {
+		return -1
+	}
+	return v
+}
+
+// tablesWithHeader returns tables containing the given column header.
+func tablesWithHeader(ts []Table, header string) []Table {
+	var out []Table
+	for _, t := range ts {
+		for _, h := range t.Headers {
+			if h == header {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	return out
+}

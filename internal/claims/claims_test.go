@@ -1,0 +1,194 @@
+package claims
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleResults = `Table III (ca-GrQc stand-in, |V|=163 |E|=483): reduction time (s)
+p      UDS    CRR    BM2
+--------------------------
+0.900  0.008  0.003  0.000
+0.500  0.013  0.003  0.000
+0.100  0.016  0.003  0.000
+
+Table VIII (ca-GrQc stand-in, |V|=163 |E|=483): utility of top-10%
+p      UDS    CRR    BM2
+--------------------------
+0.900  0.938  1.000  1.000
+0.300  0.312  0.938  0.750
+0.100  0.125  0.688  0.562
+
+Figure 4 (ca-GrQc, |V|=163 |E|=483, p=0.5): CRR steps sweep
+x   avg delta  time (s)
+-----------------------
+1   0.6312     0.003
+10  0.3395     0.007
+
+Figure 5(a)-(b) (ca-GrQc stand-in): error vs bound
+p      CRR err  CRR bound  BM2 err  BM2 bound
+---------------------------------------------
+0.500  0.3374   2.9632     0.5031   1.9816
+
+method  TVD vs original (degree dist)
+-------------------------------------
+UDS     0.5061
+CRR     0.2469
+BM2     0.1815
+
+Ablation 5 (ca-GrQc stand-in, |V|=163): CRR rewiring on/off
+p      phase1-only delta  full CRR delta  improvement
+-----------------------------------------------------
+0.900  127.4000           59.8000         0.531
+
+Headline claims (abstract): accuracy gain over UDS and time ratio
+dataset      max CRR-UDS gain  max BM2-UDS gain  CRR/UDS time  BM2/UDS time
+---------------------------------------------------------------------------
+ca-GrQc      +62%              +44%              22%           1%
+
+Streaming extension (email-Enron stand-in, |V|=1146 |E|=2215): one-pass shedding
+p      method         delta     top-k utility  time (s)
+-------------------------------------------------------
+0.500  stream         474.0000  0.913          0.001
+0.500  reservoir      787.0000  0.852          -
+0.500  BM2 (offline)  477.0000  0.930          -
+`
+
+func TestParseSample(t *testing.T) {
+	tables := Parse(sampleResults)
+	if len(tables) != 8 {
+		titles := make([]string, len(tables))
+		for i, tb := range tables {
+			titles[i] = tb.Title
+		}
+		t.Fatalf("parsed %d tables, want 8: %v", len(tables), titles)
+	}
+	t3 := TablesByTitle(tables, "Table III")
+	if len(t3) != 1 {
+		t.Fatalf("Table III not found")
+	}
+	if v, ok := t3[0].Float(t3[0].FindRow("0.900"), "UDS"); !ok || v != 0.008 {
+		t.Errorf("Table III p=0.9 UDS = %v/%v, want 0.008", v, ok)
+	}
+	if _, ok := t3[0].Float(0, "NoSuchColumn"); ok {
+		t.Error("unknown column returned ok")
+	}
+	if t3[0].FindRow("nope") != -1 {
+		t.Error("FindRow found a missing key")
+	}
+}
+
+func TestParseSkipsDashCells(t *testing.T) {
+	tables := Parse(sampleResults)
+	st := TablesByTitle(tables, "Streaming")
+	if len(st) != 1 {
+		t.Fatal("streaming table missing")
+	}
+	if _, ok := st[0].Float(1, "time (s)"); ok {
+		t.Error(`"-" cell parsed as a float`)
+	}
+}
+
+func TestCheckAllPassOnGoodResults(t *testing.T) {
+	outcomes := Check(sampleResults)
+	if len(outcomes) == 0 {
+		t.Fatal("no outcomes")
+	}
+	for _, o := range outcomes {
+		if o.Status == Fail {
+			t.Errorf("%s failed on known-good results: %s", o.ID, o.Detail)
+		}
+		if o.Status == Skip && o.ID != "topk-degrades-with-p" {
+			// All claims except none should find their data in the sample.
+			t.Logf("note: %s skipped: %s", o.ID, o.Detail)
+		}
+	}
+}
+
+func TestCheckDetectsViolations(t *testing.T) {
+	// Corrupt the sample so UDS gets *faster* as p falls and CRR loses to
+	// UDS at small p.
+	bad := strings.Replace(sampleResults, "0.100  0.016  0.003  0.000", "0.100  0.001  0.003  0.000", 1)
+	bad = strings.Replace(bad, "0.100  0.125  0.688  0.562", "0.100  0.925  0.688  0.562", 1)
+	outcomes := Check(bad)
+	wantFail := map[string]bool{"t3-uds-cost-grows": true, "topk-crr-beats-uds-small-p": true}
+	for _, o := range outcomes {
+		if wantFail[o.ID] && o.Status != Fail {
+			t.Errorf("%s = %v, want FAIL", o.ID, o.Status)
+		}
+	}
+}
+
+const extensionResults = `Baselines (ca-GrQc stand-in, |V|=163, p=0.5): degree-preserving vs sampling
+method          |E'|  delta     avg |dis|  top-k utility
+--------------------------------------------------------
+CRR             242   55.0000   0.3374     0.938
+BM2             221   82.0000   0.5031     0.750
+Random          242   153.0000  0.9387     0.938
+ForestFire      242   314.0000  1.9264     0.750
+SpanningForest  242   133.0000  0.8160     0.875
+WeightedSample  242   170.0000  1.0429     0.812
+
+Memory footprint (email-Enron stand-in, |V|=1146 |E|=2215, original 100.00 KiB)
+p      CRR bytes  CRR saving  BM2 bytes  BM2 saving
+---------------------------------------------------
+0.500  55.00 KiB  47%         54.00 KiB  48%
+0.100  15.00 KiB  86%         14.00 KiB  87%
+`
+
+func TestExtensionClaims(t *testing.T) {
+	outcomes := Check(extensionResults)
+	byID := map[string]Outcome{}
+	for _, o := range outcomes {
+		byID[o.ID] = o
+	}
+	for _, id := range []string{"baselines-degree-preserving-wins", "memory-savings-track-p"} {
+		if got := byID[id].Status; got != Pass {
+			t.Errorf("%s = %v (%s), want PASS", id, got, byID[id].Detail)
+		}
+	}
+	// Corrupt the baselines so Random beats CRR.
+	bad := strings.Replace(extensionResults, "CRR             242   55.0000", "CRR             242   255.0000", 1)
+	for _, o := range Check(bad) {
+		if o.ID == "baselines-degree-preserving-wins" && o.Status != Fail {
+			t.Errorf("corrupted baselines not detected: %v", o.Status)
+		}
+	}
+}
+
+func TestParsePercent(t *testing.T) {
+	tables := Parse(extensionResults)
+	mem := TablesByTitle(tables, "Memory footprint")
+	if len(mem) != 1 {
+		t.Fatal("memory table missing")
+	}
+	if got := parsePercent(mem[0], mem[0].FindRow("0.500"), "CRR saving"); got != 47 {
+		t.Errorf("parsePercent = %v, want 47", got)
+	}
+	if got := parsePercent(mem[0], -1, "CRR saving"); got != -1 {
+		t.Errorf("parsePercent missing row = %v, want -1", got)
+	}
+}
+
+func TestCheckSkipsOnEmptyInput(t *testing.T) {
+	for _, o := range Check("") {
+		if o.Status != Skip {
+			t.Errorf("%s = %v on empty input, want SKIP", o.ID, o.Status)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Pass.String() != "PASS" || Fail.String() != "FAIL" || Skip.String() != "SKIP" {
+		t.Error("status strings wrong")
+	}
+	if Status(9).String() != "Status(9)" {
+		t.Error("unknown status string wrong")
+	}
+}
+
+func TestIsRule(t *testing.T) {
+	if !isRule("-----") || isRule("--") || isRule("a---") || isRule("") {
+		t.Error("isRule misclassifies")
+	}
+}

@@ -1,0 +1,37 @@
+package claims
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedResultsSatisfyClaims re-checks every committed results file
+// under results/: the repository's own records must never contradict the
+// claims the README advertises.
+func TestCommittedResultsSatisfyClaims(t *testing.T) {
+	dir := filepath.Join("..", "..", "results")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("no committed results directory: %v", err)
+	}
+	checkedAny := false
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".txt" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		checkedAny = true
+		for _, o := range Check(string(data)) {
+			if o.Status == Fail {
+				t.Errorf("%s: claim %s failed: %s", e.Name(), o.ID, o.Detail)
+			}
+		}
+	}
+	if !checkedAny {
+		t.Skip("results directory empty")
+	}
+}

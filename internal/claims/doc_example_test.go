@@ -1,0 +1,24 @@
+package claims_test
+
+import (
+	"fmt"
+
+	"edgeshed/internal/claims"
+)
+
+// ExampleCheck verifies a results fragment against the paper's claims.
+func ExampleCheck() {
+	const results = `Figure 4 (demo): CRR steps sweep
+x   avg delta  time (s)
+-----------------------
+1   0.6312     0.003
+10  0.3395     0.007
+`
+	for _, o := range claims.Check(results) {
+		if o.ID == "fig4-rewiring-improves" {
+			fmt.Println(o.Status, o.ID)
+		}
+	}
+	// Output:
+	// PASS fig4-rewiring-improves
+}

@@ -1,0 +1,138 @@
+// Package claims makes the reproduction self-verifying: it parses the
+// plain-text results produced by cmd/experiments and checks the paper's
+// qualitative claims against them — who wins, in which direction costs
+// grow, whether theorem bounds hold. cmd/checkclaims turns any results file
+// into a PASS/FAIL report.
+package claims
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Table is one parsed results table.
+type Table struct {
+	// Title is the caption line(s) above the header, possibly empty.
+	Title string
+	// Headers are the column names.
+	Headers []string
+	// Rows are the data cells, aligned with Headers.
+	Rows [][]string
+}
+
+// Cell returns the cell at (row, column name), with ok=false when the
+// column is unknown or the row is ragged.
+func (t *Table) Cell(row int, col string) (string, bool) {
+	for i, h := range t.Headers {
+		if h == col {
+			if row < 0 || row >= len(t.Rows) || i >= len(t.Rows[row]) {
+				return "", false
+			}
+			return t.Rows[row][i], true
+		}
+	}
+	return "", false
+}
+
+// Float returns the cell parsed as a float; ok=false for missing cells and
+// non-numeric markers like "-".
+func (t *Table) Float(row int, col string) (float64, bool) {
+	s, ok := t.Cell(row, col)
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// FindRow returns the index of the first row whose first cell equals key,
+// or -1.
+func (t *Table) FindRow(key string) int {
+	for i, r := range t.Rows {
+		if len(r) > 0 && r[0] == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// Parse extracts all tables from a results file in the renderer's format:
+// an optional title line, a header line, a full-width dashed rule, then one
+// line per row, columns separated by runs of two or more spaces. Non-table
+// content (series lines, prose) is ignored.
+func Parse(text string) []Table {
+	var tables []Table
+	lines := strings.Split(text, "\n")
+	for i := 0; i < len(lines); i++ {
+		if !isRule(lines[i]) || i == 0 {
+			continue
+		}
+		header := splitColumns(lines[i-1])
+		if len(header) < 2 {
+			continue
+		}
+		title := ""
+		if i >= 2 && strings.TrimSpace(lines[i-2]) != "" && !isRule(lines[i-2]) {
+			title = strings.TrimSpace(lines[i-2])
+		}
+		t := Table{Title: title, Headers: header}
+		for j := i + 1; j < len(lines); j++ {
+			row := strings.TrimRight(lines[j], " ")
+			if strings.TrimSpace(row) == "" || isRule(row) {
+				i = j
+				break
+			}
+			cells := splitColumns(row)
+			if len(cells) == 0 {
+				i = j
+				break
+			}
+			t.Rows = append(t.Rows, cells)
+			i = j
+		}
+		if len(t.Rows) > 0 {
+			tables = append(tables, t)
+		}
+	}
+	return tables
+}
+
+// isRule reports whether a line is a dashed horizontal rule.
+func isRule(line string) bool {
+	line = strings.TrimSpace(line)
+	if len(line) < 3 {
+		return false
+	}
+	for _, r := range line {
+		if r != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// splitColumns splits a rendered row on runs of two or more spaces.
+func splitColumns(line string) []string {
+	var cols []string
+	for _, part := range strings.Split(line, "  ") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			cols = append(cols, part)
+		}
+	}
+	return cols
+}
+
+// TablesByTitle returns the tables whose title contains the substring.
+func TablesByTitle(tables []Table, substr string) []Table {
+	var out []Table
+	for _, t := range tables {
+		if strings.Contains(t.Title, substr) {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+// Package community detects communities with asynchronous label propagation
+// and scores partitions with Newman modularity. It provides a cheap,
+// embedding-free alternative predictor for the paper's link-prediction task
+// (task 7): two nodes are predicted to be in the same community when label
+// propagation assigns them the same label.
+package community
+
+import (
+	"math/rand"
+
+	"edgeshed/internal/graph"
+)
+
+// LabelPropagationOptions configures detection.
+type LabelPropagationOptions struct {
+	// MaxRounds caps the sweeps over all nodes; 0 means 32. Propagation
+	// usually converges in far fewer.
+	MaxRounds int
+	// Seed drives the node visiting order and tie-breaking.
+	Seed int64
+}
+
+func (o LabelPropagationOptions) maxRounds() int {
+	if o.MaxRounds <= 0 {
+		return 32
+	}
+	return o.MaxRounds
+}
+
+// LabelPropagation returns a community label per node. Labels are arbitrary
+// ints; isolated nodes keep singleton labels. The algorithm is the
+// asynchronous variant of Raghavan et al.: each node repeatedly adopts its
+// neighborhood's most frequent label until no label changes.
+func LabelPropagation(g *graph.Graph, opt LabelPropagationOptions) []int {
+	n := g.NumNodes()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i
+	}
+	if n == 0 {
+		return labels
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	order := rng.Perm(n)
+	counts := make(map[int]int)
+	for round := 0; round < opt.maxRounds(); round++ {
+		changed := false
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, u := range order {
+			nb := g.Neighbors(graph.NodeID(u))
+			if len(nb) == 0 {
+				continue
+			}
+			for k := range counts {
+				delete(counts, k)
+			}
+			best, bestCount := labels[u], 0
+			for _, v := range nb {
+				l := labels[v]
+				counts[l]++
+				c := counts[l]
+				// Prefer strictly more frequent labels; break count ties
+				// toward the current label for stability, then randomly.
+				if c > bestCount || (c == bestCount && l == labels[u]) {
+					best, bestCount = l, c
+				} else if c == bestCount && best != labels[u] && rng.Intn(2) == 0 {
+					best = l
+				}
+			}
+			if best != labels[u] {
+				labels[u] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return compactLabels(labels)
+}
+
+// compactLabels renumbers labels densely from 0 in first-seen order.
+func compactLabels(labels []int) []int {
+	remap := make(map[int]int)
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		id, ok := remap[l]
+		if !ok {
+			id = len(remap)
+			remap[l] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// NumCommunities returns the number of distinct labels.
+func NumCommunities(labels []int) int {
+	seen := make(map[int]struct{})
+	for _, l := range labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Modularity returns Newman modularity Q of the partition: the fraction of
+// edges inside communities minus the expectation under the configuration
+// model. Q ranges in [-1/2, 1); higher means stronger community structure.
+func Modularity(g *graph.Graph, labels []int) float64 {
+	m := float64(g.NumEdges())
+	if m == 0 {
+		return 0
+	}
+	// Sum of degrees per community and internal edge count per community.
+	degSum := make(map[int]float64)
+	internal := make(map[int]float64)
+	for u := 0; u < g.NumNodes(); u++ {
+		degSum[labels[u]] += float64(g.Degree(graph.NodeID(u)))
+	}
+	for _, e := range g.Edges() {
+		if labels[e.U] == labels[e.V] {
+			internal[labels[e.U]]++
+		}
+	}
+	var q float64
+	for l, ds := range degSum {
+		q += internal[l]/m - (ds/(2*m))*(ds/(2*m))
+	}
+	return q
+}
+
+// SameCommunityPairs filters candidate pairs down to those whose endpoints
+// share a label — the label-propagation analogue of the embedding-based
+// prediction in internal/tasks.
+func SameCommunityPairs(pairs []graph.Edge, labels []int) []graph.Edge {
+	var out []graph.Edge
+	for _, p := range pairs {
+		if labels[p.U] == labels[p.V] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package community
+
+import (
+	"math"
+	"testing"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+)
+
+func TestLabelPropagationTwoCliques(t *testing.T) {
+	// Two K6 cliques joined by one bridge: propagation must find exactly
+	// the two cliques (the bridge cannot outvote five internal neighbors).
+	b := graph.NewBuilder(12)
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			b.TryAddEdge(graph.NodeID(u), graph.NodeID(v))
+			b.TryAddEdge(graph.NodeID(u+6), graph.NodeID(v+6))
+		}
+	}
+	b.TryAddEdge(0, 6)
+	g := b.Graph()
+	labels := LabelPropagation(g, LabelPropagationOptions{Seed: 1})
+	for u := 1; u < 6; u++ {
+		if labels[u] != labels[0] {
+			t.Errorf("clique A split: labels[%d]=%d labels[0]=%d", u, labels[u], labels[0])
+		}
+	}
+	for u := 7; u < 12; u++ {
+		if labels[u] != labels[6] {
+			t.Errorf("clique B split: labels[%d]=%d labels[6]=%d", u, labels[u], labels[6])
+		}
+	}
+	if labels[0] == labels[6] {
+		t.Error("cliques merged into one community")
+	}
+}
+
+func TestLabelPropagationPlantedPartition(t *testing.T) {
+	g := gen.PlantedPartition(4, 25, 0.4, 0.01, 3)
+	labels := LabelPropagation(g, LabelPropagationOptions{Seed: 4})
+	// Most within-block pairs should share labels; most across-block pairs
+	// should not.
+	agreeWithin, within, agreeAcross, across := 0, 0, 0, 0
+	for u := 0; u < 100; u++ {
+		for v := u + 1; v < 100; v++ {
+			same := labels[u] == labels[v]
+			if u/25 == v/25 {
+				within++
+				if same {
+					agreeWithin++
+				}
+			} else {
+				across++
+				if same {
+					agreeAcross++
+				}
+			}
+		}
+	}
+	if frac := float64(agreeWithin) / float64(within); frac < 0.8 {
+		t.Errorf("within-block agreement = %.2f, want >= 0.8", frac)
+	}
+	if frac := float64(agreeAcross) / float64(across); frac > 0.3 {
+		t.Errorf("across-block agreement = %.2f, want <= 0.3", frac)
+	}
+}
+
+func TestLabelPropagationIsolatedNodes(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}})
+	labels := LabelPropagation(g, LabelPropagationOptions{Seed: 1})
+	if labels[0] != labels[1] {
+		t.Error("connected pair split")
+	}
+	if labels[2] == labels[3] || labels[2] == labels[0] {
+		t.Error("isolated nodes share labels")
+	}
+}
+
+func TestLabelPropagationEmpty(t *testing.T) {
+	var g graph.Graph
+	if got := LabelPropagation(&g, LabelPropagationOptions{}); len(got) != 0 {
+		t.Errorf("empty graph labels = %v", got)
+	}
+}
+
+func TestCompactLabels(t *testing.T) {
+	got := compactLabels([]int{7, 7, 3, 7, 3, 9})
+	want := []int{0, 0, 1, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("compactLabels = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNumCommunities(t *testing.T) {
+	if got := NumCommunities([]int{0, 1, 0, 2}); got != 3 {
+		t.Errorf("NumCommunities = %d, want 3", got)
+	}
+	if got := NumCommunities(nil); got != 0 {
+		t.Errorf("NumCommunities(nil) = %d, want 0", got)
+	}
+}
+
+func TestModularityKnownValues(t *testing.T) {
+	// Two disjoint K3s with the perfect partition: Q = 1 - 2·(1/2)² = 0.5.
+	b := graph.NewBuilder(6)
+	for u := 0; u < 3; u++ {
+		for v := u + 1; v < 3; v++ {
+			b.TryAddEdge(graph.NodeID(u), graph.NodeID(v))
+			b.TryAddEdge(graph.NodeID(u+3), graph.NodeID(v+3))
+		}
+	}
+	g := b.Graph()
+	perfect := []int{0, 0, 0, 1, 1, 1}
+	if got := Modularity(g, perfect); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("perfect partition Q = %v, want 0.5", got)
+	}
+	// One community holding everything: Q = 0.
+	all := []int{0, 0, 0, 0, 0, 0}
+	if got := Modularity(g, all); math.Abs(got) > 1e-9 {
+		t.Errorf("single community Q = %v, want 0", got)
+	}
+	// Empty graph.
+	var empty graph.Graph
+	if got := Modularity(&empty, nil); got != 0 {
+		t.Errorf("empty Q = %v, want 0", got)
+	}
+}
+
+func TestModularityPrefersTrueStructure(t *testing.T) {
+	g := gen.PlantedPartition(3, 20, 0.4, 0.02, 5)
+	truth := make([]int, 60)
+	for u := range truth {
+		truth[u] = u / 20
+	}
+	scrambled := make([]int, 60)
+	for u := range scrambled {
+		scrambled[u] = u % 3
+	}
+	if qt, qs := Modularity(g, truth), Modularity(g, scrambled); qt <= qs {
+		t.Errorf("true partition Q = %v not above scrambled Q = %v", qt, qs)
+	}
+}
+
+func TestSameCommunityPairs(t *testing.T) {
+	pairs := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 3}}
+	labels := []int{0, 0, 1, 0}
+	got := SameCommunityPairs(pairs, labels)
+	if len(got) != 2 {
+		t.Fatalf("got %v, want 2 pairs", got)
+	}
+	if got[0] != (graph.Edge{U: 0, V: 1}) || got[1] != (graph.Edge{U: 0, V: 3}) {
+		t.Errorf("wrong pairs: %v", got)
+	}
+}
+
+func TestLabelPropagationDeterministic(t *testing.T) {
+	g := gen.PlantedPartition(3, 15, 0.4, 0.02, 9)
+	a := LabelPropagation(g, LabelPropagationOptions{Seed: 10})
+	b := LabelPropagation(g, LabelPropagationOptions{Seed: 10})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different labels")
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package community_test
+
+import (
+	"fmt"
+
+	"edgeshed/internal/community"
+	"edgeshed/internal/graph"
+)
+
+// ExampleLabelPropagation detects the two cliques of a barbell graph.
+func ExampleLabelPropagation() {
+	b := graph.NewBuilder(8)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.TryAddEdge(graph.NodeID(u), graph.NodeID(v))
+			b.TryAddEdge(graph.NodeID(u+4), graph.NodeID(v+4))
+		}
+	}
+	b.TryAddEdge(0, 4) // the bar
+	g := b.Graph()
+	labels := community.LabelPropagation(g, community.LabelPropagationOptions{Seed: 1})
+	fmt.Println("communities:", community.NumCommunities(labels))
+	fmt.Printf("modularity: %.2f\n", community.Modularity(g, labels))
+	// Output:
+	// communities: 2
+	// modularity: 0.42
+}

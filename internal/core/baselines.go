@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"edgeshed/internal/graph"
+)
+
+// This file provides the classic simplification-based reduction baselines
+// from the graph-sampling literature the paper situates itself in (Hu & Lau
+// survey, reference [13]). They give the evaluation a floor beyond uniform
+// Random: a topology-biased sampler (ForestFire), a connectivity-first
+// sampler (SpanningForest) and an importance-weighted sampler
+// (WeightedSample).
+
+// ForestFire sheds edges by Leskovec-style forest-fire node burning: random
+// seeds ignite BFS fires whose spread is geometric with the forward-burning
+// probability, and the reduced graph keeps edges between burned nodes until
+// the edge budget [p·|E|] is filled.
+type ForestFire struct {
+	// BurnProb is the forward-burning probability in (0, 1); 0 means the
+	// literature default 0.7.
+	BurnProb float64
+	// Seed drives seeding and spread.
+	Seed int64
+}
+
+// Name implements Reducer.
+func (ForestFire) Name() string { return "ForestFire" }
+
+func (f ForestFire) burnProb() float64 {
+	if f.BurnProb <= 0 || f.BurnProb >= 1 {
+		return 0.7
+	}
+	return f.BurnProb
+}
+
+// Reduce implements Reducer.
+func (f ForestFire) Reduce(g *graph.Graph, p float64) (*Result, error) {
+	if err := checkP(p); err != nil {
+		return nil, err
+	}
+	tgt := targetEdges(g, p)
+	if tgt >= g.NumEdges() {
+		return newResult(g, p, g.Edges())
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+	pf := f.burnProb()
+	n := g.NumNodes()
+	burned := make([]bool, n)
+	taken := make(map[graph.Edge]struct{}, tgt)
+	edges := make([]graph.Edge, 0, tgt)
+	takeIncident := func(u graph.NodeID) {
+		for _, v := range g.Neighbors(u) {
+			if !burned[v] || len(edges) >= tgt {
+				continue
+			}
+			e := graph.Edge{U: u, V: v}.Canonical()
+			if _, dup := taken[e]; dup {
+				continue
+			}
+			taken[e] = struct{}{}
+			edges = append(edges, e)
+		}
+	}
+	var queue []graph.NodeID
+	for len(edges) < tgt {
+		// Ignite a fresh unburned seed; if all nodes are burned, restart the
+		// burn state but keep collected edges.
+		seed := graph.NodeID(rng.Intn(n))
+		for tries := 0; burned[seed] && tries < 4*n; tries++ {
+			seed = graph.NodeID(rng.Intn(n))
+		}
+		if burned[seed] {
+			for i := range burned {
+				burned[i] = false
+			}
+		}
+		burned[seed] = true
+		queue = append(queue[:0], seed)
+		for head := 0; head < len(queue) && len(edges) < tgt; head++ {
+			u := queue[head]
+			takeIncident(u)
+			// Geometric number of neighbors to burn: mean pf/(1-pf).
+			burnCount := 0
+			for rng.Float64() < pf {
+				burnCount++
+			}
+			nb := g.Neighbors(u)
+			for i := 0; i < burnCount && i < len(nb); i++ {
+				v := nb[rng.Intn(len(nb))]
+				if !burned[v] {
+					burned[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return newResult(g, p, edges)
+}
+
+// SpanningForest sheds edges while preserving connectivity first: it keeps
+// a random spanning forest of every component (so reachability survives
+// whenever the budget allows), then fills the remaining budget with uniform
+// random extra edges. When the budget is below |V| − #components the forest
+// itself is truncated at random.
+type SpanningForest struct {
+	// Seed drives both the forest and the filler sample.
+	Seed int64
+}
+
+// Name implements Reducer.
+func (SpanningForest) Name() string { return "SpanningForest" }
+
+// Reduce implements Reducer.
+func (s SpanningForest) Reduce(g *graph.Graph, p float64) (*Result, error) {
+	if err := checkP(p); err != nil {
+		return nil, err
+	}
+	tgt := targetEdges(g, p)
+	m := g.NumEdges()
+	if tgt >= m {
+		return newResult(g, p, g.Edges())
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	perm := rng.Perm(m)
+	uf := newUnionFind(g.NumNodes())
+	var forest, rest []graph.Edge
+	for _, i := range perm {
+		e := g.Edges()[i]
+		if uf.union(e.U, e.V) {
+			forest = append(forest, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	var edges []graph.Edge
+	if tgt <= len(forest) {
+		edges = forest[:tgt]
+	} else {
+		edges = append(edges, forest...)
+		edges = append(edges, rest[:tgt-len(forest)]...)
+	}
+	return newResult(g, p, edges)
+}
+
+// unionFind is a path-compressing disjoint-set forest over dense node ids.
+type unionFind struct {
+	parent []graph.NodeID
+	rank   []int8
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]graph.NodeID, n), rank: make([]int8, n)}
+	for i := range uf.parent {
+		uf.parent[i] = graph.NodeID(i)
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x graph.NodeID) graph.NodeID {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b, reporting whether they were distinct.
+func (uf *unionFind) union(a, b graph.NodeID) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	return true
+}
+
+// WeightedSample sheds edges by weighted sampling without replacement
+// (Efraimidis–Spirakis keys): each edge's weight favors the edges of
+// low-degree endpoints, protecting leaves that uniform sampling would
+// orphan. With Alpha = 0 it degenerates to uniform Random.
+type WeightedSample struct {
+	// Alpha is the protection exponent: weight = (deg(u)·deg(v))^(−Alpha).
+	// 0 means 0.5.
+	Alpha float64
+	// Seed drives the sample.
+	Seed int64
+}
+
+// Name implements Reducer.
+func (WeightedSample) Name() string { return "WeightedSample" }
+
+func (w WeightedSample) alpha() float64 {
+	if w.Alpha == 0 {
+		return 0.5
+	}
+	return w.Alpha
+}
+
+// Reduce implements Reducer.
+func (w WeightedSample) Reduce(g *graph.Graph, p float64) (*Result, error) {
+	if err := checkP(p); err != nil {
+		return nil, err
+	}
+	tgt := targetEdges(g, p)
+	m := g.NumEdges()
+	if tgt >= m {
+		return newResult(g, p, g.Edges())
+	}
+	rng := rand.New(rand.NewSource(w.Seed))
+	alpha := w.alpha()
+	type keyed struct {
+		e   graph.Edge
+		key float64
+	}
+	keys := make([]keyed, m)
+	for i, e := range g.Edges() {
+		weight := math.Pow(float64(g.Degree(e.U))*float64(g.Degree(e.V)), -alpha)
+		// Efraimidis–Spirakis: key = U^(1/w); larger keys win.
+		keys[i] = keyed{e: e, key: math.Pow(rng.Float64(), 1/weight)}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].key > keys[j].key })
+	edges := make([]graph.Edge, tgt)
+	for i := 0; i < tgt; i++ {
+		edges[i] = keys[i].e
+	}
+	return newResult(g, p, edges)
+}

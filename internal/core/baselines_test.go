@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+)
+
+func allBaselines() []Reducer {
+	return []Reducer{
+		ForestFire{Seed: 1},
+		SpanningForest{Seed: 2},
+		WeightedSample{Seed: 3},
+	}
+}
+
+func TestBaselineNames(t *testing.T) {
+	want := []string{"ForestFire", "SpanningForest", "WeightedSample"}
+	for i, r := range allBaselines() {
+		if r.Name() != want[i] {
+			t.Errorf("baseline %d name = %q, want %q", i, r.Name(), want[i])
+		}
+	}
+}
+
+func TestBaselinesProduceValidSubgraphs(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 5)
+	for _, r := range allBaselines() {
+		for _, p := range []float64{0.2, 0.5, 0.8} {
+			res, err := r.Reduce(g, p)
+			if err != nil {
+				t.Fatalf("%s p=%v: %v", r.Name(), p, err)
+			}
+			if err := res.Reduced.Validate(); err != nil {
+				t.Errorf("%s p=%v: invalid: %v", r.Name(), p, err)
+			}
+			for _, e := range res.Reduced.Edges() {
+				if !g.HasEdge(e.U, e.V) {
+					t.Fatalf("%s: foreign edge %v", r.Name(), e)
+				}
+			}
+		}
+	}
+}
+
+func TestBaselinesRejectBadP(t *testing.T) {
+	g := gen.Cycle(10)
+	for _, r := range allBaselines() {
+		for _, p := range []float64{0, 1, math.NaN()} {
+			if _, err := r.Reduce(g, p); err == nil {
+				t.Errorf("%s accepted p = %v", r.Name(), p)
+			}
+		}
+	}
+}
+
+func TestBaselineEdgeCounts(t *testing.T) {
+	// ForestFire, SpanningForest and WeightedSample all hit the exact [P]
+	// budget on connected graphs.
+	g := gen.BarabasiAlbert(150, 3, 7)
+	for _, r := range allBaselines() {
+		res, err := r.Reduce(g, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(math.Round(0.4 * float64(g.NumEdges())))
+		if got := res.Reduced.NumEdges(); got != want {
+			t.Errorf("%s: |E'| = %d, want %d", r.Name(), got, want)
+		}
+	}
+}
+
+func TestSpanningForestPreservesConnectivity(t *testing.T) {
+	// With budget >= |V|-1 on a connected graph, the reduction must remain
+	// connected.
+	g := gen.BarabasiAlbert(100, 3, 9) // |E| ≈ 294, |V|-1 = 99
+	res, err := (SpanningForest{Seed: 4}).Reduce(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !connected(res.Reduced) {
+		t.Error("SpanningForest reduction disconnected despite sufficient budget")
+	}
+}
+
+// connected reports whether all nodes are reachable from node 0.
+func connected(g *graph.Graph) bool {
+	if g.NumNodes() == 0 {
+		return true
+	}
+	seen := make([]bool, g.NumNodes())
+	queue := []graph.NodeID{0}
+	seen[0] = true
+	count := 1
+	for head := 0; head < len(queue); head++ {
+		for _, w := range g.Neighbors(queue[head]) {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				queue = append(queue, w)
+			}
+		}
+	}
+	return count == g.NumNodes()
+}
+
+func TestSpanningForestTruncatedBudget(t *testing.T) {
+	// Budget below |V|-1: the forest itself is truncated, count still exact.
+	g := gen.Cycle(100) // 100 edges; p=0.5 -> 50 < 99
+	res, err := (SpanningForest{Seed: 5}).Reduce(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reduced.NumEdges() != 50 {
+		t.Errorf("|E'| = %d, want 50", res.Reduced.NumEdges())
+	}
+}
+
+func TestWeightedSampleProtectsLeaves(t *testing.T) {
+	// A star with a clique attached: weighted sampling with high alpha keeps
+	// more leaf edges (low degree product) than uniform sampling does on
+	// average.
+	b := graph.NewBuilder(40)
+	for v := 1; v < 20; v++ {
+		b.TryAddEdge(0, graph.NodeID(v)) // star: deg product 19*1
+	}
+	for u := 20; u < 40; u++ {
+		for v := u + 1; v < 40; v++ {
+			b.TryAddEdge(graph.NodeID(u), graph.NodeID(v)) // clique: high degrees
+		}
+	}
+	g := b.Graph()
+	leafEdges := func(res *Result) int {
+		n := 0
+		for _, e := range res.Reduced.Edges() {
+			if e.U == 0 {
+				n++
+			}
+		}
+		return n
+	}
+	var weighted, uniform int
+	for seed := int64(0); seed < 10; seed++ {
+		wRes, err := (WeightedSample{Alpha: 1.5, Seed: seed}).Reduce(g, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uRes, err := (Random{Seed: seed}).Reduce(g, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weighted += leafEdges(wRes)
+		uniform += leafEdges(uRes)
+	}
+	if weighted <= uniform {
+		t.Errorf("weighted kept %d leaf edges vs uniform %d; want more", weighted, uniform)
+	}
+}
+
+func TestForestFireLocality(t *testing.T) {
+	// Forest fire burns locally: the edges it keeps should form far fewer
+	// connected pieces than a uniform sample of the same size on a sparse
+	// graph.
+	g := gen.ErdosRenyi(400, 800, 11)
+	ff, err := (ForestFire{Seed: 12}).Reduce(g, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := (Random{Seed: 12}).Reduce(g, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf, cr := activeComponents(ff.Reduced), activeComponents(rnd.Reduced); cf >= cr {
+		t.Errorf("forest fire pieces = %d, uniform pieces = %d; want fewer", cf, cr)
+	}
+}
+
+// activeComponents counts connected components among non-isolated nodes.
+func activeComponents(g *graph.Graph) int {
+	seen := make([]bool, g.NumNodes())
+	count := 0
+	var queue []graph.NodeID
+	for s := 0; s < g.NumNodes(); s++ {
+		if seen[s] || g.Degree(graph.NodeID(s)) == 0 {
+			continue
+		}
+		count++
+		seen[s] = true
+		queue = append(queue[:0], graph.NodeID(s))
+		for head := 0; head < len(queue); head++ {
+			for _, w := range g.Neighbors(queue[head]) {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(6)
+	if !uf.union(0, 1) || !uf.union(2, 3) {
+		t.Fatal("fresh unions reported as duplicates")
+	}
+	if uf.union(1, 0) {
+		t.Error("duplicate union reported as fresh")
+	}
+	if uf.find(0) != uf.find(1) {
+		t.Error("0 and 1 not merged")
+	}
+	if uf.find(0) == uf.find(2) {
+		t.Error("separate sets share a root")
+	}
+	uf.union(1, 3)
+	if uf.find(0) != uf.find(2) {
+		t.Error("transitive merge failed")
+	}
+	if uf.find(4) == uf.find(5) {
+		t.Error("untouched elements merged")
+	}
+}
+
+func TestBaselinesDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.BarabasiAlbert(80, 2, seed)
+		for _, mk := range []func(int64) Reducer{
+			func(s int64) Reducer { return ForestFire{Seed: s} },
+			func(s int64) Reducer { return SpanningForest{Seed: s} },
+			func(s int64) Reducer { return WeightedSample{Seed: s} },
+		} {
+			a, err := mk(seed).Reduce(g, 0.5)
+			if err != nil {
+				return false
+			}
+			b, err := mk(seed).Reduce(g, 0.5)
+			if err != nil {
+				return false
+			}
+			ae, be := a.Reduced.Edges(), b.Reduced.Edges()
+			if len(ae) != len(be) {
+				return false
+			}
+			for i := range ae {
+				if ae[i] != be[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegreePreservingBeatsAllBaselinesOnDelta(t *testing.T) {
+	// The paper's thesis extended: CRR and BM2 beat every simplification
+	// baseline on the degree-discrepancy objective.
+	g := gen.ConfigurationModel(gen.PowerLawDegrees(400, 2.2, 1, 50, 31), 32)
+	p := 0.5
+	crr, err := (CRR{Seed: 1}).Reduce(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm2, err := (BM2{}).Reduce(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range allBaselines() {
+		res, err := r.Reduce(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if crr.Delta() >= res.Delta() {
+			t.Errorf("CRR Δ=%v not better than %s Δ=%v", crr.Delta(), r.Name(), res.Delta())
+		}
+		if bm2.Delta() >= res.Delta() {
+			t.Errorf("BM2 Δ=%v not better than %s Δ=%v", bm2.Delta(), r.Name(), res.Delta())
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/matching"
+)
+
+// Rounding selects how BM2 turns fractional expected degrees into integer
+// b-matching capacities (Algorithm 2 line 3). The paper rounds to the
+// nearest integer; the half-to-even variant exists for the ablation study.
+type Rounding int
+
+const (
+	// RoundHalfUp rounds .5 away from zero (math.Round), the paper's rule:
+	// an expected degree of 0.6 becomes capacity 1.
+	RoundHalfUp Rounding = iota
+	// RoundHalfEven rounds .5 to the nearest even integer, removing the
+	// systematic upward bias of half-up on .5-heavy degree sequences.
+	RoundHalfEven
+)
+
+// apply rounds x under the selected rule.
+func (r Rounding) apply(x float64) int {
+	if r == RoundHalfEven {
+		return int(math.RoundToEven(x))
+	}
+	return int(math.Round(x))
+}
+
+// BM2 is B-Matching with Bipartite Matching (Algorithms 2 and 3).
+//
+// Phase 1 rounds each node's expected degree p·deg_G(u) to an integer
+// capacity and greedily computes a maximal b-matching under those
+// capacities. Phase 2 classifies nodes by their degree discrepancy into
+// groups A (dis ≤ −0.5), B (−0.5 < dis < 0) and C (dis ≥ 0), builds a
+// bipartite graph of still-shed A–B edges weighted by the Δ-gain of adding
+// them (Lemma 1), and greedily matches it with dynamic re-weighting
+// (Algorithm 3).
+type BM2 struct {
+	// Rounding is the capacity rounding rule; the zero value is the paper's
+	// round-half-up.
+	Rounding Rounding
+	// DropZeroGain discards gain = 0 edges from the bipartite graph instead
+	// of keeping them ("it can be selected or discarded according to user's
+	// preference", Example 2). The default keeps them, matching Algorithm 2
+	// line 20 (gain >= 0).
+	DropZeroGain bool
+	// Order is the edge scan order for Phase 1's greedy b-matching; the zero
+	// value is the paper's input-order scan.
+	Order matching.EdgeOrder
+}
+
+// Name implements Reducer.
+func (BM2) Name() string { return "BM2" }
+
+// Reduce implements Reducer.
+func (b BM2) Reduce(g *graph.Graph, p float64) (*Result, error) {
+	if err := checkP(p); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+
+	// Phase 1 (Algorithm 2 lines 1-7): rounded capacities, greedy maximal
+	// b-matching.
+	caps := make([]int, n)
+	for u := 0; u < n; u++ {
+		caps[u] = b.Rounding.apply(p * float64(g.Degree(graph.NodeID(u))))
+	}
+	bm, err := matching.GreedyBMatching(g, caps, b.Order)
+	if err != nil {
+		return nil, err
+	}
+	selected := append([]graph.Edge(nil), bm.Edges...)
+	inSelected := make(map[graph.Edge]struct{}, len(selected))
+	for _, e := range selected {
+		inSelected[e.Canonical()] = struct{}{}
+	}
+
+	// Degree discrepancies after Phase 1 (lines 8-16). Group membership is
+	// implied by the dis value; only A and B matter below.
+	dis := make([]float64, n)
+	for u := 0; u < n; u++ {
+		dis[u] = float64(bm.Degrees[u]) - p*float64(g.Degree(graph.NodeID(u)))
+	}
+	inA := func(u graph.NodeID) bool { return dis[u] <= -0.5 }
+	inB := func(u graph.NodeID) bool { return dis[u] > -0.5 && dis[u] < 0 }
+
+	// Build the weighted bipartite graph G* over still-shed A–B edges
+	// (lines 17-24). Edges are oriented (a ∈ A, b ∈ B).
+	gain := func(a, bb graph.NodeID) float64 {
+		return math.Abs(dis[a]) + 2*math.Abs(dis[bb]) - math.Abs(dis[a]+1) - 1
+	}
+	type bpEdge struct{ a, b graph.NodeID }
+	var q matching.PQ[bpEdge]
+	adjA := make(map[graph.NodeID][]*matching.Handle[bpEdge])
+	adjB := make(map[graph.NodeID][]*matching.Handle[bpEdge])
+	for _, e := range g.Edges() {
+		if _, ok := inSelected[e]; ok {
+			continue
+		}
+		var a, bb graph.NodeID
+		switch {
+		case inA(e.U) && inB(e.V):
+			a, bb = e.U, e.V
+		case inA(e.V) && inB(e.U):
+			a, bb = e.V, e.U
+		default:
+			continue
+		}
+		w := gain(a, bb)
+		if w < 0 || (w == 0 && b.DropZeroGain) {
+			continue
+		}
+		h := q.Push(bpEdge{a, bb}, w)
+		adjA[a] = append(adjA[a], h)
+		adjB[bb] = append(adjB[bb], h)
+	}
+
+	// Algorithm 3: pop best edges, update discrepancies, re-weight.
+	for {
+		e, _, ok := q.Pop()
+		if !ok {
+			break
+		}
+		selected = append(selected, graph.Edge{U: e.a, V: e.b}.Canonical())
+		// b joins group C (dis > 0): drop it and all its edges (line 6).
+		dis[e.b]++
+		for _, h := range adjB[e.b] {
+			q.Remove(h)
+		}
+		delete(adjB, e.b)
+		// Update a (line 7) and branch on its new discrepancy.
+		dis[e.a]++
+		switch {
+		case dis[e.a] <= -1:
+			// Lemma 2 region: gains of a's edges are unchanged.
+		case dis[e.a] <= -0.5:
+			// a stays in group A but its gains shift (lines 8-14). The
+			// algorithm states the open interval (−1, −0.5); at exactly
+			// −0.5 the node is still in A per the group definition, so we
+			// re-weight there too.
+			live := adjA[e.a][:0]
+			for _, h := range adjA[e.a] {
+				if !h.Valid() {
+					continue
+				}
+				w := gain(e.a, h.Value.b)
+				if w > 0 {
+					q.Update(h, w)
+					live = append(live, h)
+				} else {
+					q.Remove(h)
+				}
+			}
+			adjA[e.a] = live
+		default:
+			// dis(a) > −0.5: a left group A; drop its edges (lines 15-17).
+			for _, h := range adjA[e.a] {
+				q.Remove(h)
+			}
+			delete(adjA, e.a)
+		}
+	}
+	return newResult(g, p, selected)
+}

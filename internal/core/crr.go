@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"edgeshed/internal/centrality"
+	"edgeshed/internal/graph"
+)
+
+// DefaultStepsFactor is the paper's recommended x in steps = [x·P]: Figure 4
+// shows quality flattening past x = 10.
+const DefaultStepsFactor = 10
+
+// Importance selects the edge-importance function for CRR Phase 1. The
+// paper argues for betweenness centrality; the alternatives exist for the
+// DESIGN.md §5.6 ablation that tests that argument.
+type Importance int
+
+const (
+	// ImportanceBetweenness ranks edges by betweenness centrality, the
+	// paper's choice (Algorithm 1 line 3).
+	ImportanceBetweenness Importance = iota
+	// ImportanceDegreeProduct ranks edges by deg(u)·deg(v), a cheap local
+	// proxy for structural importance.
+	ImportanceDegreeProduct
+	// ImportanceRandom ranks edges uniformly at random, isolating Phase 2's
+	// contribution from any Phase 1 signal.
+	ImportanceRandom
+)
+
+// String implements fmt.Stringer.
+func (im Importance) String() string {
+	switch im {
+	case ImportanceBetweenness:
+		return "betweenness"
+	case ImportanceDegreeProduct:
+		return "degree-product"
+	case ImportanceRandom:
+		return "random"
+	}
+	return fmt.Sprintf("Importance(%d)", int(im))
+}
+
+// CRR is Centrality Ranking with Rewiring (Algorithm 1).
+//
+// Phase 1 computes edge betweenness centrality, ranks all edges and keeps
+// the top [p·|E|]. Phase 2 performs `steps` random edge-replacement attempts,
+// each swapping a kept edge for a shed one when that strictly reduces the
+// total degree discrepancy Δ.
+type CRR struct {
+	// Steps is the number of rewiring iterations. 0 means the paper default
+	// [StepsFactor·P]; a negative value disables Phase 2 entirely (pure
+	// centrality ranking).
+	Steps int
+	// StepsFactor is x in steps = [x·P], used only when Steps == 0. 0 means
+	// DefaultStepsFactor.
+	StepsFactor float64
+	// Importance selects the Phase 1 edge-importance function; the zero
+	// value is the paper's betweenness centrality.
+	Importance Importance
+	// Betweenness configures the Phase 1 centrality computation (used only
+	// with ImportanceBetweenness); the zero value is exact Brandes on all
+	// sources.
+	Betweenness centrality.Options
+	// Seed drives tie-shuffling of equal-centrality edges ("edges of the
+	// same importance are selected randomly") and the Phase 2 edge picks.
+	Seed int64
+	// AdaptiveStop, when positive, ends Phase 2 early once the acceptance
+	// rate over the trailing adaptiveWindow attempts falls below this
+	// fraction — rewiring budget goes where it still helps. 0 keeps the
+	// paper's fixed step count.
+	AdaptiveStop float64
+}
+
+// adaptiveWindow is the trailing-attempt window for AdaptiveStop.
+const adaptiveWindow = 256
+
+// Name implements Reducer.
+func (CRR) Name() string { return "CRR" }
+
+// steps resolves the iteration count for a target of tgt kept edges.
+func (c CRR) steps(tgt int) int {
+	if c.Steps < 0 {
+		return 0
+	}
+	if c.Steps > 0 {
+		return c.Steps
+	}
+	factor := c.StepsFactor
+	if factor <= 0 {
+		factor = DefaultStepsFactor
+	}
+	return int(math.Round(factor * float64(tgt)))
+}
+
+// Reduce implements Reducer.
+func (c CRR) Reduce(g *graph.Graph, p float64) (*Result, error) {
+	return c.reduce(g, p, nil)
+}
+
+// Sweep reduces g at every ratio in ps, computing the Phase 1 edge
+// importances once and reusing them — the expensive part of CRR is the
+// betweenness computation, which does not depend on p. Results align with
+// ps.
+func (c CRR) Sweep(g *graph.Graph, ps []float64) ([]*Result, error) {
+	for _, p := range ps {
+		if err := checkP(p); err != nil {
+			return nil, err
+		}
+	}
+	scores := c.edgeImportance(g)
+	out := make([]*Result, len(ps))
+	for i, p := range ps {
+		res, err := c.reduce(g, p, scores)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// reduce runs CRR with optionally precomputed Phase 1 scores.
+func (c CRR) reduce(g *graph.Graph, p float64, scores []float64) (*Result, error) {
+	if err := checkP(p); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	tgt := targetEdges(g, p)
+	m := g.NumEdges()
+	if tgt >= m {
+		return newResult(g, p, g.Edges())
+	}
+
+	// Phase 1 (lines 1-6): rank all edges by importance and keep the top
+	// [P]. Shuffling before the stable sort realizes the paper's random
+	// selection among equal-importance edges.
+	if scores == nil {
+		scores = c.edgeImportance(g)
+	}
+	order := rng.Perm(m)
+	sort.SliceStable(order, func(i, j int) bool {
+		return scores[order[i]] > scores[order[j]]
+	})
+	all := g.Edges()
+	// kept[:tgt] is E', kept[tgt:] is E \ E'. Swaps exchange positions
+	// across the boundary, keeping |E'| = [P] invariant (the paper's
+	// expected-average-degree guarantee).
+	kept := make([]graph.Edge, m)
+	for i, oi := range order {
+		kept[i] = all[oi]
+	}
+
+	// dis bookkeeping: dis(u) = degKept(u) − p·deg_G(u).
+	degKept := make([]int, g.NumNodes())
+	for _, e := range kept[:tgt] {
+		degKept[e.U]++
+		degKept[e.V]++
+	}
+	dis := func(u graph.NodeID) float64 {
+		return float64(degKept[u]) - p*float64(g.Degree(u))
+	}
+
+	// Phase 2 (lines 7-13): random replacement attempts. For disjoint edge
+	// pairs the criterion below equals the paper's d1 + d2; when e1 and e2
+	// share an endpoint it evaluates the true Δ change, which the paper's
+	// independent formulas slightly misstate.
+	if tgt > 0 && tgt < m {
+		steps := c.steps(tgt)
+		accepted, window := 0, 0
+		for i := 0; i < steps; i++ {
+			ki := rng.Intn(tgt)          // e1 ∈ E'
+			si := tgt + rng.Intn(m-tgt)  // e2 ∈ E \ E'
+			e1, e2 := kept[ki], kept[si] // remove e1, add e2
+			d := deltaChange(dis, e1, e2)
+			if d < 0 {
+				kept[ki], kept[si] = e2, e1
+				degKept[e1.U]--
+				degKept[e1.V]--
+				degKept[e2.U]++
+				degKept[e2.V]++
+				accepted++
+			}
+			if c.AdaptiveStop > 0 {
+				window++
+				if window == adaptiveWindow {
+					if float64(accepted)/float64(window) < c.AdaptiveStop {
+						break
+					}
+					accepted, window = 0, 0
+				}
+			}
+		}
+	}
+	return newResult(g, p, kept[:tgt])
+}
+
+// edgeImportance computes the Phase 1 ranking scores, aligned with
+// g.Edges().
+func (c CRR) edgeImportance(g *graph.Graph) []float64 {
+	switch c.Importance {
+	case ImportanceDegreeProduct:
+		scores := make([]float64, g.NumEdges())
+		for i, e := range g.Edges() {
+			scores[i] = float64(g.Degree(e.U)) * float64(g.Degree(e.V))
+		}
+		return scores
+	case ImportanceRandom:
+		// All-equal scores: the pre-sort shuffle supplies the randomness.
+		return make([]float64, g.NumEdges())
+	default:
+		bopt := c.Betweenness
+		if bopt.Seed == 0 {
+			bopt.Seed = c.Seed + 1
+		}
+		return centrality.EdgeBetweenness(g, bopt).Scores
+	}
+}
+
+// deltaChange returns the exact change in Δ caused by removing e1 and adding
+// e2, accounting for shared endpoints.
+func deltaChange(dis func(graph.NodeID) float64, e1, e2 graph.Edge) float64 {
+	nodes := [4]graph.NodeID{e1.U, e1.V, e2.U, e2.V}
+	deltas := [4]int{-1, -1, 1, 1}
+	// Fold duplicate nodes into a single net delta.
+	for i := 2; i < 4; i++ {
+		for j := 0; j < i; j++ {
+			if nodes[i] == nodes[j] && deltas[i] != 0 {
+				deltas[j] += deltas[i]
+				deltas[i] = 0
+			}
+		}
+	}
+	var d float64
+	for i, u := range nodes {
+		if deltas[i] == 0 {
+			continue
+		}
+		du := dis(u)
+		d += math.Abs(du+float64(deltas[i])) - math.Abs(du)
+	}
+	return d
+}

@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"fmt"
+
+	"edgeshed/internal/core"
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+)
+
+// ExampleCRR demonstrates the paper's primary algorithm on a small
+// scale-free graph: shed half the edges while tracking expected degrees.
+func ExampleCRR() {
+	g := gen.BarabasiAlbert(100, 3, 1)
+	res, err := (core.CRR{Seed: 1}).Reduce(g, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("kept edges:", res.Reduced.NumEdges())
+	fmt.Printf("within Theorem 1 bound: %v\n", res.AvgDisPerNode() < core.CRRBound(g, 0.5))
+	// Output:
+	// kept edges: 147
+	// within Theorem 1 bound: true
+}
+
+// ExampleBM2 shows the b-matching based variant, which trades a little
+// accuracy for dramatic speed.
+func ExampleBM2() {
+	g := gen.BarabasiAlbert(100, 3, 1)
+	res, err := (core.BM2{}).Reduce(g, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("within Theorem 2 bound: %v\n", res.AvgDisPerNode() < core.BM2Bound(g, 0.5))
+	// No node ends a full edge above its expected degree.
+	ok := true
+	for u := 0; u < g.NumNodes(); u++ {
+		if res.Dis(graph.NodeID(u)) >= 1 {
+			ok = false
+		}
+	}
+	fmt.Println("discrepancies below +1:", ok)
+	// Output:
+	// within Theorem 2 bound: true
+	// discrepancies below +1: true
+}
+
+// ExampleResult_Delta computes the paper's quality objective for a manual
+// reduction.
+func ExampleResult_Delta() {
+	g := gen.Path(4) // 0-1-2-3
+	sub, _ := g.Subgraph([]graph.Edge{{U: 1, V: 2}})
+	res := &core.Result{Original: g, Reduced: sub, P: 0.5}
+	fmt.Printf("Δ = %.1f\n", res.Delta())
+	// Output:
+	// Δ = 1.0
+}

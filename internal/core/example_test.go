@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"edgeshed/internal/graph"
+)
+
+// paperExample reconstructs the 11-node, 11-edge running example of
+// Figures 1-3 (u1..u11 mapped to ids 0..10): u7 is the hub adjacent to
+// u1..u6 and u9; u9 also links u8, u10 and u11; u8-u10 closes the triangle.
+// With p = 0.4 the expected degrees match the figure annotations
+// (E(u7) = 2.8, E(u9) = 1.6, E(u8) = E(u10) = 0.8, leaves 0.4).
+func paperExample() *graph.Graph {
+	u := func(i int) graph.NodeID { return graph.NodeID(i - 1) }
+	var edges []graph.Edge
+	for i := 1; i <= 6; i++ {
+		edges = append(edges, graph.Edge{U: u(i), V: u(7)})
+	}
+	edges = append(edges,
+		graph.Edge{U: u(7), V: u(9)},
+		graph.Edge{U: u(8), V: u(10)},
+		graph.Edge{U: u(9), V: u(11)},
+		graph.Edge{U: u(8), V: u(9)},
+		graph.Edge{U: u(9), V: u(10)},
+	)
+	return graph.MustFromEdges(11, edges)
+}
+
+func TestPaperExampleShape(t *testing.T) {
+	g := paperExample()
+	if g.NumEdges() != 11 {
+		t.Fatalf("|E| = %d, want 11", g.NumEdges())
+	}
+	wantDeg := map[int]int{7: 7, 9: 4, 8: 2, 10: 2, 11: 1, 1: 1, 2: 1, 3: 1, 4: 1, 5: 1, 6: 1}
+	for ui, want := range wantDeg {
+		if got := g.Degree(graph.NodeID(ui - 1)); got != want {
+			t.Errorf("deg(u%d) = %d, want %d", ui, got, want)
+		}
+	}
+}
+
+func TestCRRPaperExample(t *testing.T) {
+	g := paperExample()
+	res, err := CRR{Seed: 3}.Reduce(g, 0.4)
+	if err != nil {
+		t.Fatalf("CRR: %v", err)
+	}
+	// [P] = [0.4·11] = 4 exactly (Example 1).
+	if got := res.Reduced.NumEdges(); got != 4 {
+		t.Errorf("|E'| = %d, want 4", got)
+	}
+	// The paper's final selection reaches Δ = 4.4; CRR should land at or
+	// near that optimum on this tiny instance.
+	if d := res.Delta(); d > 5.2+1e-9 {
+		t.Errorf("Δ = %v, want <= 5.2 (paper reaches 4.4)", d)
+	}
+	if err := res.Reduced.Validate(); err != nil {
+		t.Errorf("reduced graph invalid: %v", err)
+	}
+}
+
+func TestBM2PaperExample(t *testing.T) {
+	g := paperExample()
+	res, err := BM2{}.Reduce(g, 0.4)
+	if err != nil {
+		t.Fatalf("BM2: %v", err)
+	}
+	// BM2's Phase 1 may find a different maximal b-matching than the figure,
+	// but the quality and size must be comparable: the paper's run ends at
+	// |E'| = 4, Δ = 4.4.
+	if got := res.Reduced.NumEdges(); got < 3 || got > 5 {
+		t.Errorf("|E'| = %d, want 3..5", got)
+	}
+	if d := res.Delta(); d > 5.5 {
+		t.Errorf("Δ = %v, want <= 5.5 (paper reaches 4.4)", d)
+	}
+	// BM2 invariant: no node ends more than 1 above its expected degree
+	// (capacity rounding adds at most 0.5; Algorithm 3 stops adding to a
+	// node before its discrepancy passes +1).
+	for ui := 0; ui < g.NumNodes(); ui++ {
+		if dis := res.Dis(graph.NodeID(ui)); dis >= 1 {
+			t.Errorf("dis(u%d) = %v, want < 1", ui+1, dis)
+		}
+	}
+}
+
+func TestPaperExampleExpectedDegrees(t *testing.T) {
+	g := paperExample()
+	res, err := Random{Seed: 1}.Reduce(g, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 1(a) annotations.
+	want := map[int]float64{7: 2.8, 9: 1.6, 8: 0.8, 10: 0.8, 1: 0.4, 11: 0.4}
+	for ui, w := range want {
+		if got := res.ExpectedDegree(graph.NodeID(ui - 1)); math.Abs(got-w) > 1e-9 {
+			t.Errorf("E(deg(u%d)) = %v, want %v", ui, got, w)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"math/rand"
+
+	"edgeshed/internal/graph"
+)
+
+// Random sheds edges by uniform sampling: it keeps a uniformly random subset
+// of [p·|E|] edges. It ignores both edge importance and degree
+// discrepancies, making it the natural floor any degree-preserving method
+// must beat.
+type Random struct {
+	// Seed drives the sample; equal seeds give equal reductions.
+	Seed int64
+}
+
+// Name implements Reducer.
+func (Random) Name() string { return "Random" }
+
+// Reduce implements Reducer.
+func (r Random) Reduce(g *graph.Graph, p float64) (*Result, error) {
+	if err := checkP(p); err != nil {
+		return nil, err
+	}
+	tgt := targetEdges(g, p)
+	m := g.NumEdges()
+	if tgt >= m {
+		return newResult(g, p, g.Edges())
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	perm := rng.Perm(m)[:tgt]
+	edges := make([]graph.Edge, tgt)
+	for i, pi := range perm {
+		edges[i] = g.Edges()[pi]
+	}
+	return newResult(g, p, edges)
+}

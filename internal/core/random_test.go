@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"edgeshed/internal/graph/gen"
+)
+
+func TestRandomTargetEdgeCount(t *testing.T) {
+	g := gen.ErdosRenyi(100, 300, 2)
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		res, err := Random{Seed: 3}.Reduce(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(math.Round(p * 300))
+		if got := res.Reduced.NumEdges(); got != want {
+			t.Errorf("p=%v: |E'| = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestRandomDeterministicAndSeedSensitive(t *testing.T) {
+	g := gen.ErdosRenyi(60, 150, 7)
+	a, _ := Random{Seed: 1}.Reduce(g, 0.5)
+	b, _ := Random{Seed: 1}.Reduce(g, 0.5)
+	c, _ := Random{Seed: 2}.Reduce(g, 0.5)
+	same := func(x, y *Result) bool {
+		xe, ye := x.Reduced.Edges(), y.Reduced.Edges()
+		if len(xe) != len(ye) {
+			return false
+		}
+		for i := range xe {
+			if xe[i] != ye[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Error("same seed produced different samples")
+	}
+	if same(a, c) {
+		t.Error("different seeds produced identical samples")
+	}
+}
+
+func TestRandomIsSubgraph(t *testing.T) {
+	g := gen.BarabasiAlbert(80, 3, 9)
+	res, err := Random{Seed: 4}.Reduce(g, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Reduced.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v not in original", e)
+		}
+	}
+}
+
+func TestRandomExpectedDisNearZeroMean(t *testing.T) {
+	// Uniform sampling keeps E[deg'] = p·deg exactly in expectation, so the
+	// signed mean discrepancy across nodes is ~0 (though |dis| is not).
+	g := gen.BarabasiAlbert(500, 4, 10)
+	res, err := Random{Seed: 11}.Reduce(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var signed float64
+	for u := 0; u < g.NumNodes(); u++ {
+		signed += res.Dis(int32(u))
+	}
+	mean := signed / float64(g.NumNodes())
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("mean signed dis = %v, want ~0", mean)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"edgeshed/internal/graph/gen"
+)
+
+func TestTargetedCRRKeepsEdgeBudget(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 41)
+	for _, p := range []float64{0.2, 0.5, 0.8} {
+		res, err := (TargetedCRR{Seed: 1}).Reduce(g, p)
+		if err != nil {
+			t.Fatalf("p=%v: %v", p, err)
+		}
+		want := int(math.Round(p * float64(g.NumEdges())))
+		if got := res.Reduced.NumEdges(); got != want {
+			t.Errorf("p=%v: |E'| = %d, want %d", p, got, want)
+		}
+		if err := res.Reduced.Validate(); err != nil {
+			t.Errorf("p=%v: invalid: %v", p, err)
+		}
+	}
+}
+
+func TestTargetedCRRQualityAtLeastPhase1(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 4, 42)
+	p := 0.4
+	phase1, err := (CRR{Seed: 2, Steps: -1}).Reduce(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targeted, err := (TargetedCRR{Seed: 2}).Reduce(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if targeted.Delta() >= phase1.Delta() {
+		t.Errorf("targeted Δ=%v not below Phase-1-only Δ=%v", targeted.Delta(), phase1.Delta())
+	}
+	// And it must respect Theorem 1's bound like the original.
+	if targeted.AvgDisPerNode() >= CRRBound(g, p) {
+		t.Errorf("targeted broke the CRR bound: %v >= %v", targeted.AvgDisPerNode(), CRRBound(g, p))
+	}
+}
+
+func TestTargetedCRRCompetitiveWithRandomRewiring(t *testing.T) {
+	// The extension's selling point: with far fewer iterations than [10·P]
+	// random attempts, targeted repair reaches comparable (or better) Δ.
+	g := gen.ConfigurationModel(gen.PowerLawDegrees(400, 2.2, 1, 50, 43), 44)
+	p := 0.5
+	random, err := (CRR{Seed: 3}).Reduce(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targeted, err := (TargetedCRR{Seed: 3}).Reduce(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if targeted.Delta() > random.Delta()*1.3 {
+		t.Errorf("targeted Δ=%v much worse than random-rewiring Δ=%v", targeted.Delta(), random.Delta())
+	}
+}
+
+func TestTargetedCRRDeterministic(t *testing.T) {
+	g := gen.ErdosRenyi(100, 250, 45)
+	a, err := (TargetedCRR{Seed: 4}).Reduce(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (TargetedCRR{Seed: 4}).Reduce(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, be := a.Reduced.Edges(), b.Reduced.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatal("same seed, different reductions")
+		}
+	}
+}
+
+func TestTargetedCRRTrivialCases(t *testing.T) {
+	g := gen.Cycle(10)
+	res, err := (TargetedCRR{Seed: 1}).Reduce(g, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reduced.NumEdges() != 10 {
+		t.Errorf("p≈1 |E'| = %d, want all 10", res.Reduced.NumEdges())
+	}
+	if _, err := (TargetedCRR{}).Reduce(g, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	var name Reducer = TargetedCRR{}
+	if name.Name() != "TargetedCRR" {
+		t.Errorf("Name = %q", name.Name())
+	}
+}
+
+func TestTargetedCRRSubgraph(t *testing.T) {
+	g := gen.HolmeKim(150, 3, 0.5, 46)
+	res, err := (TargetedCRR{Seed: 5}).Reduce(g, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Reduced.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("foreign edge %v", e)
+		}
+	}
+}

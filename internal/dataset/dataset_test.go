@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"testing"
+
+	"edgeshed/internal/analysis"
+	"edgeshed/internal/graph"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 4 {
+		t.Fatalf("catalog has %d entries, want 4", len(cat))
+	}
+	want := []string{"ca-GrQc", "ca-HepPh", "email-Enron", "com-LiveJournal"}
+	for i, s := range cat {
+		if s.Name != want[i] {
+			t.Errorf("catalog[%d] = %q, want %q", i, s.Name, want[i])
+		}
+		if s.PaperNodes <= 0 || s.PaperEdges <= 0 {
+			t.Errorf("%s: missing paper sizes", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("ca-GrQc")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if s.PaperNodes != 5242 || s.PaperEdges != 14496 {
+		t.Errorf("ca-GrQc sizes = %d/%d, want 5242/14496", s.PaperNodes, s.PaperEdges)
+	}
+	if _, err := ByName("no-such"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestBuildScaled(t *testing.T) {
+	for _, s := range Catalog() {
+		scale := 64
+		if s.PaperNodes < 100000 {
+			scale = 8
+		}
+		g, err := s.Build(scale, s.DefaultSeed)
+		if err != nil {
+			t.Fatalf("%s: Build: %v", s.Name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: invalid graph: %v", s.Name, err)
+		}
+		wantN := s.PaperNodes / scale
+		if g.NumNodes() != wantN {
+			t.Errorf("%s: |V| = %d, want %d", s.Name, g.NumNodes(), wantN)
+		}
+		// Average degree within a factor-2 band of the paper's.
+		paperAvg := 2 * float64(s.PaperEdges) / float64(s.PaperNodes)
+		got := g.AvgDegree()
+		if got < paperAvg/2 || got > paperAvg*2 {
+			t.Errorf("%s: avg degree %.2f outside [%.2f, %.2f]", s.Name, got, paperAvg/2, paperAvg*2)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	s, _ := ByName("ca-GrQc")
+	a := s.MustBuild(8, 5)
+	b := s.MustBuild(8, 5)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed, different |E|: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("same seed, edge %d differs", i)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	s, _ := ByName("ca-GrQc")
+	if _, err := s.Build(0, 1); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := s.Build(1000000, 1); err == nil {
+		t.Error("scale that empties the graph accepted")
+	}
+}
+
+func TestHeavyTail(t *testing.T) {
+	// The email-Enron stand-in must have hubs and leaves.
+	s, _ := ByName("email-Enron")
+	g := s.MustBuild(8, s.DefaultSeed)
+	leaves, hubs := 0, 0
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.Degree(graph.NodeID(u))
+		if d <= 1 {
+			leaves++
+		}
+		if d >= 20*int(g.AvgDegree()) {
+			hubs++
+		}
+	}
+	if leaves < g.NumNodes()/10 {
+		t.Errorf("too few leaves: %d of %d", leaves, g.NumNodes())
+	}
+	if hubs == 0 {
+		t.Error("no hubs in email stand-in")
+	}
+}
+
+func TestStandInFidelity(t *testing.T) {
+	// Structural fidelity bands per DESIGN.md §2: not the real SNAP values,
+	// but the properties each stand-in is responsible for reproducing.
+	grqc, _ := ByName("ca-GrQc")
+	g := grqc.MustBuild(16, grqc.DefaultSeed)
+	if cc := analysis.AverageClustering(g); cc < 0.25 {
+		t.Errorf("ca-GrQc stand-in clustering = %.3f, want >= 0.25 (collaboration network)", cc)
+	}
+	hepph, _ := ByName("ca-HepPh")
+	g = hepph.MustBuild(16, hepph.DefaultSeed)
+	if cc := analysis.AverageClustering(g); cc < 0.1 {
+		t.Errorf("ca-HepPh stand-in clustering = %.3f, want >= 0.1", cc)
+	}
+	enron, _ := ByName("email-Enron")
+	g = enron.MustBuild(16, enron.DefaultSeed)
+	if gini := analysis.GiniDegree(g); gini < 0.5 {
+		t.Errorf("email-Enron stand-in degree gini = %.3f, want >= 0.5 (hub/leaf profile)", gini)
+	}
+	if d := analysis.ApproxDiameter(g); d < 7 {
+		t.Errorf("email-Enron stand-in diameter = %d, want >= 7 (real ~11)", d)
+	}
+}
+
+func TestNames(t *testing.T) {
+	n := Names()
+	if len(n) != 4 || n[0] != "ca-GrQc" {
+		t.Errorf("Names() = %v", n)
+	}
+}

@@ -1,0 +1,116 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KMeans clusters points into k groups with Lloyd's algorithm and k-means++
+// seeding, returning a label per point. iters caps the Lloyd rounds; 0 means
+// 50. Points must share a dimension; an empty input yields an empty result.
+func KMeans(points [][]float64, k, iters int, seed int64) []int {
+	if len(points) == 0 || k <= 0 {
+		return nil
+	}
+	if iters <= 0 {
+		iters = 50
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	dim := len(points[0])
+	rng := rand.New(rand.NewSource(seed))
+
+	centers := kmeansPlusPlus(points, k, rng)
+	labels := make([]int, len(points))
+	counts := make([]int, k)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centers {
+				if d := sqDist(p, centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		// Recompute centers.
+		for c := range centers {
+			counts[c] = 0
+			for d := 0; d < dim; d++ {
+				centers[c][d] = 0
+			}
+		}
+		for i, p := range points {
+			c := labels[i]
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				centers[c][d] += p[d]
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(centers[c], points[rng.Intn(len(points))])
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centers[c][d] /= float64(counts[c])
+			}
+		}
+	}
+	return labels
+}
+
+// kmeansPlusPlus picks k initial centers with D² weighting.
+func kmeansPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centers := make([][]float64, 0, k)
+	first := points[rng.Intn(len(points))]
+	centers = append(centers, append([]float64(nil), first...))
+	dists := make([]float64, len(points))
+	for len(centers) < k {
+		var total float64
+		for i, p := range points {
+			d := math.Inf(1)
+			for _, c := range centers {
+				if v := sqDist(p, c); v < d {
+					d = v
+				}
+			}
+			dists[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All points coincide with centers; duplicate one.
+			centers = append(centers, append([]float64(nil), points[rng.Intn(len(points))]...))
+			continue
+		}
+		r := rng.Float64() * total
+		idx := 0
+		for i, d := range dists {
+			r -= d
+			if r <= 0 {
+				idx = i
+				break
+			}
+		}
+		centers = append(centers, append([]float64(nil), points[idx]...))
+	}
+	return centers
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for d := range a {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return s
+}

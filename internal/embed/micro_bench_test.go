@@ -1,0 +1,34 @@
+package embed
+
+import (
+	"testing"
+
+	"edgeshed/internal/graph/gen"
+)
+
+func BenchmarkRandomWalks(b *testing.B) {
+	g := gen.BarabasiAlbert(5000, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RandomWalks(g, WalkConfig{WalksPerNode: 5, WalkLength: 20, Seed: 2})
+	}
+}
+
+func BenchmarkTrainSGNS(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 4, 1)
+	walks := RandomWalks(g, WalkConfig{WalksPerNode: 5, WalkLength: 20, Seed: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainSGNS(g, walks, SGNSConfig{Dim: 32, Epochs: 1, Seed: 3})
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	g := gen.PlantedPartition(5, 100, 0.2, 0.01, 1)
+	emb := Node2Vec(g, WalkConfig{WalksPerNode: 4, WalkLength: 15, Seed: 2},
+		SGNSConfig{Dim: 32, Epochs: 1, Seed: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KMeans(emb, 5, 50, 4)
+	}
+}

@@ -1,0 +1,196 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+
+	"edgeshed/internal/graph"
+)
+
+// SGNSConfig configures skip-gram-with-negative-sampling training. Zero
+// values select word2vec-style defaults.
+type SGNSConfig struct {
+	// Dim is the embedding dimension; 0 means 64.
+	Dim int
+	// Window is the skip-gram context radius; 0 means 5.
+	Window int
+	// Negatives is the number of negative samples per positive pair; 0
+	// means 5.
+	Negatives int
+	// Epochs is how many passes over the walk corpus; 0 means 2.
+	Epochs int
+	// LearningRate is the initial SGD step, decayed linearly to 1e-4 over
+	// training; 0 means 0.025.
+	LearningRate float64
+	// Seed drives initialization and negative sampling.
+	Seed int64
+}
+
+func (c SGNSConfig) dim() int {
+	if c.Dim <= 0 {
+		return 64
+	}
+	return c.Dim
+}
+
+func (c SGNSConfig) window() int {
+	if c.Window <= 0 {
+		return 5
+	}
+	return c.Window
+}
+
+func (c SGNSConfig) negatives() int {
+	if c.Negatives <= 0 {
+		return 5
+	}
+	return c.Negatives
+}
+
+func (c SGNSConfig) epochs() int {
+	if c.Epochs <= 0 {
+		return 2
+	}
+	return c.Epochs
+}
+
+func (c SGNSConfig) lr() float64 {
+	if c.LearningRate <= 0 {
+		return 0.025
+	}
+	return c.LearningRate
+}
+
+// TrainSGNS learns an embedding per node from the walk corpus. The noise
+// distribution is degree^0.75, the word2vec unigram convention.
+func TrainSGNS(g *graph.Graph, walks [][]graph.NodeID, cfg SGNSConfig) [][]float64 {
+	n := g.NumNodes()
+	dim, window, negs := cfg.dim(), cfg.window(), cfg.negatives()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Input and output vectors, initialized small-uniform as in word2vec.
+	in := make([][]float64, n)
+	out := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		in[u] = make([]float64, dim)
+		out[u] = make([]float64, dim)
+		for d := range in[u] {
+			in[u][d] = (rng.Float64() - 0.5) / float64(dim)
+		}
+	}
+
+	// Negative-sampling table over degree^0.75.
+	table := buildNoiseTable(g, 1<<17)
+	if len(table) == 0 {
+		return in
+	}
+
+	totalPairs := 0
+	for _, w := range walks {
+		totalPairs += len(w)
+	}
+	totalSteps := cfg.epochs() * totalPairs
+	step := 0
+	lr0 := cfg.lr()
+	grad := make([]float64, dim)
+
+	for epoch := 0; epoch < cfg.epochs(); epoch++ {
+		for _, walk := range walks {
+			for i, center := range walk {
+				step++
+				lr := lr0 * (1 - float64(step)/float64(totalSteps+1))
+				if lr < 1e-4 {
+					lr = 1e-4
+				}
+				lo := i - window
+				if lo < 0 {
+					lo = 0
+				}
+				hi := i + window
+				if hi >= len(walk) {
+					hi = len(walk) - 1
+				}
+				for j := lo; j <= hi; j++ {
+					if j == i {
+						continue
+					}
+					ctx := walk[j]
+					// Positive update.
+					sgdPair(in[center], out[ctx], 1, lr, grad)
+					// Negative updates.
+					for k := 0; k < negs; k++ {
+						neg := table[rng.Intn(len(table))]
+						if neg == ctx {
+							continue
+						}
+						sgdPair(in[center], out[neg], 0, lr, grad)
+					}
+					// Apply the accumulated input gradient.
+					for d := range grad {
+						in[center][d] += grad[d]
+						grad[d] = 0
+					}
+				}
+			}
+		}
+	}
+	return in
+}
+
+// sgdPair performs one logistic SGD step for (input, output) with the given
+// label, updating output in place and accumulating the input gradient.
+func sgdPair(inVec, outVec []float64, label float64, lr float64, grad []float64) {
+	var dot float64
+	for d := range inVec {
+		dot += inVec[d] * outVec[d]
+	}
+	gld := (label - sigmoid(dot)) * lr
+	for d := range inVec {
+		grad[d] += gld * outVec[d]
+		outVec[d] += gld * inVec[d]
+	}
+}
+
+func sigmoid(x float64) float64 {
+	// Clamp to avoid overflow; the gradient saturates anyway.
+	if x > 8 {
+		return 1
+	}
+	if x < -8 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// buildNoiseTable fills a sampling table proportional to degree^0.75.
+func buildNoiseTable(g *graph.Graph, size int) []graph.NodeID {
+	n := g.NumNodes()
+	weights := make([]float64, n)
+	var total float64
+	for u := 0; u < n; u++ {
+		w := math.Pow(float64(g.Degree(graph.NodeID(u))), 0.75)
+		weights[u] = w
+		total += w
+	}
+	if total == 0 {
+		return nil
+	}
+	table := make([]graph.NodeID, 0, size)
+	for u := 0; u < n; u++ {
+		count := int(weights[u] / total * float64(size))
+		for i := 0; i < count; i++ {
+			table = append(table, graph.NodeID(u))
+		}
+	}
+	// Rounding may leave the table slightly short; pad with the densest
+	// nodes to keep sampling O(1).
+	for len(table) == 0 && n > 0 {
+		table = append(table, 0)
+	}
+	return table
+}
+
+// Node2Vec runs walks and SGNS end to end with p = q = 1.
+func Node2Vec(g *graph.Graph, wc WalkConfig, sc SGNSConfig) [][]float64 {
+	return TrainSGNS(g, RandomWalks(g, wc), sc)
+}

@@ -1,0 +1,73 @@
+// Package embed provides node embeddings for the paper's link-prediction
+// task (Section V, task 7): node2vec-style random walks with p = q = 1 (the
+// paper's setting, equivalent to DeepWalk), a skip-gram-with-negative-
+// sampling trainer, and K-means for community assignment.
+package embed
+
+import (
+	"math/rand"
+
+	"edgeshed/internal/graph"
+)
+
+// WalkConfig configures random-walk generation. Zero values select the
+// conventional defaults (10 walks of length 40 per node).
+type WalkConfig struct {
+	// WalksPerNode is how many walks start from each node; 0 means 10.
+	WalksPerNode int
+	// WalkLength is the number of nodes per walk; 0 means 40.
+	WalkLength int
+	// Seed drives the walks.
+	Seed int64
+}
+
+func (c WalkConfig) walksPerNode() int {
+	if c.WalksPerNode <= 0 {
+		return 10
+	}
+	return c.WalksPerNode
+}
+
+func (c WalkConfig) walkLength() int {
+	if c.WalkLength <= 0 {
+		return 40
+	}
+	return c.WalkLength
+}
+
+// RandomWalks generates uniform random walks from every node — node2vec
+// with p = q = 1, exactly the paper's parameterization. Walks stop early at
+// isolated nodes.
+func RandomWalks(g *graph.Graph, cfg WalkConfig) [][]graph.NodeID {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := g.NumNodes()
+	wpn, wl := cfg.walksPerNode(), cfg.walkLength()
+	walks := make([][]graph.NodeID, 0, n*wpn)
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	for w := 0; w < wpn; w++ {
+		// Shuffle start order each pass, as the reference implementation
+		// does, so SGD sees nodes in varied order.
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, start := range order {
+			if g.Degree(start) == 0 {
+				continue
+			}
+			walk := make([]graph.NodeID, 1, wl)
+			walk[0] = start
+			cur := start
+			for len(walk) < wl {
+				nb := g.Neighbors(cur)
+				if len(nb) == 0 {
+					break
+				}
+				cur = nb[rng.Intn(len(nb))]
+				walk = append(walk, cur)
+			}
+			walks = append(walks, walk)
+		}
+	}
+	return walks
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// table accumulates rows and renders them with aligned columns, in the
+// plain-text style of the paper's tables.
+type table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+func newTable(title string, headers ...string) *table {
+	return &table{title: title, headers: headers}
+}
+
+func (t *table) addRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// renderMarkdown writes the table as GitHub-flavored Markdown, for pasting
+// measured results into EXPERIMENTS.md.
+func (t *table) renderMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.title)
+	}
+	b.WriteString("| " + strings.Join(t.headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.headers)) + "\n")
+	for _, row := range t.rows {
+		cells := make([]string, len(t.headers))
+		for i := range cells {
+			if i < len(row) {
+				cells[i] = row[i]
+			}
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// render writes the table with per-column alignment.
+func (t *table) render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := len(t.headers)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// fsec formats a duration as seconds with millisecond precision, the unit of
+// the paper's timing tables.
+func fsec(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// f3 formats a float with three decimals, the precision of the paper's
+// utility tables.
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// f4 formats a float with four decimals, for small distribution masses.
+func f4(x float64) string { return fmt.Sprintf("%.4f", x) }
+
+// series prints a named numeric series on one line, capped at n entries.
+func seriesLine(w io.Writer, name string, xs []float64, n int) error {
+	if n > 0 && len(xs) > n {
+		xs = xs[:n]
+	}
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = f4(x)
+	}
+	_, err := fmt.Fprintf(w, "%-10s %s\n", name, strings.Join(parts, " "))
+	return err
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFormattersStable(t *testing.T) {
+	if got := fsec(1500 * time.Millisecond); got != "1.500" {
+		t.Errorf("fsec = %q, want 1.500", got)
+	}
+	if got := f3(0.12345); got != "0.123" {
+		t.Errorf("f3 = %q", got)
+	}
+	if got := f4(0.12345); got != "0.1235" { // %.4f rounds
+		t.Errorf("f4 = %q", got)
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.00 KiB"},
+		{3 << 20, "3.00 MiB"},
+		{5 << 30, "5.00 GiB"},
+	}
+	for _, c := range cases {
+		if got := fmtBytes(c.in); got != c.want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSeriesLineCapping(t *testing.T) {
+	var buf bytes.Buffer
+	if err := seriesLine(&buf, "name", []float64{1, 2, 3, 4}, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "1.0000") != 1 || strings.Contains(out, "3.0000") {
+		t.Errorf("capping wrong: %q", out)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tbl := newTable("My Caption", "a", "b")
+	tbl.addRow("1", "2")
+	tbl.addRow("3") // ragged row: padded
+	var buf bytes.Buffer
+	if err := tbl.renderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"**My Caption**", "| a | b |", "|---|---|", "| 1 | 2 |", "| 3 |  |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigRenderDispatch(t *testing.T) {
+	tbl := newTable("T", "x")
+	tbl.addRow("1")
+	var plain, md bytes.Buffer
+	if err := (Config{Out: &plain}).render(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{Out: &md, Markdown: true}).render(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "|") {
+		t.Error("plain output contains markdown pipes")
+	}
+	if !strings.Contains(md.String(), "|") {
+		t.Error("markdown output lacks pipes")
+	}
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The binary format is a fast-reload cache for large graphs (regenerating
+// the com-LiveJournal stand-in takes far longer than re-reading it):
+//
+//	magic "ESG1" | uint32 |V| | uint32 |E| | |E| × (uint32 u, uint32 v)
+//
+// all little-endian, edges canonical and sorted as in Graph.Edges().
+
+var binaryMagic = [4]byte{'E', 'S', 'G', '1'}
+
+// WriteBinary writes g in the edgeshed binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(g.NumNodes()))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(g.NumEdges()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [8]byte
+	for _, e := range g.Edges() {
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(e.U))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(e.V))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the edgeshed binary format, validating structure as it
+// goes (magic, node range, canonical order, duplicates).
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading binary magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q, want %q", magic, binaryMagic)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading binary header: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	m := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	b := NewBuilder(n)
+	var rec [8]byte
+	for i := 0; i < m; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d of %d: %w", i, m, err)
+		}
+		u := NodeID(binary.LittleEndian.Uint32(rec[0:4]))
+		v := NodeID(binary.LittleEndian.Uint32(rec[4:8]))
+		if err := b.AddEdge(u, v); err != nil {
+			return nil, fmt.Errorf("graph: binary edge %d: %w", i, err)
+		}
+	}
+	// Reject trailing garbage: a well-formed file ends exactly here.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("graph: trailing data after %d edges", m)
+	}
+	return b.Graph(), nil
+}
+
+// WriteBinaryFile writes g to path in the binary format.
+func WriteBinaryFile(path string, g *Graph) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return WriteBinary(f, g)
+}
+
+// ReadBinaryFile reads a binary-format graph from path.
+func ReadBinaryFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := MustFromEdges(5, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 0, V: 4}})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape: got %v, want %v", g2, g)
+	}
+	for i, e := range g.Edges() {
+		if g2.Edges()[i] != e {
+			t.Errorf("edge %d: got %v, want %v", i, g2.Edges()[i], e)
+		}
+	}
+	if err := g2.Validate(); err != nil {
+		t.Errorf("round-tripped graph invalid: %v", err)
+	}
+}
+
+func TestBinaryEmptyGraph(t *testing.T) {
+	var g Graph
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, &g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 0 || g2.NumEdges() != 0 {
+		t.Errorf("empty round trip = %v", g2)
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		}},
+		{"truncated header", func(b []byte) []byte { return b[:8] }},
+		{"truncated edges", func(b []byte) []byte { return b[:len(b)-4] }},
+		{"trailing garbage", func(b []byte) []byte { return append(append([]byte(nil), b...), 0xFF) }},
+		{"empty", func(b []byte) []byte { return nil }},
+		{"out-of-range endpoint", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			// First edge's u field: set to a huge id.
+			c[12] = 0xFF
+			c[13] = 0xFF
+			c[14] = 0xFF
+			c[15] = 0x0F
+			return c
+		}},
+	}
+	for _, c := range cases {
+		if _, err := ReadBinary(bytes.NewReader(c.mutate(good))); err == nil {
+			t.Errorf("%s: corrupted input accepted", c.name)
+		}
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{U: 0, V: 3}, {U: 1, V: 2}})
+	path := filepath.Join(t.TempDir(), "g.esg")
+	if err := WriteBinaryFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 2 || !g2.HasEdge(0, 3) {
+		t.Errorf("file round trip wrong: %v", g2)
+	}
+}
+
+func TestBinaryFileMissing(t *testing.T) {
+	if _, err := ReadBinaryFile(filepath.Join(t.TempDir(), "absent.esg")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestBinaryRejectsTextFormat(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("# edge list\n1 2\n")); err == nil {
+		t.Error("text edge list accepted as binary")
+	}
+}

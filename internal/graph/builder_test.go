@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	b := NewBuilder(4)
+	if err := b.AddEdge(1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := b.AddEdge(-1, 2); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+	if err := b.AddEdge(0, 4); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if err := b.AddEdge(1, 0); err == nil {
+		t.Error("reversed duplicate accepted")
+	}
+}
+
+func TestBuilderTryAddEdge(t *testing.T) {
+	b := NewBuilder(3)
+	if !b.TryAddEdge(0, 1) {
+		t.Error("first add refused")
+	}
+	if b.TryAddEdge(1, 0) {
+		t.Error("reversed duplicate added")
+	}
+	if b.TryAddEdge(2, 2) {
+		t.Error("self-loop added")
+	}
+	if b.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", b.NumEdges())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range TryAddEdge did not panic")
+		}
+	}()
+	b.TryAddEdge(0, 3)
+}
+
+func TestBuilderGrow(t *testing.T) {
+	b := NewBuilder(2)
+	b.Grow(5)
+	if b.NumNodes() != 5 {
+		t.Errorf("NumNodes after Grow = %d, want 5", b.NumNodes())
+	}
+	b.Grow(3) // shrink is a no-op
+	if b.NumNodes() != 5 {
+		t.Errorf("NumNodes after shrinking Grow = %d, want 5", b.NumNodes())
+	}
+	if err := b.AddEdge(0, 4); err != nil {
+		t.Errorf("edge to grown node rejected: %v", err)
+	}
+}
+
+func TestZeroBuilder(t *testing.T) {
+	var b Builder
+	g := b.Graph()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Errorf("zero builder graph = %v, want empty", g)
+	}
+	b.Grow(2)
+	if !b.TryAddEdge(0, 1) {
+		t.Error("zero builder unusable after Grow")
+	}
+}
+
+func TestBuilderHasEdge(t *testing.T) {
+	b := NewBuilder(3)
+	b.TryAddEdge(2, 0)
+	if !b.HasEdge(0, 2) || !b.HasEdge(2, 0) {
+		t.Error("HasEdge misses added edge")
+	}
+	if b.HasEdge(0, 1) {
+		t.Error("HasEdge reports absent edge")
+	}
+}
+
+func TestBuilderReuseAfterGraph(t *testing.T) {
+	b := NewBuilder(3)
+	b.TryAddEdge(0, 1)
+	g1 := b.Graph()
+	b.TryAddEdge(1, 2)
+	g2 := b.Graph()
+	if g1.NumEdges() != 1 {
+		t.Errorf("g1 mutated by later builds: |E| = %d, want 1", g1.NumEdges())
+	}
+	if g2.NumEdges() != 2 {
+		t.Errorf("g2 |E| = %d, want 2", g2.NumEdges())
+	}
+}
+
+// TestBuiltGraphAlwaysValid is the central property test: any sequence of
+// TryAddEdge calls over any node count yields a graph satisfying Validate.
+func TestBuiltGraphAlwaysValid(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint16) bool {
+		n := int(nRaw)%64 + 2
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(n)
+		for i := 0; i < int(mRaw)%512; i++ {
+			b.TryAddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		g := b.Graph()
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemapper(t *testing.T) {
+	r := NewRemapper()
+	a := r.ID(1000)
+	bID := r.ID(-5)
+	a2 := r.ID(1000)
+	if a != a2 {
+		t.Errorf("same label mapped to %d then %d", a, a2)
+	}
+	if a == bID {
+		t.Error("distinct labels share a dense id")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+	if r.Label(a) != 1000 || r.Label(bID) != -5 {
+		t.Errorf("labels round-trip wrong: %d, %d", r.Label(a), r.Label(bID))
+	}
+}
+
+func TestNewBuilderNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBuilder(-1) did not panic")
+		}
+	}()
+	NewBuilder(-1)
+}

@@ -1,0 +1,53 @@
+package graph_test
+
+import (
+	"fmt"
+	"strings"
+
+	"edgeshed/internal/graph"
+)
+
+// ExampleBuilder shows basic graph construction.
+func ExampleBuilder() {
+	b := graph.NewBuilder(4)
+	b.TryAddEdge(0, 1)
+	b.TryAddEdge(1, 2)
+	b.TryAddEdge(1, 2) // duplicate, quietly ignored
+	g := b.Graph()
+	fmt.Println(g)
+	fmt.Println("deg(1) =", g.Degree(1))
+	// Output:
+	// graph{|V|=4 |E|=2}
+	// deg(1) = 2
+}
+
+// ExampleReadEdgeList parses the SNAP text format with arbitrary external
+// ids.
+func ExampleReadEdgeList() {
+	const data = `# a comment
+1000 2000
+2000 3000
+`
+	g, rm, err := graph.ReadEdgeList(strings.NewReader(data))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g)
+	fmt.Println("label of dense id 0:", rm.Label(0))
+	// Output:
+	// graph{|V|=3 |E|=2}
+	// label of dense id 0: 1000
+}
+
+// ExampleGraph_Subgraph extracts an edge-subset subgraph over the same node
+// set.
+func ExampleGraph_Subgraph() {
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	sub, err := g.Subgraph([]graph.Edge{{U: 1, V: 2}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sub)
+	// Output:
+	// graph{|V|=4 |E|=1}
+}

@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// DOTOptions configures WriteDOT.
+type DOTOptions struct {
+	// Name is the graph name in the DOT header; empty means "G".
+	Name string
+	// Highlight marks a set of edges (canonical) to render in bold — the
+	// natural way to show a reduced edge set inside its original graph,
+	// the paper's visualization use case (Figures 1-3 are drawn this way).
+	Highlight map[Edge]struct{}
+	// DropIsolated omits nodes with no incident edges.
+	DropIsolated bool
+}
+
+// WriteDOT renders g in Graphviz DOT format for visual inspection. One of
+// the paper's four motivations for graph reduction is making visualization
+// feasible; shed first, then render.
+func WriteDOT(w io.Writer, g *Graph, opt DOTOptions) error {
+	bw := bufio.NewWriter(w)
+	name := opt.Name
+	if name == "" {
+		name = "G"
+	}
+	if _, err := fmt.Fprintf(bw, "graph %q {\n  node [shape=circle];\n", name); err != nil {
+		return err
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if opt.DropIsolated && g.Degree(NodeID(u)) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "  %d;\n", u); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		attr := ""
+		if opt.Highlight != nil {
+			if _, ok := opt.Highlight[e]; ok {
+				attr = " [penwidth=3]"
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "  %d -- %d%s;\n", e.U, e.V, attr); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	var buf bytes.Buffer
+	err := WriteDOT(&buf, g, DOTOptions{
+		Name:      "test",
+		Highlight: map[Edge]struct{}{{U: 0, V: 1}: {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`graph "test"`, "0 -- 1 [penwidth=3];", "1 -- 2;", "3;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTDropIsolated(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{U: 0, V: 1}})
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, DOTOptions{DropIsolated: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "  3;") || strings.Contains(out, "  2;") {
+		t.Errorf("isolated nodes not dropped:\n%s", out)
+	}
+	if !strings.Contains(out, `graph "G"`) {
+		t.Errorf("default name missing:\n%s", out)
+	}
+}

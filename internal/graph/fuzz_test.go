@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList asserts the text parser never panics and that any graph
+// it accepts satisfies the package invariants.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("1 2\n2 3\n")
+	f.Add("# comment\n\n10 20\n20 10\n10 10\n")
+	f.Add("1")
+	f.Add("a b")
+	f.Add("9223372036854775807 -9223372036854775808\n")
+	f.Add(strings.Repeat("1 2\n", 100))
+	f.Fuzz(func(t *testing.T, data string) {
+		g, rm, err := ReadEdgeList(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph invalid: %v", err)
+		}
+		if rm.Len() != g.NumNodes() {
+			t.Fatalf("remapper has %d labels for %d nodes", rm.Len(), g.NumNodes())
+		}
+	})
+}
+
+// FuzzReadBinary asserts the binary parser never panics and that any graph
+// it accepts round-trips identically.
+func FuzzReadBinary(f *testing.F) {
+	good := func(edges []Edge, n int) []byte {
+		g := MustFromEdges(n, edges)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(good([]Edge{{U: 0, V: 1}, {U: 1, V: 2}}, 3))
+	f.Add(good(nil, 0))
+	f.Add([]byte("ESG1 garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %v vs %v", g2, g)
+		}
+	})
+}

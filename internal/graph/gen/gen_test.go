@@ -1,0 +1,328 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"edgeshed/internal/graph"
+)
+
+func TestErdosRenyiShape(t *testing.T) {
+	g := ErdosRenyi(100, 300, 1)
+	if g.NumNodes() != 100 {
+		t.Errorf("|V| = %d, want 100", g.NumNodes())
+	}
+	if g.NumEdges() != 300 {
+		t.Errorf("|E| = %d, want 300", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(50, 100, 7)
+	b := ErdosRenyi(50, 100, 7)
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ae), len(be))
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ae[i], be[i])
+		}
+	}
+	c := ErdosRenyi(50, 100, 8)
+	same := true
+	ce := c.Edges()
+	for i := range ae {
+		if ae[i] != ce[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestErdosRenyiTooManyEdgesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for m > C(n,2)")
+		}
+	}()
+	ErdosRenyi(4, 7, 1)
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(500, 3, 42)
+	if g.NumNodes() != 500 {
+		t.Errorf("|V| = %d, want 500", g.NumNodes())
+	}
+	// m0 clique (C(4,2)=6 edges) + 3 per subsequent node.
+	want := 6 + 3*(500-4)
+	if g.NumEdges() != want {
+		t.Errorf("|E| = %d, want %d", g.NumEdges(), want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+	// Preferential attachment must create hubs: max degree far above average.
+	if g.MaxDegree() < 3*int(g.AvgDegree()) {
+		t.Errorf("no hubs: max degree %d vs avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+	// Minimum degree is the attachment count.
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.Degree(graph.NodeID(u)) < 3 {
+			t.Fatalf("node %d degree %d < mPer", u, g.Degree(graph.NodeID(u)))
+		}
+	}
+}
+
+func TestHolmeKimClustersMoreThanBA(t *testing.T) {
+	// Triad closure should add triangles. Compare triangle counts directly.
+	ba := BarabasiAlbert(400, 3, 9)
+	hk := HolmeKim(400, 3, 0.8, 9)
+	if tri(hk) <= tri(ba) {
+		t.Errorf("HolmeKim triangles %d <= BA triangles %d", tri(hk), tri(ba))
+	}
+}
+
+// tri counts triangles by iterating edges and intersecting sorted neighbor
+// lists (test helper; the real implementation lives in internal/analysis).
+func tri(g *graph.Graph) int {
+	count := 0
+	for _, e := range g.Edges() {
+		a, b := g.Neighbors(e.U), g.Neighbors(e.V)
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] < b[j]:
+				i++
+			case a[i] > b[j]:
+				j++
+			default:
+				count++
+				i++
+				j++
+			}
+		}
+	}
+	return count / 3
+}
+
+func TestWattsStrogatzNoRewire(t *testing.T) {
+	g := WattsStrogatz(20, 4, 0, 1)
+	if g.NumEdges() != 40 {
+		t.Errorf("|E| = %d, want 40", g.NumEdges())
+	}
+	for u := 0; u < 20; u++ {
+		if g.Degree(graph.NodeID(u)) != 4 {
+			t.Errorf("degree(%d) = %d, want 4 on pure ring", u, g.Degree(graph.NodeID(u)))
+		}
+	}
+}
+
+func TestWattsStrogatzRewired(t *testing.T) {
+	g := WattsStrogatz(200, 6, 0.3, 5)
+	if err := g.Validate(); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+	// Edge count is preserved by rewiring (modulo rare retry exhaustion).
+	if g.NumEdges() < 580 || g.NumEdges() > 600 {
+		t.Errorf("|E| = %d, want ~600", g.NumEdges())
+	}
+}
+
+func TestWattsStrogatzBadParamsPanic(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{10, 3}, {10, 10}, {10, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for n=%d k=%d", c.n, c.k)
+				}
+			}()
+			WattsStrogatz(c.n, c.k, 0.1, 1)
+		}()
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	g := PlantedPartition(4, 25, 0.3, 0.01, 3)
+	if g.NumNodes() != 100 {
+		t.Fatalf("|V| = %d, want 100", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+	within, across := 0, 0
+	for _, e := range g.Edges() {
+		if int(e.U)/25 == int(e.V)/25 {
+			within++
+		} else {
+			across++
+		}
+	}
+	// Expected within ≈ 4*C(25,2)*0.3 = 360, across ≈ (C(100,2)-4*300)*0.01 ≈ 38.
+	if within <= across*3 {
+		t.Errorf("community structure too weak: within=%d across=%d", within, across)
+	}
+}
+
+func TestPowerLawDegrees(t *testing.T) {
+	deg := PowerLawDegrees(1000, 2.5, 2, 100, 11)
+	if len(deg) != 1000 {
+		t.Fatalf("len = %d, want 1000", len(deg))
+	}
+	sum := 0
+	for _, d := range deg {
+		if d < 2 || d > 101 { // +1 allows the even-sum bump
+			t.Fatalf("degree %d outside [2, 101]", d)
+		}
+		sum += d
+	}
+	if sum%2 != 0 {
+		t.Error("degree sum is odd")
+	}
+	// Power law with gamma 2.5: most mass near the minimum.
+	low := 0
+	for _, d := range deg {
+		if d <= 4 {
+			low++
+		}
+	}
+	if low < 500 {
+		t.Errorf("only %d/1000 degrees <= 4; not heavy-tailed-with-small-mode", low)
+	}
+}
+
+func TestConfigurationModel(t *testing.T) {
+	deg := PowerLawDegrees(500, 2.3, 2, 50, 21)
+	g := ConfigurationModel(deg, 22)
+	if g.NumNodes() != 500 {
+		t.Fatalf("|V| = %d, want 500", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+	// Erased model: realized degree never exceeds requested.
+	for u := 0; u < 500; u++ {
+		if g.Degree(graph.NodeID(u)) > deg[u] {
+			t.Errorf("node %d realized %d > requested %d", u, g.Degree(graph.NodeID(u)), deg[u])
+		}
+	}
+	// And it should not fall far short in total.
+	want := 0
+	for _, d := range deg {
+		want += d
+	}
+	if 2*g.NumEdges() < want*8/10 {
+		t.Errorf("too many erased stubs: 2|E| = %d, requested %d", 2*g.NumEdges(), want)
+	}
+}
+
+func TestConfigurationModelOddSumPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd degree sum accepted")
+		}
+	}()
+	ConfigurationModel([]int{1, 1, 1}, 1)
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(10, 4000, 0.57, 0.19, 0.19, 5)
+	if g.NumNodes() != 1024 {
+		t.Fatalf("|V| = %d, want 1024", g.NumNodes())
+	}
+	if g.NumEdges() < 3500 {
+		t.Errorf("|E| = %d, want close to 4000", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+	// The canonical skew concentrates edges on low-id nodes: node 0's
+	// quadrant dominates, so hubs exist.
+	if g.MaxDegree() < 5*int(g.AvgDegree()) {
+		t.Errorf("no hubs: max %d vs avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestRMATUniform(t *testing.T) {
+	// a=b=c=d=0.25 degenerates to (near) uniform random pairs.
+	g := RMAT(8, 500, 0.25, 0.25, 0.25, 6)
+	if err := g.Validate(); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+	// Degrees should be comparatively flat: max degree within ~6x average.
+	if g.MaxDegree() > 6*int(g.AvgDegree()+1) {
+		t.Errorf("uniform RMAT too skewed: max %d vs avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestRMATPanics(t *testing.T) {
+	for _, c := range []struct {
+		scale   int
+		a, b, c float64
+	}{
+		{0, 0.25, 0.25, 0.25},
+		{31, 0.25, 0.25, 0.25},
+		{8, 0.5, 0.4, 0.3}, // d < 0
+		{8, -0.1, 0.5, 0.3},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for scale=%d a=%v b=%v c=%v", c.scale, c.a, c.b, c.c)
+				}
+			}()
+			RMAT(c.scale, 100, c.a, c.b, c.c, 1)
+		}()
+	}
+}
+
+func TestToyShapes(t *testing.T) {
+	if g := Star(6); g.NumEdges() != 5 || g.Degree(0) != 5 {
+		t.Errorf("Star(6) wrong: %v, hub degree %d", g, g.Degree(0))
+	}
+	if g := Complete(5); g.NumEdges() != 10 {
+		t.Errorf("Complete(5) |E| = %d, want 10", g.NumEdges())
+	}
+	if g := Cycle(7); g.NumEdges() != 7 || g.Degree(3) != 2 {
+		t.Errorf("Cycle(7) wrong: %v", g)
+	}
+	if g := Path(4); g.NumEdges() != 3 {
+		t.Errorf("Path(4) |E| = %d, want 3", g.NumEdges())
+	}
+	g := Grid(3, 4)
+	if g.NumNodes() != 12 || g.NumEdges() != 17 {
+		t.Errorf("Grid(3,4) = %v, want |V|=12 |E|=17", g)
+	}
+}
+
+// TestGeneratorsAlwaysValid property-checks that each random generator
+// produces structurally valid graphs across seeds.
+func TestGeneratorsAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		if ErdosRenyi(40, 80, seed).Validate() != nil {
+			return false
+		}
+		if BarabasiAlbert(60, 2, seed).Validate() != nil {
+			return false
+		}
+		if HolmeKim(60, 2, 0.5, seed).Validate() != nil {
+			return false
+		}
+		if WattsStrogatz(40, 4, 0.2, seed).Validate() != nil {
+			return false
+		}
+		if PlantedPartition(3, 10, 0.4, 0.05, seed).Validate() != nil {
+			return false
+		}
+		return ConfigurationModel(PowerLawDegrees(60, 2.5, 1, 20, seed), seed).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,240 @@
+// Package graph provides the undirected-graph substrate used by every other
+// package in this repository: a compact adjacency-list representation with a
+// canonical edge list, subgraph extraction, I/O and validation.
+//
+// Nodes are dense indices in [0, NumNodes). Loaders and builders remap
+// arbitrary external identifiers onto this dense range. Edges are undirected
+// and stored once in canonical (min, max) order; self-loops and parallel
+// edges are rejected.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. Graphs built here always use dense ids in
+// [0, NumNodes); 32 bits is enough for the billion-edge graphs the paper
+// targets while halving adjacency memory versus int64.
+type NodeID = int32
+
+// Edge is an undirected edge. A canonical Edge has U <= V; use Canonical to
+// normalize. Edge is comparable and therefore usable as a map key.
+type Edge struct {
+	U, V NodeID
+}
+
+// Canonical returns e with its endpoints ordered so that U <= V. Undirected
+// edge equality is defined on canonical edges.
+func (e Edge) Canonical() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// Other returns the endpoint of e that is not u. It panics if u is not an
+// endpoint of e, which always indicates a programming error in the caller.
+func (e Edge) Other(u NodeID) NodeID {
+	switch u {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %v", u, e))
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// Graph is an immutable undirected graph over dense node ids.
+//
+// Build one with a Builder, a generator from the gen subpackage, or a reader
+// from io.go. The zero value is an empty graph with no nodes. Graph values
+// are safe for concurrent readers; they are never mutated after construction.
+type Graph struct {
+	adj   [][]NodeID // adj[u] sorted ascending
+	edges []Edge     // canonical, sorted by (U, V)
+}
+
+// NewFromEdges constructs a graph with n nodes and the given edges. Edges may
+// appear in any orientation and order; duplicates (including reversed
+// duplicates) and self-loops cause an error, as does any endpoint outside
+// [0, n).
+func NewFromEdges(n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return b.Graph(), nil
+}
+
+// MustFromEdges is NewFromEdges that panics on error; intended for tests and
+// literals of known-good shape.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := NewFromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// Neighbors returns the sorted neighbor list of u. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(u NodeID) []NodeID { return g.adj[u] }
+
+// Edges returns the canonical edge list sorted by (U, V). The returned slice
+// is owned by the graph and must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// HasEdge reports whether the undirected edge (u, v) exists. It runs in
+// O(log deg) via binary search on the smaller adjacency list.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if u < 0 || v < 0 || int(u) >= len(g.adj) || int(v) >= len(g.adj) || u == v {
+		return false
+	}
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return i < len(a) && a[i] == v
+}
+
+// AvgDegree returns the average degree 2|E|/|V|, or 0 for an empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(len(g.edges)) / float64(len(g.adj))
+}
+
+// MaxDegree returns the largest degree in the graph, or 0 if there are no
+// nodes.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, a := range g.adj {
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	return max
+}
+
+// Degrees returns a fresh slice d with d[u] = Degree(u).
+func (g *Graph) Degrees() []int {
+	d := make([]int, len(g.adj))
+	for u, a := range g.adj {
+		d[u] = len(a)
+	}
+	return d
+}
+
+// Clone returns a deep copy of g. Because graphs are immutable this is only
+// needed when a caller wants to hand ownership across an API that might
+// outlive g's backing arrays.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		adj:   make([][]NodeID, len(g.adj)),
+		edges: make([]Edge, len(g.edges)),
+	}
+	copy(c.edges, g.edges)
+	for u, a := range g.adj {
+		c.adj[u] = append([]NodeID(nil), a...)
+	}
+	return c
+}
+
+// Subgraph returns a new graph over the same node set containing exactly the
+// given edges. Each edge must exist in g; orientation is ignored. Duplicate
+// edges in the input cause an error.
+func (g *Graph) Subgraph(edges []Edge) (*Graph, error) {
+	b := NewBuilder(g.NumNodes())
+	for _, e := range edges {
+		if !g.HasEdge(e.U, e.V) {
+			return nil, fmt.Errorf("graph: subgraph edge %v not present in parent", e)
+		}
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return b.Graph(), nil
+}
+
+// InducedSubgraph returns the subgraph induced by the given node set: the
+// same node-id space with exactly the edges whose endpoints are both in the
+// set. Duplicate nodes in the input are tolerated.
+func (g *Graph) InducedSubgraph(nodes []NodeID) (*Graph, error) {
+	in := make(map[NodeID]struct{}, len(nodes))
+	for _, u := range nodes {
+		if u < 0 || int(u) >= g.NumNodes() {
+			return nil, fmt.Errorf("graph: induced node %d outside [0,%d)", u, g.NumNodes())
+		}
+		in[u] = struct{}{}
+	}
+	b := NewBuilder(g.NumNodes())
+	for _, e := range g.edges {
+		if _, ok := in[e.U]; !ok {
+			continue
+		}
+		if _, ok := in[e.V]; !ok {
+			continue
+		}
+		b.TryAddEdge(e.U, e.V)
+	}
+	return b.Graph(), nil
+}
+
+// Density returns |E| / C(|V|, 2), the fraction of possible edges present;
+// 0 for graphs with fewer than two nodes.
+func (g *Graph) Density() float64 {
+	n := g.NumNodes()
+	if n < 2 {
+		return 0
+	}
+	return float64(g.NumEdges()) / (float64(n) * float64(n-1) / 2)
+}
+
+// EdgeSet returns the edges as a set keyed by canonical edge. The map is
+// freshly allocated on every call.
+func (g *Graph) EdgeSet() map[Edge]struct{} {
+	s := make(map[Edge]struct{}, len(g.edges))
+	for _, e := range g.edges {
+		s[e] = struct{}{}
+	}
+	return s
+}
+
+// String implements fmt.Stringer with a short structural summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{|V|=%d |E|=%d}", g.NumNodes(), g.NumEdges())
+}
+
+// Bytes estimates the resident memory of the graph's data structures:
+// adjacency lists (two 4-byte entries per edge), the canonical edge list
+// (8 bytes per edge) and slice headers. It quantifies the storage saving of
+// a reduction — the paper's first motivation — without depending on the
+// runtime's allocator.
+func (g *Graph) Bytes() int64 {
+	const (
+		sliceHeader = 24 // ptr + len + cap
+		nodeIDSize  = 4
+		edgeSize    = 8
+	)
+	total := int64(2*sliceHeader) + int64(len(g.adj))*sliceHeader
+	total += int64(2*g.NumEdges()) * nodeIDSize // adjacency entries
+	total += int64(g.NumEdges()) * edgeSize     // edge list
+	return total
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge-list stream in the SNAP
+// style: one "u v" pair per line, '#' starting a comment line, blank lines
+// ignored. External ids may be arbitrary 64-bit integers; they are remapped
+// onto dense ids in first-seen order. Duplicate edges (in either orientation)
+// and self-loops are dropped silently, matching how SNAP loaders treat raw
+// crawl data.
+//
+// It returns the graph and the remapper that translates dense ids back to the
+// original labels.
+func ReadEdgeList(r io.Reader) (*Graph, *Remapper, error) {
+	rm := NewRemapper()
+	b := NewBuilder(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: expected two fields, got %q", lineNo, line)
+		}
+		x, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad node id %q: %v", lineNo, fields[0], err)
+		}
+		y, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad node id %q: %v", lineNo, fields[1], err)
+		}
+		u, v := rm.ID(x), rm.ID(y)
+		b.Grow(rm.Len())
+		b.TryAddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return b.Graph(), rm, nil
+}
+
+// ReadEdgeListFile is ReadEdgeList over a file path.
+func ReadEdgeListFile(path string) (*Graph, *Remapper, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// WriteEdgeList writes g in the SNAP edge-list format with a leading comment
+// header. If rm is non-nil, dense ids are translated back to their original
+// labels; otherwise dense ids are written directly.
+func WriteEdgeList(w io.Writer, g *Graph, rm *Remapper) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# Undirected graph: |V|=%d |E|=%d\n# u v\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		var u, v int64
+		if rm != nil {
+			u, v = rm.Label(e.U), rm.Label(e.V)
+		} else {
+			u, v = int64(e.U), int64(e.V)
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFile reads a graph from path, selecting the format by extension:
+// ".esg" is the binary format, anything else the text edge list. Binary
+// files carry no external labels, so their remapper is the identity over
+// dense ids.
+func LoadFile(path string) (*Graph, *Remapper, error) {
+	if strings.HasSuffix(path, ".esg") {
+		g, err := ReadBinaryFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, identityRemapper(g.NumNodes()), nil
+	}
+	return ReadEdgeListFile(path)
+}
+
+// SaveFile writes a graph to path, selecting the format by extension as in
+// LoadFile, plus ".dot" for Graphviz rendering. The remapper is ignored for
+// binary and DOT output (those formats store dense ids).
+func SaveFile(path string, g *Graph, rm *Remapper) (err error) {
+	switch {
+	case strings.HasSuffix(path, ".esg"):
+		return WriteBinaryFile(path, g)
+	case strings.HasSuffix(path, ".dot"):
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		return WriteDOT(f, g, DOTOptions{DropIsolated: true})
+	}
+	return WriteEdgeListFile(path, g, rm)
+}
+
+// identityRemapper labels dense id u with the integer u.
+func identityRemapper(n int) *Remapper {
+	rm := NewRemapper()
+	for u := 0; u < n; u++ {
+		rm.ID(int64(u))
+	}
+	return rm
+}
+
+// WriteEdgeListFile is WriteEdgeList to a file path, creating or truncating
+// the file.
+func WriteEdgeListFile(path string, g *Graph, rm *Remapper) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return WriteEdgeList(f, g, rm)
+}

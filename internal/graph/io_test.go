@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleEdgeList = `# Directed graph (each unordered pair of nodes is saved once)
+# Nodes: 5 Edges: 4
+100 200
+200 300
+# a comment in the middle
+300 100
+
+400	500
+500 400
+400 400
+`
+
+func TestReadEdgeList(t *testing.T) {
+	g, rm, err := ReadEdgeList(strings.NewReader(sampleEdgeList))
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.NumNodes() != 5 {
+		t.Errorf("|V| = %d, want 5", g.NumNodes())
+	}
+	// 500-400 is a reversed duplicate and 400-400 a self-loop: both dropped.
+	if g.NumEdges() != 4 {
+		t.Errorf("|E| = %d, want 4", g.NumEdges())
+	}
+	u, v := rm.ID(100), rm.ID(200)
+	if !g.HasEdge(u, v) {
+		t.Error("edge 100-200 missing after remap")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("loaded graph invalid: %v", err)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, _, err := ReadEdgeList(strings.NewReader("1\n")); err == nil {
+		t.Error("single-field line accepted")
+	}
+	if _, _, err := ReadEdgeList(strings.NewReader("a b\n")); err == nil {
+		t.Error("non-numeric id accepted")
+	}
+	if _, _, err := ReadEdgeList(strings.NewReader("1 b\n")); err == nil {
+		t.Error("non-numeric second id accepted")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g, nil); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	g2, rm2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip shape: got %v, want %v", g2, g)
+	}
+	// Dense ids are reassigned in first-seen order, so compare via labels.
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(rm2.ID(int64(e.U)), rm2.ID(int64(e.V))) {
+			t.Errorf("edge %v lost in round trip", e)
+		}
+	}
+}
+
+func TestEdgeListRoundTripWithRemapper(t *testing.T) {
+	src := "7 9\n9 11\n"
+	g, rm, err := ReadEdgeList(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g, rm); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "7 9") || !strings.Contains(out, "9 11") {
+		t.Errorf("original labels not preserved:\n%s", out)
+	}
+}
+
+func TestEdgeListFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g := MustFromEdges(3, []Edge{{0, 1}, {1, 2}})
+	if err := WriteEdgeListFile(path, g, nil); err != nil {
+		t.Fatalf("WriteEdgeListFile: %v", err)
+	}
+	g2, _, err := ReadEdgeListFile(path)
+	if err != nil {
+		t.Fatalf("ReadEdgeListFile: %v", err)
+	}
+	if g2.NumEdges() != 2 {
+		t.Errorf("|E| after file round trip = %d, want 2", g2.NumEdges())
+	}
+}
+
+func TestReadEdgeListFileMissing(t *testing.T) {
+	if _, _, err := ReadEdgeListFile(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadSaveFileFormats(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	dir := t.TempDir()
+	for _, name := range []string{"g.txt", "g.esg"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, g, nil); err != nil {
+			t.Fatalf("SaveFile(%s): %v", name, err)
+		}
+		g2, rm, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", name, err)
+		}
+		if g2.NumEdges() != 2 {
+			t.Errorf("%s: |E| = %d, want 2", name, g2.NumEdges())
+		}
+		if rm == nil || rm.Len() != 3 {
+			t.Errorf("%s: remapper missing or wrong size", name)
+		}
+		// Both formats yield an identity-usable remapper for dense inputs.
+		if rm.Label(0) != 0 {
+			t.Errorf("%s: label(0) = %d, want 0", name, rm.Label(0))
+		}
+	}
+}

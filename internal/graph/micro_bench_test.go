@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// microGraph builds a reusable random benchmark graph.
+func microGraph(b *testing.B, n, m int) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	bld := NewBuilder(n)
+	for bld.NumEdges() < m {
+		bld.TryAddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	return bld.Graph()
+}
+
+func BenchmarkBuilderGraph(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	edges := make([]Edge, 0, 50000)
+	seen := map[Edge]struct{}{}
+	for len(edges) < 50000 {
+		e := Edge{NodeID(rng.Intn(10000)), NodeID(rng.Intn(10000))}.Canonical()
+		if e.U == e.V {
+			continue
+		}
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		edges = append(edges, e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld := NewBuilder(10000)
+		for _, e := range edges {
+			bld.TryAddEdge(e.U, e.V)
+		}
+		bld.Graph()
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := microGraph(b, 10000, 50000)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(NodeID(rng.Intn(10000)), NodeID(rng.Intn(10000)))
+	}
+}
+
+func BenchmarkEdgeListWrite(b *testing.B) {
+	g := microGraph(b, 5000, 25000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryRoundTrip(b *testing.B) {
+	g := microGraph(b, 5000, 25000)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	g := microGraph(b, 10000, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package matching
+
+import (
+	"fmt"
+	"sort"
+
+	"edgeshed/internal/graph"
+)
+
+// EdgeOrder selects the scan order for the greedy b-matching. The paper's
+// Algorithm 2 scans edges in input order; the alternatives exist for the
+// ablation study in DESIGN.md §5.5.
+type EdgeOrder int
+
+const (
+	// InputOrder scans g.Edges() as stored (sorted by endpoint ids), the
+	// literal reading of Algorithm 2 lines 4-7.
+	InputOrder EdgeOrder = iota
+	// ScarceFirst scans edges by ascending minimum endpoint capacity, giving
+	// constrained nodes first pick of their edges.
+	ScarceFirst
+	// DenseFirst scans edges by descending minimum endpoint capacity.
+	DenseFirst
+)
+
+// String implements fmt.Stringer.
+func (o EdgeOrder) String() string {
+	switch o {
+	case InputOrder:
+		return "input"
+	case ScarceFirst:
+		return "scarce-first"
+	case DenseFirst:
+		return "dense-first"
+	}
+	return fmt.Sprintf("EdgeOrder(%d)", int(o))
+}
+
+// BMatching is the result of a greedy maximal b-matching.
+type BMatching struct {
+	// Edges are the matched edges, in selection order.
+	Edges []graph.Edge
+	// Degrees[u] is u's degree within the matching.
+	Degrees []int
+}
+
+// GreedyBMatching computes a maximal b-matching of g under the capacity
+// vector caps: it scans edges in the given order and keeps edge (u, v)
+// whenever both endpoints are below capacity (Algorithm 2, lines 4-7;
+// Hougardy's linear-time 1/2-approximation of maximum b-matching). caps must
+// have one entry per node; negative capacities are rejected.
+func GreedyBMatching(g *graph.Graph, caps []int, order EdgeOrder) (*BMatching, error) {
+	if len(caps) != g.NumNodes() {
+		return nil, fmt.Errorf("matching: %d capacities for %d nodes", len(caps), g.NumNodes())
+	}
+	for u, c := range caps {
+		if c < 0 {
+			return nil, fmt.Errorf("matching: negative capacity %d at node %d", c, u)
+		}
+	}
+	edges := g.Edges()
+	if order != InputOrder {
+		edges = append([]graph.Edge(nil), edges...)
+		key := func(e graph.Edge) int {
+			cu, cv := caps[e.U], caps[e.V]
+			if cu < cv {
+				return cu
+			}
+			return cv
+		}
+		sort.SliceStable(edges, func(i, j int) bool {
+			if order == ScarceFirst {
+				return key(edges[i]) < key(edges[j])
+			}
+			return key(edges[i]) > key(edges[j])
+		})
+	}
+	m := &BMatching{Degrees: make([]int, g.NumNodes())}
+	for _, e := range edges {
+		if m.Degrees[e.U] < caps[e.U] && m.Degrees[e.V] < caps[e.V] {
+			m.Edges = append(m.Edges, e)
+			m.Degrees[e.U]++
+			m.Degrees[e.V]++
+		}
+	}
+	return m, nil
+}
+
+// VerifyMaximal reports whether m is a maximal b-matching of g under caps:
+// every matched edge respects both capacities and no unmatched edge of g
+// could be added without violating one. It is O(|E|) and intended for tests.
+func (m *BMatching) VerifyMaximal(g *graph.Graph, caps []int) error {
+	in := make(map[graph.Edge]struct{}, len(m.Edges))
+	deg := make([]int, g.NumNodes())
+	for _, e := range m.Edges {
+		in[e.Canonical()] = struct{}{}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for u := range deg {
+		if deg[u] != m.Degrees[u] {
+			return fmt.Errorf("matching: recorded degree %d != actual %d at node %d", m.Degrees[u], deg[u], u)
+		}
+		if deg[u] > caps[u] {
+			return fmt.Errorf("matching: node %d degree %d exceeds capacity %d", u, deg[u], caps[u])
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, ok := in[e]; ok {
+			continue
+		}
+		if deg[e.U] < caps[e.U] && deg[e.V] < caps[e.V] {
+			return fmt.Errorf("matching: not maximal, edge %v is addable", e)
+		}
+	}
+	return nil
+}
+
+// WeightedEdge is an edge with a weight, input to the bipartite matcher.
+type WeightedEdge struct {
+	E graph.Edge
+	W float64
+}
+
+// GreedyBipartite computes a greedy maximum-weight matching of a bipartite
+// edge set where every node may be matched at most once: edges are taken in
+// non-increasing weight order, skipping edges with an already-matched
+// endpoint. This is the classic 1/2-approximation; BM2's Algorithm 3 in
+// internal/core extends it with capacity re-weighting on the A side.
+func GreedyBipartite(edges []WeightedEdge) []WeightedEdge {
+	sorted := append([]WeightedEdge(nil), edges...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].W > sorted[j].W })
+	used := make(map[graph.NodeID]struct{})
+	var out []WeightedEdge
+	for _, we := range sorted {
+		if _, ok := used[we.E.U]; ok {
+			continue
+		}
+		if _, ok := used[we.E.V]; ok {
+			continue
+		}
+		used[we.E.U] = struct{}{}
+		used[we.E.V] = struct{}{}
+		out = append(out, we)
+	}
+	return out
+}

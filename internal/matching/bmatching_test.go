@@ -1,0 +1,242 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+)
+
+func unitCaps(n, c int) []int {
+	caps := make([]int, n)
+	for i := range caps {
+		caps[i] = c
+	}
+	return caps
+}
+
+func TestGreedyBMatchingRespectsCapacities(t *testing.T) {
+	g := gen.Complete(6)
+	caps := []int{1, 2, 3, 0, 2, 1}
+	m, err := GreedyBMatching(g, caps, InputOrder)
+	if err != nil {
+		t.Fatalf("GreedyBMatching: %v", err)
+	}
+	for u, d := range m.Degrees {
+		if d > caps[u] {
+			t.Errorf("node %d degree %d > capacity %d", u, d, caps[u])
+		}
+	}
+	if m.Degrees[3] != 0 {
+		t.Errorf("zero-capacity node matched: degree %d", m.Degrees[3])
+	}
+	if err := m.VerifyMaximal(g, caps); err != nil {
+		t.Errorf("VerifyMaximal: %v", err)
+	}
+}
+
+func TestGreedyBMatchingUnitIsMatching(t *testing.T) {
+	// With all capacities 1 a b-matching is an ordinary matching.
+	g := gen.Cycle(6)
+	m, err := GreedyBMatching(g, unitCaps(6, 1), InputOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Edges) != 3 {
+		t.Errorf("matching size on C6 = %d, want 3", len(m.Edges))
+	}
+	if err := m.VerifyMaximal(g, unitCaps(6, 1)); err != nil {
+		t.Errorf("VerifyMaximal: %v", err)
+	}
+}
+
+func TestGreedyBMatchingFullCapacityKeepsAll(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 4)
+	caps := g.Degrees()
+	m, err := GreedyBMatching(g, caps, InputOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Edges) != g.NumEdges() {
+		t.Errorf("full capacities kept %d of %d edges", len(m.Edges), g.NumEdges())
+	}
+}
+
+func TestGreedyBMatchingErrors(t *testing.T) {
+	g := gen.Path(3)
+	if _, err := GreedyBMatching(g, []int{1, 1}, InputOrder); err == nil {
+		t.Error("wrong capacity length accepted")
+	}
+	if _, err := GreedyBMatching(g, []int{1, -1, 1}, InputOrder); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestGreedyBMatchingOrders(t *testing.T) {
+	g := gen.ErdosRenyi(60, 150, 8)
+	caps := unitCaps(60, 2)
+	for _, order := range []EdgeOrder{InputOrder, ScarceFirst, DenseFirst} {
+		m, err := GreedyBMatching(g, caps, order)
+		if err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		if err := m.VerifyMaximal(g, caps); err != nil {
+			t.Errorf("%v: %v", order, err)
+		}
+	}
+}
+
+func TestEdgeOrderString(t *testing.T) {
+	if InputOrder.String() != "input" || ScarceFirst.String() != "scarce-first" || DenseFirst.String() != "dense-first" {
+		t.Error("EdgeOrder strings wrong")
+	}
+	if EdgeOrder(99).String() != "EdgeOrder(99)" {
+		t.Errorf("unknown order string = %q", EdgeOrder(99).String())
+	}
+}
+
+// TestGreedyBMatchingAlwaysMaximal property-checks maximality across random
+// graphs and random capacity vectors.
+func TestGreedyBMatchingAlwaysMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyi(30, 60, seed)
+		caps := make([]int, 30)
+		for i := range caps {
+			caps[i] = rng.Intn(4)
+		}
+		m, err := GreedyBMatching(g, caps, EdgeOrder(rng.Intn(3)))
+		if err != nil {
+			return false
+		}
+		return m.VerifyMaximal(g, caps) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGreedyBMatchingHalfApprox checks Hougardy's 1/2-approximation
+// guarantee against an exhaustive optimum on tiny graphs.
+func TestGreedyBMatchingHalfApprox(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := gen.ErdosRenyi(8, 12, seed)
+		caps := unitCaps(8, 1)
+		m, err := GreedyBMatching(g, caps, InputOrder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := bruteMaxMatching(g)
+		if 2*len(m.Edges) < opt {
+			t.Errorf("seed %d: greedy %d < half of optimum %d", seed, len(m.Edges), opt)
+		}
+	}
+}
+
+// bruteMaxMatching finds the maximum cardinality matching by backtracking
+// over edges (fine for |E| <= ~20).
+func bruteMaxMatching(g *graph.Graph) int {
+	return bruteMaxBMatching(g, unitCaps(g.NumNodes(), 1))
+}
+
+// bruteMaxBMatching finds the exact maximum b-matching size by backtracking
+// over edges under arbitrary capacities — the test oracle for Hougardy's
+// 1/2-approximation guarantee.
+func bruteMaxBMatching(g *graph.Graph, caps []int) int {
+	edges := g.Edges()
+	slack := append([]int(nil), caps...)
+	var rec func(i int) int
+	rec = func(i int) int {
+		if i == len(edges) {
+			return 0
+		}
+		best := rec(i + 1)
+		e := edges[i]
+		if slack[e.U] > 0 && slack[e.V] > 0 {
+			slack[e.U]--
+			slack[e.V]--
+			if v := 1 + rec(i+1); v > best {
+				best = v
+			}
+			slack[e.U]++
+			slack[e.V]++
+		}
+		return best
+	}
+	return rec(0)
+}
+
+// TestGreedyBMatchingHalfApproxGeneralCaps checks the 1/2 guarantee against
+// the exhaustive optimum under random non-unit capacities.
+func TestGreedyBMatchingHalfApproxGeneralCaps(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyi(7, 11, seed)
+		caps := make([]int, 7)
+		for i := range caps {
+			caps[i] = rng.Intn(4)
+		}
+		m, err := GreedyBMatching(g, caps, InputOrder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := bruteMaxBMatching(g, caps)
+		if 2*len(m.Edges) < opt {
+			t.Errorf("seed %d: greedy %d < half of optimum %d (caps %v)", seed, len(m.Edges), opt, caps)
+		}
+	}
+}
+
+func TestGreedyBipartite(t *testing.T) {
+	// A-side {0,1}, B-side {10,11}: weights force specific picks.
+	edges := []WeightedEdge{
+		{E: graph.Edge{U: 0, V: 10}, W: 5},
+		{E: graph.Edge{U: 0, V: 11}, W: 4},
+		{E: graph.Edge{U: 1, V: 10}, W: 3},
+		{E: graph.Edge{U: 1, V: 11}, W: 1},
+	}
+	got := GreedyBipartite(edges)
+	if len(got) != 2 {
+		t.Fatalf("matched %d edges, want 2", len(got))
+	}
+	if got[0].W != 5 {
+		t.Errorf("first pick weight = %v, want 5", got[0].W)
+	}
+	// 0 and 10 are used, so second pick must be (1, 11).
+	if got[1].E != (graph.Edge{U: 1, V: 11}) {
+		t.Errorf("second pick = %v, want (1,11)", got[1].E)
+	}
+}
+
+func TestGreedyBipartiteNodeExclusive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var edges []WeightedEdge
+		for i := 0; i < 40; i++ {
+			edges = append(edges, WeightedEdge{
+				E: graph.Edge{U: graph.NodeID(rng.Intn(10)), V: graph.NodeID(10 + rng.Intn(10))},
+				W: rng.Float64(),
+			})
+		}
+		out := GreedyBipartite(edges)
+		seen := make(map[graph.NodeID]bool)
+		for _, we := range out {
+			if seen[we.E.U] || seen[we.E.V] {
+				return false
+			}
+			seen[we.E.U], seen[we.E.V] = true, true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyBipartiteEmptyInput(t *testing.T) {
+	if got := GreedyBipartite(nil); len(got) != 0 {
+		t.Errorf("GreedyBipartite(nil) = %v", got)
+	}
+}

@@ -1,0 +1,176 @@
+package matching
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPQBasicOrder(t *testing.T) {
+	var q PQ[string]
+	q.Push("low", 1)
+	q.Push("high", 9)
+	q.Push("mid", 5)
+	want := []string{"high", "mid", "low"}
+	for _, w := range want {
+		v, _, ok := q.Pop()
+		if !ok || v != w {
+			t.Fatalf("Pop = %q (%v), want %q", v, ok, w)
+		}
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue returned ok")
+	}
+}
+
+func TestPQPeek(t *testing.T) {
+	var q PQ[int]
+	if _, _, ok := q.Peek(); ok {
+		t.Error("Peek on empty returned ok")
+	}
+	q.Push(7, 3)
+	q.Push(8, 4)
+	v, pri, ok := q.Peek()
+	if !ok || v != 8 || pri != 4 {
+		t.Errorf("Peek = %d/%v/%v, want 8/4/true", v, pri, ok)
+	}
+	if q.Len() != 2 {
+		t.Errorf("Peek consumed an item: Len = %d", q.Len())
+	}
+}
+
+func TestPQUpdateRaise(t *testing.T) {
+	var q PQ[int]
+	q.Push(1, 1)
+	h := q.Push(2, 2)
+	q.Push(3, 3)
+	q.Update(h, 10)
+	v, pri, _ := q.Pop()
+	if v != 2 || pri != 10 {
+		t.Errorf("after raise, Pop = %d/%v, want 2/10", v, pri)
+	}
+}
+
+func TestPQUpdateLower(t *testing.T) {
+	var q PQ[int]
+	h := q.Push(1, 10)
+	q.Push(2, 5)
+	q.Update(h, 0)
+	v, _, _ := q.Pop()
+	if v != 2 {
+		t.Errorf("after lower, Pop = %d, want 2", v)
+	}
+}
+
+func TestPQRemove(t *testing.T) {
+	var q PQ[int]
+	q.Push(1, 1)
+	h := q.Push(2, 2)
+	q.Push(3, 3)
+	q.Remove(h)
+	if q.Len() != 2 {
+		t.Fatalf("Len after Remove = %d, want 2", q.Len())
+	}
+	if h.Valid() {
+		t.Error("handle still valid after Remove")
+	}
+	q.Remove(h) // second remove is a no-op
+	got := []int{}
+	for {
+		v, _, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Errorf("remaining pops = %v, want [3 1]", got)
+	}
+}
+
+func TestPQUpdateDetachedPanics(t *testing.T) {
+	var q PQ[int]
+	h := q.Push(1, 1)
+	q.Pop()
+	defer func() {
+		if recover() == nil {
+			t.Error("Update on popped handle did not panic")
+		}
+	}()
+	q.Update(h, 5)
+}
+
+func TestPQHandlePriority(t *testing.T) {
+	var q PQ[int]
+	h := q.Push(1, 4.5)
+	if h.Priority() != 4.5 {
+		t.Errorf("Priority = %v, want 4.5", h.Priority())
+	}
+	q.Update(h, 2.5)
+	if h.Priority() != 2.5 {
+		t.Errorf("Priority after update = %v, want 2.5", h.Priority())
+	}
+}
+
+// TestPQHeapProperty exercises random interleavings of push, pop, update and
+// remove and checks pops come out in non-increasing priority order between
+// mutations.
+func TestPQHeapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q PQ[int]
+		var handles []*Handle[int]
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				handles = append(handles, q.Push(op, rng.Float64()*100))
+			case 2:
+				if len(handles) > 0 {
+					h := handles[rng.Intn(len(handles))]
+					if h.Valid() {
+						q.Update(h, rng.Float64()*100)
+					}
+				}
+			case 3:
+				if len(handles) > 0 {
+					q.Remove(handles[rng.Intn(len(handles))])
+				}
+			}
+		}
+		// Drain: priorities must be non-increasing.
+		prev := 1e18
+		for {
+			_, pri, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if pri > prev {
+				return false
+			}
+			prev = pri
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPQDrainMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var q PQ[int]
+	var want []float64
+	for i := 0; i < 500; i++ {
+		p := rng.Float64()
+		q.Push(i, p)
+		want = append(want, p)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+	for i, w := range want {
+		_, pri, ok := q.Pop()
+		if !ok || pri != w {
+			t.Fatalf("pop %d: got %v/%v, want %v", i, pri, ok, w)
+		}
+	}
+}

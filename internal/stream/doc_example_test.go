@@ -1,0 +1,29 @@
+package stream_test
+
+import (
+	"fmt"
+
+	"edgeshed/internal/graph/gen"
+	"edgeshed/internal/stream"
+)
+
+// ExampleShedder processes an edge stream with bounded memory, maintaining
+// a degree-preserving reduction at p = 0.5.
+func ExampleShedder() {
+	s, err := stream.NewShedder(stream.Options{P: 0.5, Seed: 1, Nodes: 50})
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range gen.BarabasiAlbert(50, 2, 2).Edges() {
+		if err := s.Insert(e.U, e.V); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("seen:", s.Seen())
+	fmt.Println("kept:", s.Kept())
+	fmt.Println("snapshot valid:", s.Snapshot().Validate() == nil)
+	// Output:
+	// seen: 97
+	// kept: 49
+	// snapshot valid: true
+}

@@ -1,0 +1,60 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+
+	"edgeshed/internal/graph/gen"
+)
+
+func BenchmarkShedderInsert(b *testing.B) {
+	g := gen.BarabasiAlbert(20000, 4, 1)
+	edges := g.Edges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewShedder(Options{P: 0.5, Seed: 1, Nodes: g.NumNodes()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range edges {
+			if err := s.Insert(e.U, e.V); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(edges)), "edges/op")
+}
+
+func BenchmarkShedderCandidates(b *testing.B) {
+	g := gen.BarabasiAlbert(5000, 4, 1)
+	edges := g.Edges()
+	for _, cand := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("candidates=%d", cand), func(b *testing.B) {
+			var delta float64
+			for i := 0; i < b.N; i++ {
+				s, err := NewShedder(Options{P: 0.5, Seed: 1, Candidates: cand, Nodes: g.NumNodes()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, e := range edges {
+					if err := s.Insert(e.U, e.V); err != nil {
+						b.Fatal(err)
+					}
+				}
+				delta = s.Delta()
+			}
+			b.ReportMetric(delta, "delta")
+		})
+	}
+}
+
+func candName(c int) string {
+	switch c {
+	case 2:
+		return "candidates=2"
+	case 8:
+		return "candidates=8"
+	default:
+		return "candidates=32"
+	}
+}

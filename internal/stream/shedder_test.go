@@ -1,0 +1,282 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+)
+
+func TestNewShedderValidation(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.3, 1.7, math.NaN()} {
+		if _, err := NewShedder(Options{P: p}); err == nil {
+			t.Errorf("p = %v accepted", p)
+		}
+	}
+	if _, err := NewShedder(Options{P: 0.5}); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	s, _ := NewShedder(Options{P: 0.5})
+	if err := s.Insert(3, 3); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := s.Insert(-1, 2); err == nil {
+		t.Error("negative id accepted")
+	}
+	if err := s.Insert(0, 1); err != nil {
+		t.Errorf("valid insert rejected: %v", err)
+	}
+}
+
+// feed streams all edges of g into a fresh shedder in random order.
+func feed(t *testing.T, g *graph.Graph, p float64, seed int64) *Shedder {
+	t.Helper()
+	s, err := NewShedder(Options{P: p, Seed: seed, Nodes: g.NumNodes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	edges := append([]graph.Edge(nil), g.Edges()...)
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for _, e := range edges {
+		if err := s.Insert(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestBudgetTracking(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 3)
+	for _, p := range []float64{0.2, 0.5, 0.8} {
+		s := feed(t, g, p, 7)
+		want := int(math.Round(p * float64(g.NumEdges())))
+		// The kept count can lag the budget by the few edges that arrived
+		// while the budget rounded down, but never exceeds it.
+		if s.Kept() > want {
+			t.Errorf("p=%v: kept %d > budget %d", p, s.Kept(), want)
+		}
+		if s.Kept() < want-1 {
+			t.Errorf("p=%v: kept %d, want within 1 of %d", p, s.Kept(), want)
+		}
+		if s.Seen() != int64(g.NumEdges()) {
+			t.Errorf("seen = %d, want %d", s.Seen(), g.NumEdges())
+		}
+	}
+}
+
+func TestSnapshotValidSubgraph(t *testing.T) {
+	g := gen.ErdosRenyi(100, 300, 5)
+	s := feed(t, g, 0.4, 9)
+	snap := s.Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("snapshot invalid: %v", err)
+	}
+	for _, e := range snap.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("snapshot edge %v not in stream", e)
+		}
+	}
+}
+
+func TestStreamBeatsReservoirOnDelta(t *testing.T) {
+	// The degree-aware policy must beat plain reservoir sampling (the
+	// memory-equivalent baseline) on Δ for heavy-tailed streams.
+	g := gen.ConfigurationModel(gen.PowerLawDegrees(500, 2.1, 1, 60, 21), 22)
+	p := 0.5
+	s := feed(t, g, p, 11)
+
+	// Reservoir baseline: uniform sample of the same size over the same
+	// stream order.
+	rng := rand.New(rand.NewSource(12))
+	edges := append([]graph.Edge(nil), g.Edges()...)
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	k := s.Kept()
+	reservoir := append([]graph.Edge(nil), edges[:k]...)
+	for i := k; i < len(edges); i++ {
+		if j := rng.Intn(i + 1); j < k {
+			reservoir[j] = edges[i]
+		}
+	}
+	resDelta := deltaOf(g, reservoir, p)
+	if s.Delta() >= resDelta {
+		t.Errorf("stream shedder Δ = %v not better than reservoir Δ = %v", s.Delta(), resDelta)
+	}
+}
+
+func deltaOf(g *graph.Graph, edges []graph.Edge, p float64) float64 {
+	deg := make([]int, g.NumNodes())
+	for _, e := range edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	var sum float64
+	for u := 0; u < g.NumNodes(); u++ {
+		sum += math.Abs(float64(deg[u]) - p*float64(g.Degree(graph.NodeID(u))))
+	}
+	return sum
+}
+
+func TestDeltaMatchesSnapshot(t *testing.T) {
+	// The incrementally tracked Δ must equal a from-scratch recomputation.
+	g := gen.BarabasiAlbert(120, 3, 6)
+	p := 0.4
+	s := feed(t, g, p, 13)
+	if got, want := s.Delta(), deltaOf(g, s.Edges(), p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("tracked Δ = %v, recomputed = %v", got, want)
+	}
+}
+
+func TestGrowOnDemand(t *testing.T) {
+	s, _ := NewShedder(Options{P: 0.5}) // zero pre-sizing
+	if err := s.Insert(1000, 2000); err != nil {
+		t.Fatalf("insert beyond pre-size: %v", err)
+	}
+	if s.Snapshot().NumNodes() != 2001 {
+		t.Errorf("snapshot |V| = %d, want 2001", s.Snapshot().NumNodes())
+	}
+}
+
+func TestDuplicateStreamEdges(t *testing.T) {
+	// Re-inserting a kept edge counts as an observation but is stored once.
+	s, _ := NewShedder(Options{P: 0.9, Nodes: 4})
+	for i := 0; i < 5; i++ {
+		if err := s.Insert(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Seen() != 5 {
+		t.Errorf("seen = %d, want 5", s.Seen())
+	}
+	if s.Kept() > 1 {
+		t.Errorf("kept = %d, want <= 1 (simple graph)", s.Kept())
+	}
+	if err := s.Snapshot().Validate(); err != nil {
+		t.Errorf("snapshot invalid: %v", err)
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	g := gen.ErdosRenyi(80, 200, 8)
+	a := feed(t, g, 0.5, 42)
+	b := feed(t, g, 0.5, 42)
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		t.Fatal("kept sizes differ")
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatal("kept edges differ across identical runs")
+		}
+	}
+}
+
+func TestDeleteValidation(t *testing.T) {
+	s, _ := NewShedder(Options{P: 0.5, Nodes: 4})
+	if err := s.Delete(0, 1); err == nil {
+		t.Error("deleting never-seen edge accepted")
+	}
+	if err := s.Delete(2, 2); err == nil {
+		t.Error("self-loop delete accepted")
+	}
+	if err := s.Delete(-1, 0); err == nil {
+		t.Error("negative id delete accepted")
+	}
+	s.Insert(0, 1)
+	if err := s.Delete(0, 1); err != nil {
+		t.Errorf("valid delete rejected: %v", err)
+	}
+	if s.Seen() != 0 || s.Kept() != 0 {
+		t.Errorf("after insert+delete: seen=%d kept=%d, want 0, 0", s.Seen(), s.Kept())
+	}
+}
+
+func TestDeleteKeptEdgeEvicts(t *testing.T) {
+	s, _ := NewShedder(Options{P: 0.9, Nodes: 10})
+	for i := 0; i < 9; i++ {
+		s.Insert(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	kept := s.Kept()
+	target := s.Edges()[0]
+	if err := s.Delete(target.U, target.V); err != nil {
+		t.Fatal(err)
+	}
+	if s.Kept() >= kept {
+		t.Errorf("kept %d did not shrink from %d", s.Kept(), kept)
+	}
+	for _, e := range s.Edges() {
+		if e == target {
+			t.Error("deleted edge still kept")
+		}
+	}
+}
+
+func TestDeleteMaintainsBudget(t *testing.T) {
+	// Insert a graph, then delete a random half of its edges; the kept set
+	// must track the shrinking budget and Δ must stay consistent.
+	g := gen.ErdosRenyi(60, 200, 17)
+	p := 0.5
+	s, _ := NewShedder(Options{P: p, Seed: 18, Nodes: 60})
+	for _, e := range g.Edges() {
+		if err := s.Insert(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range g.Edges()[:100] {
+		if err := s.Delete(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Seen() != 100 {
+		t.Fatalf("seen = %d, want 100", s.Seen())
+	}
+	budget := int(math.Round(p * 100))
+	if s.Kept() > budget {
+		t.Errorf("kept %d exceeds budget %d after deletions", s.Kept(), budget)
+	}
+	// Δ consistency against the remaining stream: the remaining original
+	// degrees are those of the last 100 edges.
+	remaining, err := graph.NewFromEdges(60, g.Edges()[100:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Delta(), deltaOf(remaining, s.Edges(), p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("tracked Δ = %v, recomputed = %v", got, want)
+	}
+	if err := s.Snapshot().Validate(); err != nil {
+		t.Errorf("snapshot invalid after deletions: %v", err)
+	}
+}
+
+// TestStreamInvariants property-checks budget and Δ consistency across
+// random streams and parameters.
+func TestStreamInvariants(t *testing.T) {
+	f := func(seed int64, pRaw uint8, candRaw uint8) bool {
+		p := 0.1 + 0.8*float64(pRaw)/255
+		g := gen.ErdosRenyi(50, 120, seed)
+		s, err := NewShedder(Options{P: p, Seed: seed, Candidates: int(candRaw)%16 + 1, Nodes: 50})
+		if err != nil {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if err := s.Insert(e.U, e.V); err != nil {
+				return false
+			}
+		}
+		budget := int(math.Round(p * float64(g.NumEdges())))
+		if s.Kept() > budget || s.Kept() < budget-1 {
+			return false
+		}
+		return math.Abs(s.Delta()-deltaOf(g, s.Edges(), p)) < 1e-9 &&
+			s.Snapshot().Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+package tasks_test
+
+import (
+	"fmt"
+
+	"edgeshed/internal/core"
+	"edgeshed/internal/graph/gen"
+	"edgeshed/internal/tasks"
+)
+
+// ExampleTopKTask measures how much of the top-10% PageRank set a reduction
+// preserves — the paper's Tables VIII-IX metric.
+func ExampleTopKTask() {
+	g := gen.BarabasiAlbert(500, 3, 1)
+	res, err := (core.CRR{Seed: 1}).Reduce(g, 0.9)
+	if err != nil {
+		panic(err)
+	}
+	u := (tasks.TopKTask{}).Utility(g, res.Reduced)
+	fmt.Println("high utility at p=0.9:", u > 0.85)
+	// Output:
+	// high utility at p=0.9: true
+}
+
+// ExampleSuite evaluates a reduction on every task at once.
+func ExampleSuite() {
+	g := gen.BarabasiAlbert(200, 3, 2)
+	res, err := (core.BM2{}).Reduce(g, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	suite := tasks.Suite{SkipEmbedding: true, Seed: 3}
+	ms := suite.Evaluate(g, res.Reduced)
+	fmt.Println("tasks evaluated:", len(ms))
+	fmt.Println("first task:", ms[0].Task)
+	// Output:
+	// tasks evaluated: 7
+	// first task: vertex degree
+}

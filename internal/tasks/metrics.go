@@ -1,0 +1,114 @@
+// Package tasks implements the paper's seven evaluation tasks (Section V-A)
+// and their utility metrics: five structural characteristics (vertex degree,
+// shortest-path distance, betweenness centrality, clustering coefficient,
+// hop-plot) and two applications (top-k PageRank queries and link prediction
+// within communities).
+package tasks
+
+import (
+	"math"
+
+	"edgeshed/internal/graph"
+)
+
+// TVD returns the total variation distance between two discrete
+// distributions indexed by bucket; missing tail buckets count as zero.
+func TVD(p, q []float64) float64 {
+	var sum float64
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	for i := 0; i < n; i++ {
+		var pi, qi float64
+		if i < len(p) {
+			pi = p[i]
+		}
+		if i < len(q) {
+			qi = q[i]
+		}
+		sum += math.Abs(pi - qi)
+	}
+	return sum / 2
+}
+
+// KS returns the Kolmogorov–Smirnov statistic (max CDF gap) between two
+// discrete distributions indexed by bucket.
+func KS(p, q []float64) float64 {
+	var cp, cq, max float64
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	for i := 0; i < n; i++ {
+		if i < len(p) {
+			cp += p[i]
+		}
+		if i < len(q) {
+			cq += q[i]
+		}
+		if d := math.Abs(cp - cq); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// L1 returns the L1 distance between two bucketed series (not necessarily
+// distributions), zero-padding the shorter.
+func L1(p, q []float64) float64 {
+	var sum float64
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	for i := 0; i < n; i++ {
+		var pi, qi float64
+		if i < len(p) {
+			pi = p[i]
+		}
+		if i < len(q) {
+			qi = q[i]
+		}
+		sum += math.Abs(pi - qi)
+	}
+	return sum
+}
+
+// Overlap returns |a ∩ b| / |a| for two node sets given as slices; it is the
+// shape of both the top-k utility and the link-prediction utility. Returns 0
+// for an empty a.
+func Overlap(a, b []graph.NodeID) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	set := make(map[graph.NodeID]struct{}, len(b))
+	for _, x := range b {
+		set[x] = struct{}{}
+	}
+	inter := 0
+	for _, x := range a {
+		if _, ok := set[x]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(a))
+}
+
+// PairOverlap is Overlap for canonical node pairs: |a ∩ b| / |a|.
+func PairOverlap(a, b []graph.Edge) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	set := make(map[graph.Edge]struct{}, len(b))
+	for _, e := range b {
+		set[e.Canonical()] = struct{}{}
+	}
+	inter := 0
+	for _, e := range a {
+		if _, ok := set[e.Canonical()]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(a))
+}

@@ -1,0 +1,73 @@
+package tasks
+
+import (
+	"edgeshed/internal/centrality"
+	"edgeshed/internal/community"
+	"edgeshed/internal/embed"
+	"edgeshed/internal/graph"
+)
+
+// Suite bundles the paper's seven evaluation tasks (plus the
+// label-propagation link-prediction variant) into one configurable runner,
+// so harnesses and tools evaluate a reduction consistently.
+type Suite struct {
+	// Sources samples BFS/betweenness sources on large graphs; 0 = exact.
+	Sources int
+	// MaxPairs caps 2-hop candidate pairs for link prediction; 0 = all.
+	MaxPairs int
+	// Seed drives all sampling inside the suite.
+	Seed int64
+	// SkipEmbedding drops the node2vec link-prediction row (the most
+	// expensive task) when speed matters.
+	SkipEmbedding bool
+}
+
+// Measurement is one task's outcome.
+type Measurement struct {
+	// Task is the row name, e.g. "vertex degree".
+	Task string
+	// Value is the metric value.
+	Value float64
+	// HigherIsBetter tells renderers which direction is good: true for
+	// utilities, false for errors/distances.
+	HigherIsBetter bool
+	// Meaning is a one-line description of the metric.
+	Meaning string
+}
+
+// Evaluate runs every configured task between the original and reduced
+// graphs (same node-id space) and returns the measurements in the paper's
+// task order.
+func (s Suite) Evaluate(orig, red *graph.Graph) []Measurement {
+	bopt := centrality.Options{Samples: s.Sources, Seed: s.Seed}
+	out := []Measurement{
+		{"vertex degree", (DegreeTask{Cap: 300}).Error(orig, red), false, "TVD, lower is better"},
+		{"shortest-path distance", (SPDistanceTask{Sources: s.Sources, Seed: s.Seed}).Error(orig, red), false, "TVD, lower is better"},
+		{"betweenness centrality", (BetweennessTask{Options: bopt}).Error(orig, red), false, "relative L1, lower is better"},
+		{"clustering coefficient", (ClusteringTask{}).Error(orig, red), false, "mean |gap|, lower is better"},
+		{"hop-plot", (HopPlotTask{Sources: s.Sources, Seed: s.Seed}).Error(orig, red), false, "mean |gap|, lower is better"},
+		{"top-10% query", (TopKTask{}).Utility(orig, red), true, "utility, higher is better"},
+	}
+	if !s.SkipEmbedding {
+		out = append(out, Measurement{
+			"link prediction (node2vec)",
+			(LinkPredictionTask{
+				Walk:     embed.WalkConfig{WalksPerNode: 5, WalkLength: 20, Seed: s.Seed},
+				SGNS:     embed.SGNSConfig{Dim: 32, Epochs: 1, Seed: s.Seed + 1},
+				MaxPairs: s.MaxPairs,
+				Seed:     s.Seed + 2,
+			}).Utility(orig, red),
+			true, "utility, higher is better",
+		})
+	}
+	out = append(out, Measurement{
+		"link prediction (label prop)",
+		(LabelPropagationLinkTask{
+			Propagation: community.LabelPropagationOptions{Seed: s.Seed + 3},
+			MaxPairs:    s.MaxPairs,
+			Seed:        s.Seed + 4,
+		}).Utility(orig, red),
+		true, "utility, higher is better",
+	})
+	return out
+}

@@ -1,0 +1,73 @@
+package tasks
+
+import (
+	"testing"
+
+	"edgeshed/internal/core"
+	"edgeshed/internal/graph/gen"
+)
+
+func TestSuiteSelfEvaluation(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 21)
+	ms := (Suite{MaxPairs: 5000, Seed: 1}).Evaluate(g, g)
+	if len(ms) != 8 {
+		t.Fatalf("got %d measurements, want 8", len(ms))
+	}
+	for _, m := range ms {
+		if m.Task == "" || m.Meaning == "" {
+			t.Errorf("measurement missing labels: %+v", m)
+		}
+		if m.HigherIsBetter {
+			if m.Value < 0.999 {
+				t.Errorf("%s: self utility = %v, want 1", m.Task, m.Value)
+			}
+		} else if m.Value > 1e-9 {
+			t.Errorf("%s: self error = %v, want 0", m.Task, m.Value)
+		}
+	}
+}
+
+func TestSuiteSkipEmbedding(t *testing.T) {
+	g := gen.BarabasiAlbert(60, 2, 22)
+	ms := (Suite{SkipEmbedding: true, Seed: 1}).Evaluate(g, g)
+	if len(ms) != 7 {
+		t.Fatalf("got %d measurements, want 7 without embedding", len(ms))
+	}
+	for _, m := range ms {
+		if m.Task == "link prediction (node2vec)" {
+			t.Error("embedding task present despite SkipEmbedding")
+		}
+	}
+}
+
+func TestSuiteOrdersReductionQuality(t *testing.T) {
+	// The suite should score a gentle reduction (p=0.9) at least as well as
+	// a harsh one (p=0.2) on the top-k utility row.
+	g := gen.BarabasiAlbert(200, 3, 23)
+	gentle, err := (core.CRR{Seed: 1}).Reduce(g, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	harsh, err := (core.CRR{Seed: 1}).Reduce(g, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Suite{SkipEmbedding: true, MaxPairs: 2000, Seed: 2}
+	find := func(ms []Measurement, task string) float64 {
+		for _, m := range ms {
+			if m.Task == task {
+				return m.Value
+			}
+		}
+		t.Fatalf("task %q missing", task)
+		return 0
+	}
+	mg := s.Evaluate(g, gentle.Reduced)
+	mh := s.Evaluate(g, harsh.Reduced)
+	if find(mg, "top-10% query") < find(mh, "top-10% query") {
+		t.Error("gentle reduction scored below harsh one on top-k")
+	}
+	if find(mg, "vertex degree") > find(mh, "vertex degree") {
+		t.Error("gentle reduction has larger degree error than harsh one")
+	}
+}

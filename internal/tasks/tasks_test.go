@@ -1,0 +1,199 @@
+package tasks
+
+import (
+	"math"
+	"testing"
+
+	"edgeshed/internal/analysis"
+	"edgeshed/internal/core"
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+)
+
+func TestTVD(t *testing.T) {
+	if got := TVD([]float64{0.5, 0.5}, []float64{0.5, 0.5}); got != 0 {
+		t.Errorf("TVD identical = %v, want 0", got)
+	}
+	if got := TVD([]float64{1, 0}, []float64{0, 1}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("TVD disjoint = %v, want 1", got)
+	}
+	// Length mismatch: tail treated as zero.
+	if got := TVD([]float64{1}, []float64{0.5, 0.5}); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("TVD padded = %v, want 0.5", got)
+	}
+}
+
+func TestKS(t *testing.T) {
+	if got := KS([]float64{0.5, 0.5}, []float64{0.5, 0.5}); got != 0 {
+		t.Errorf("KS identical = %v, want 0", got)
+	}
+	if got := KS([]float64{1, 0}, []float64{0, 1}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("KS opposite = %v, want 1", got)
+	}
+	if got := KS([]float64{0.6, 0.4}, []float64{0.4, 0.6}); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("KS = %v, want 0.2", got)
+	}
+}
+
+func TestL1(t *testing.T) {
+	if got := L1([]float64{1, 2}, []float64{0, 4, 1}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("L1 = %v, want 4", got)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := []graph.NodeID{1, 2, 3, 4}
+	b := []graph.NodeID{3, 4, 5, 6}
+	if got := Overlap(a, b); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Overlap = %v, want 0.5", got)
+	}
+	if got := Overlap(nil, b); got != 0 {
+		t.Errorf("Overlap empty = %v, want 0", got)
+	}
+}
+
+func TestPairOverlapOrientationInsensitive(t *testing.T) {
+	a := []graph.Edge{{U: 1, V: 2}, {U: 3, V: 4}}
+	b := []graph.Edge{{U: 2, V: 1}, {U: 5, V: 6}}
+	if got := PairOverlap(a, b); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("PairOverlap = %v, want 0.5", got)
+	}
+}
+
+func TestDegreeTaskIdenticalGraphs(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 1)
+	if got := (DegreeTask{}).Error(g, g); got != 0 {
+		t.Errorf("degree error on identical graphs = %v, want 0", got)
+	}
+}
+
+func TestDegreeTaskDetectsDistortion(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 2)
+	good, err := (core.BM2{}).Reduce(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := (core.Random{Seed: 3}).Reduce(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := DegreeTask{}
+	// Degree-preserving BM2 keeps degrees proportional; random shedding does
+	// not track per-node expectations, so its degree distribution error is
+	// at least as large in practice on heavy-tailed graphs.
+	ge, be := task.Error(g, good.Reduced), task.Error(g, bad.Reduced)
+	if ge > be+0.05 {
+		t.Errorf("BM2 degree error %v much worse than random %v", ge, be)
+	}
+}
+
+func TestSPDistanceTaskSelfZero(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 3, 4)
+	if got := (SPDistanceTask{}).Error(g, g); got != 0 {
+		t.Errorf("SP error on identical graphs = %v, want 0", got)
+	}
+}
+
+func TestHopPlotTask(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 3, 5)
+	task := HopPlotTask{}
+	if got := task.Error(g, g); got != 0 {
+		t.Errorf("hop-plot error on identical graphs = %v, want 0", got)
+	}
+	o, r := task.Series(g, g)
+	if len(o) != len(r) {
+		t.Error("series lengths differ on identical graphs")
+	}
+	if o[len(o)-1] < 0.999 {
+		t.Errorf("hop-plot does not saturate: %v", o[len(o)-1])
+	}
+}
+
+func TestBetweennessTaskIdentical(t *testing.T) {
+	g := gen.BarabasiAlbert(80, 2, 6)
+	if got := (BetweennessTask{}).Error(g, g); got > 1e-9 {
+		t.Errorf("betweenness error on identical graphs = %v, want 0", got)
+	}
+}
+
+func TestClusteringTaskIdentical(t *testing.T) {
+	g := gen.HolmeKim(100, 3, 0.6, 7)
+	if got := (ClusteringTask{}).Error(g, g); got > 1e-9 {
+		t.Errorf("clustering error on identical graphs = %v, want 0", got)
+	}
+}
+
+func TestTopKTaskIdenticalIsOne(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 8)
+	if got := (TopKTask{}).Utility(g, g); math.Abs(got-1) > 1e-9 {
+		t.Errorf("top-k utility of identical graphs = %v, want 1", got)
+	}
+}
+
+func TestTopKUtilityOrdering(t *testing.T) {
+	// CRR at large p should preserve top-k much better than at tiny p
+	// (Table VIII rows).
+	g := gen.BarabasiAlbert(400, 3, 9)
+	task := TopKTask{}
+	big, err := (core.CRR{Seed: 1}).Reduce(g, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := (core.CRR{Seed: 1}).Reduce(g, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, us := task.Utility(g, big.Reduced), task.Utility(g, small.Reduced)
+	if ub <= us {
+		t.Errorf("utility(p=0.9) = %v <= utility(p=0.1) = %v", ub, us)
+	}
+	if ub < 0.8 {
+		t.Errorf("utility at p=0.9 = %v, expected > 0.8", ub)
+	}
+}
+
+func TestTopKUtilityWithScoresHook(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 10)
+	task := TopKTask{}
+	// Supplying the original graph's own PageRank as "reduced scores" must
+	// give utility 1.
+	if got := task.UtilityWithScores(g, pageRankOf(g)); math.Abs(got-1) > 1e-9 {
+		t.Errorf("self scores utility = %v, want 1", got)
+	}
+	// Reversed scores should give low utility.
+	rev := pageRankOf(g)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if got := task.UtilityWithScores(g, rev); got > 0.6 {
+		t.Errorf("reversed scores utility = %v, expected low", got)
+	}
+}
+
+func pageRankOf(g *graph.Graph) []float64 {
+	return analysis.PageRank(g, analysis.PageRankOptions{})
+}
+
+func TestLinkPredictionIdenticalIsOne(t *testing.T) {
+	g := gen.PlantedPartition(3, 15, 0.4, 0.02, 11)
+	task := LinkPredictionTask{
+		Clusters: 3,
+		Seed:     12,
+	}
+	if got := task.Utility(g, g); math.Abs(got-1) > 1e-9 {
+		t.Errorf("link prediction utility of identical graphs = %v, want 1", got)
+	}
+}
+
+func TestLinkPredictionDegradesWithHeavyShedding(t *testing.T) {
+	g := gen.PlantedPartition(3, 20, 0.4, 0.02, 13)
+	task := LinkPredictionTask{Clusters: 3, Seed: 14}
+	big, err := (core.CRR{Seed: 1}).Reduce(g, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub := task.Utility(g, big.Reduced)
+	if ub <= 0.1 {
+		t.Errorf("utility at p=0.8 = %v, expected substantial overlap", ub)
+	}
+}

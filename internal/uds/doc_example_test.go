@@ -1,0 +1,25 @@
+package uds_test
+
+import (
+	"fmt"
+
+	"edgeshed/internal/graph/gen"
+	"edgeshed/internal/uds"
+)
+
+// ExampleSummarizer summarizes a graph at a utility threshold and inspects
+// the resulting supernode structure.
+func ExampleSummarizer() {
+	g := gen.BarabasiAlbert(100, 3, 1)
+	sum, err := uds.Summarizer{Tau: 0.5}.Summarize(g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("utility stayed above τ:", sum.Utility >= 0.5)
+	fmt.Println("merged anything:", sum.Merges > 0)
+	fmt.Println("partition intact:", len(sum.SuperOf) == g.NumNodes())
+	// Output:
+	// utility stayed above τ: true
+	// merged anything: true
+	// partition intact: true
+}

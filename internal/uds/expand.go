@@ -1,0 +1,268 @@
+package uds
+
+import (
+	"math/rand"
+	"sort"
+
+	"edgeshed/internal/core"
+	"edgeshed/internal/graph"
+)
+
+// ExpandedGraph reconstructs a plain graph from the summary for running
+// ordinary analysis algorithms, using expected-graph sampling: for every
+// superpair (and supernode interior) whose superedge is kept, it materializes
+// as many edges as the superpair originally carried, sampled uniformly from
+// the implied member pairs. The result has roughly as many edges as the
+// summary represents, but their placement inside merged regions is
+// randomized — exactly the information UDS's aggregation has discarded.
+func (s *Summary) ExpandedGraph(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(s.Original.NumNodes())
+	samplePairs := func(as, bs []graph.NodeID, count int) {
+		// Sample `count` distinct pairs across as × bs (or within as when bs
+		// is nil) by rejection, bounded to avoid pathological loops.
+		maxAttempts := 20*count + 50
+		for added, att := 0, 0; added < count && att < maxAttempts; att++ {
+			var u, v graph.NodeID
+			if bs == nil {
+				u = as[rng.Intn(len(as))]
+				v = as[rng.Intn(len(as))]
+			} else {
+				u = as[rng.Intn(len(as))]
+				v = bs[rng.Intn(len(bs))]
+			}
+			if b.TryAddEdge(u, v) {
+				added++
+			}
+		}
+	}
+	// Deterministic iteration order over the superedge map.
+	keys := make([][2]int32, 0, len(s.superEdges))
+	for k := range s.superEdges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		pi := s.superEdges[k]
+		if !s.keepPair(k[0], k[1], pi) {
+			continue
+		}
+		samplePairs(s.Members[k[0]], s.Members[k[1]], pi.edges)
+	}
+	for sn, in := range s.internal {
+		if s.Members[sn] == nil || in.edges == 0 {
+			continue
+		}
+		if !s.keepInternal(int32(sn), in) {
+			continue
+		}
+		samplePairs(s.Members[sn], nil, in.edges)
+	}
+	return b.Graph()
+}
+
+// keepPair applies the same keep-vs-drop rule used during summarization.
+func (s *Summary) keepPair(a, b int32, pi *pairInfo) bool {
+	if pi == nil || pi.edges == 0 {
+		return false
+	}
+	sa, sb := len(s.Members[a]), len(s.Members[b])
+	pairs := float64(sa) * float64(sb)
+	spAll := (float64(sb)*s.nbSum[a] + float64(sa)*s.nbSum[b]) / 2 * s.penalty
+	return pi.imp-spAll*(1-float64(pi.edges)/pairs) > 0
+}
+
+// keepInternal is keepPair for supernode interiors.
+func (s *Summary) keepInternal(a int32, in pairInfo) bool {
+	if in.edges == 0 {
+		return false
+	}
+	k := float64(len(s.Members[a]))
+	pairs := k * (k - 1) / 2
+	if pairs == 0 {
+		return false
+	}
+	spAll := (k - 1) / 2 * s.nbSum[a] * s.penalty
+	return in.imp-spAll*(1-float64(in.edges)/pairs) > 0
+}
+
+// SkeletonGraph reconstructs the summary as a sparse skeleton: every kept
+// superedge becomes exactly one edge between representative members (the
+// first member of each supernode), and supernode interiors become a star
+// around the representative. This is the "analysis on the summary graph
+// itself" view: aggressive at small τ_U, it collapses distances and
+// degrees the way the paper reports for UDS. Compare ExpandedGraph, which
+// conserves represented edge counts.
+func (s *Summary) SkeletonGraph() *graph.Graph {
+	b := graph.NewBuilder(s.Original.NumNodes())
+	rep := func(sn int32) graph.NodeID { return s.Members[sn][0] }
+	keys := make([][2]int32, 0, len(s.superEdges))
+	for k := range s.superEdges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		if !s.keepPair(k[0], k[1], s.superEdges[k]) {
+			continue
+		}
+		b.TryAddEdge(rep(k[0]), rep(k[1]))
+	}
+	for sn, in := range s.internal {
+		if s.Members[sn] == nil || !s.keepInternal(int32(sn), in) {
+			continue
+		}
+		r := rep(int32(sn))
+		for _, u := range s.Members[sn][1:] {
+			b.TryAddEdge(r, u)
+		}
+	}
+	return b.Graph()
+}
+
+// PageRankScores runs PageRank on the weighted summary graph and spreads
+// each supernode's score evenly over its members — UDS's "own processing
+// method of supernodes" for top-k queries (Section V-A(6)). damping is
+// typically 0.85; iters around 40.
+func (s *Summary) PageRankScores(damping float64, iters int) []float64 {
+	n := len(s.Members)
+	// Weighted degree per alive supernode: kept superedges plus internal
+	// self-weight.
+	wdeg := make([]float64, n)
+	type wedge struct {
+		a, b int32
+		w    float64
+	}
+	var edges []wedge
+	for k, pi := range s.superEdges {
+		if !s.keepPair(k[0], k[1], pi) {
+			continue
+		}
+		w := float64(pi.edges)
+		edges = append(edges, wedge{k[0], k[1], w})
+		wdeg[k[0]] += w
+		wdeg[k[1]] += w
+	}
+	selfW := make([]float64, n)
+	for sn, in := range s.internal {
+		if s.Members[sn] == nil || !s.keepInternal(int32(sn), in) {
+			continue
+		}
+		selfW[sn] = float64(in.edges)
+		wdeg[sn] += float64(in.edges)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+
+	alive := 0
+	for _, m := range s.Members {
+		if m != nil {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return make([]float64, s.Original.NumNodes())
+	}
+	pr := make([]float64, n)
+	next := make([]float64, n)
+	for sn, m := range s.Members {
+		if m != nil {
+			pr[sn] = 1 / float64(alive)
+		}
+	}
+	base := (1 - damping) / float64(alive)
+	for it := 0; it < iters; it++ {
+		var dangling float64
+		for sn, m := range s.Members {
+			if m == nil {
+				continue
+			}
+			if wdeg[sn] == 0 {
+				dangling += pr[sn]
+				next[sn] = 0
+				continue
+			}
+			next[sn] = selfW[sn] / wdeg[sn] * pr[sn]
+		}
+		for _, e := range edges {
+			next[e.b] += e.w / wdeg[e.a] * pr[e.a]
+			next[e.a] += e.w / wdeg[e.b] * pr[e.b]
+		}
+		for sn, m := range s.Members {
+			if m == nil {
+				pr[sn] = 0
+				continue
+			}
+			pr[sn] = base + damping*(next[sn]+dangling/float64(alive))
+			next[sn] = 0
+		}
+	}
+	// Spread supernode scores over members.
+	out := make([]float64, s.Original.NumNodes())
+	for sn, m := range s.Members {
+		if m == nil {
+			continue
+		}
+		share := pr[sn] / float64(len(m))
+		for _, u := range m {
+			out[u] = share
+		}
+	}
+	return out
+}
+
+// Reducer adapts UDS to the core.Reducer interface so the experiment harness
+// can time and evaluate it alongside CRR and BM2. Reduce summarizes with
+// τ_U = p (the paper's parameter setting) and returns the expanded graph as
+// the "reduced" graph. Note the expanded graph is generally NOT a subgraph
+// of the original: reconstruction rewires edges inside merged regions.
+type Reducer struct {
+	// Summarizer carries all knobs except Tau, which Reduce sets to p.
+	Summarizer Summarizer
+	// ExpandSeed drives the expected-graph sampling.
+	ExpandSeed int64
+	// Skeleton selects SkeletonGraph instead of ExpandedGraph as the
+	// reduced graph: the summary-as-graph view that degrades density-driven
+	// tasks the way the paper reports (see EXPERIMENTS.md note 1).
+	Skeleton bool
+}
+
+// Name implements core.Reducer.
+func (Reducer) Name() string { return "UDS" }
+
+// Reduce implements core.Reducer.
+func (r Reducer) Reduce(g *graph.Graph, p float64) (*core.Result, error) {
+	_, sum, err := r.Summarize(g, p)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Result{Original: g, Reduced: sum.ExpandedGraph(r.ExpandSeed), P: p}, nil
+}
+
+// Summarize runs UDS at τ_U = p and returns both the expanded graph and the
+// summary, for callers (top-k evaluation) that need supernode structure.
+func (r Reducer) Summarize(g *graph.Graph, p float64) (*graph.Graph, *Summary, error) {
+	s := r.Summarizer
+	s.Tau = p
+	sum, err := s.Summarize(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	if r.Skeleton {
+		return sum.SkeletonGraph(), sum, nil
+	}
+	return sum.ExpandedGraph(r.ExpandSeed), sum, nil
+}

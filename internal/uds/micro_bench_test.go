@@ -1,0 +1,47 @@
+package uds
+
+import (
+	"fmt"
+	"testing"
+
+	"edgeshed/internal/graph/gen"
+)
+
+// BenchmarkSummarize shows UDS's defining cost curve: runtime grows as τ_U
+// falls (more merges, each touching more state) — the Table III shape.
+func BenchmarkSummarize(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 4, 1)
+	for _, tau := range []float64{0.9, 0.5, 0.1} {
+		b.Run(fmt.Sprintf("tau=%.1f", tau), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (Summarizer{Tau: tau}).Summarize(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExpandedGraph(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 4, 1)
+	sum, err := Summarizer{Tau: 0.3}.Summarize(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum.ExpandedGraph(int64(i))
+	}
+}
+
+func BenchmarkSupernodePageRank(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 4, 1)
+	sum, err := Summarizer{Tau: 0.3}.Summarize(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum.PageRankScores(0.85, 50)
+	}
+}

@@ -1,0 +1,32 @@
+package uncertain_test
+
+import (
+	"fmt"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/uncertain"
+)
+
+// ExampleGraph_Representative extracts a representative instance of a small
+// uncertain triangle: the low-probability edge is shed.
+func ExampleGraph_Representative() {
+	ug, err := uncertain.New(3, []uncertain.Edge{
+		{E: graph.Edge{U: 0, V: 1}, P: 0.9},
+		{E: graph.Edge{U: 1, V: 2}, P: 0.9},
+		{E: graph.Edge{U: 0, V: 2}, P: 0.1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	rep, err := ug.Representative()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("kept edges:", rep.NumEdges())
+	fmt.Println("has likely edge:", rep.HasEdge(0, 1))
+	fmt.Println("has unlikely edge:", rep.HasEdge(0, 2))
+	// Output:
+	// kept edges: 2
+	// has likely edge: true
+	// has unlikely edge: false
+}

@@ -1,0 +1,162 @@
+// Package uncertain implements the representative-instance extraction of
+// Parchas et al. (SIGMOD'14, paper reference [22]) — the lineage BM2 builds
+// on. An uncertain graph attaches an existence probability to every edge;
+// a representative instance is a deterministic graph whose node degrees
+// track the expected degrees Σ p(e). Section IV of the paper observes that
+// a maximum b-matching with capacities round(expected degree) is a good
+// constraint enforcer for exactly this problem, and BM2 transplants that
+// idea to edge shedding (where p(e) = p for every edge).
+package uncertain
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edgeshed/internal/graph"
+)
+
+// Edge is an edge with an existence probability.
+type Edge struct {
+	E graph.Edge
+	P float64
+}
+
+// Graph is an uncertain undirected graph over dense node ids.
+type Graph struct {
+	n     int
+	edges []Edge
+}
+
+// New builds an uncertain graph with n nodes. Edge probabilities must lie
+// in (0, 1]; duplicates (either orientation) and self-loops are rejected.
+func New(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("uncertain: negative node count")
+	}
+	seen := make(map[graph.Edge]struct{}, len(edges))
+	out := make([]Edge, 0, len(edges))
+	for _, ue := range edges {
+		e := ue.E.Canonical()
+		if e.U == e.V {
+			return nil, fmt.Errorf("uncertain: self-loop %v", e)
+		}
+		if e.U < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("uncertain: edge %v outside [0,%d)", e, n)
+		}
+		if _, dup := seen[e]; dup {
+			return nil, fmt.Errorf("uncertain: duplicate edge %v", e)
+		}
+		if math.IsNaN(ue.P) || ue.P <= 0 || ue.P > 1 {
+			return nil, fmt.Errorf("uncertain: edge %v probability %v outside (0,1]", e, ue.P)
+		}
+		seen[e] = struct{}{}
+		out = append(out, Edge{E: e, P: ue.P})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].E.U != out[j].E.U {
+			return out[i].E.U < out[j].E.U
+		}
+		return out[i].E.V < out[j].E.V
+	})
+	return &Graph{n: n, edges: out}, nil
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of uncertain edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edges returns the probability-annotated edges sorted canonically. The
+// slice is owned by the graph.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// ExpectedDegrees returns each node's expected degree Σ_{e ∋ u} p(e).
+func (g *Graph) ExpectedDegrees() []float64 {
+	deg := make([]float64, g.n)
+	for _, ue := range g.edges {
+		deg[ue.E.U] += ue.P
+		deg[ue.E.V] += ue.P
+	}
+	return deg
+}
+
+// ExpectedEdges returns Σ p(e), the expected edge count.
+func (g *Graph) ExpectedEdges() float64 {
+	var sum float64
+	for _, ue := range g.edges {
+		sum += ue.P
+	}
+	return sum
+}
+
+// Backbone returns the deterministic graph over all possible edges
+// (probabilities ignored).
+func (g *Graph) Backbone() *graph.Graph {
+	b := graph.NewBuilder(g.n)
+	for _, ue := range g.edges {
+		b.TryAddEdge(ue.E.U, ue.E.V)
+	}
+	return b.Graph()
+}
+
+// Representative extracts a representative instance: a deterministic
+// subgraph whose node degrees approximate the expected degrees. Phase 1
+// runs a greedy maximal b-matching with capacities round(expected degree),
+// scanning edges in non-increasing probability order (most-likely edges
+// claim capacity first); Phase 2 greedily adds remaining edges whose
+// addition strictly reduces the total degree discrepancy, the ADR-style
+// correction of Parchas et al.
+func (g *Graph) Representative() (*graph.Graph, error) {
+	expected := g.ExpectedDegrees()
+	caps := make([]int, g.n)
+	for u, x := range expected {
+		caps[u] = int(math.Round(x))
+	}
+	backbone := g.Backbone()
+	// Probability-ordered scan: build an explicit edge order by sorting a
+	// copy of the uncertain edges by descending probability, then greedily
+	// b-match by hand (matching.GreedyBMatching scans the backbone's own
+	// canonical order, which would ignore probabilities).
+	byProb := append([]Edge(nil), g.edges...)
+	sort.SliceStable(byProb, func(i, j int) bool { return byProb[i].P > byProb[j].P })
+	deg := make([]int, g.n)
+	var chosen []graph.Edge
+	inChosen := make(map[graph.Edge]struct{})
+	for _, ue := range byProb {
+		if deg[ue.E.U] < caps[ue.E.U] && deg[ue.E.V] < caps[ue.E.V] {
+			chosen = append(chosen, ue.E)
+			inChosen[ue.E] = struct{}{}
+			deg[ue.E.U]++
+			deg[ue.E.V]++
+		}
+	}
+	// Phase 2: discrepancy-reducing additions among the skipped edges.
+	dis := func(u graph.NodeID) float64 { return float64(deg[u]) - expected[u] }
+	for _, ue := range byProb {
+		if _, ok := inChosen[ue.E]; ok {
+			continue
+		}
+		change := math.Abs(dis(ue.E.U)+1) - math.Abs(dis(ue.E.U)) +
+			math.Abs(dis(ue.E.V)+1) - math.Abs(dis(ue.E.V))
+		if change < 0 {
+			chosen = append(chosen, ue.E)
+			inChosen[ue.E] = struct{}{}
+			deg[ue.E.U]++
+			deg[ue.E.V]++
+		}
+	}
+	return backbone.Subgraph(chosen)
+}
+
+// Discrepancy returns Σ_u |deg_H(u) − E[deg(u)]| for a candidate instance
+// H of g — the objective Representative minimizes.
+func (g *Graph) Discrepancy(h *graph.Graph) float64 {
+	expected := g.ExpectedDegrees()
+	var sum float64
+	for u := 0; u < g.n; u++ {
+		sum += math.Abs(float64(h.Degree(graph.NodeID(u))) - expected[u])
+	}
+	return sum
+}

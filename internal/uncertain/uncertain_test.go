@@ -1,0 +1,173 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+)
+
+func TestNewValidation(t *testing.T) {
+	ok := []Edge{{E: graph.Edge{U: 0, V: 1}, P: 0.5}}
+	if _, err := New(2, ok); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	cases := []struct {
+		name  string
+		n     int
+		edges []Edge
+	}{
+		{"self-loop", 2, []Edge{{E: graph.Edge{U: 1, V: 1}, P: 0.5}}},
+		{"out of range", 2, []Edge{{E: graph.Edge{U: 0, V: 2}, P: 0.5}}},
+		{"duplicate", 2, []Edge{{E: graph.Edge{U: 0, V: 1}, P: 0.5}, {E: graph.Edge{U: 1, V: 0}, P: 0.3}}},
+		{"zero prob", 2, []Edge{{E: graph.Edge{U: 0, V: 1}, P: 0}}},
+		{"prob above one", 2, []Edge{{E: graph.Edge{U: 0, V: 1}, P: 1.5}}},
+		{"NaN prob", 2, []Edge{{E: graph.Edge{U: 0, V: 1}, P: math.NaN()}}},
+		{"negative n", -1, nil},
+	}
+	for _, c := range cases {
+		if _, err := New(c.n, c.edges); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestExpectedDegrees(t *testing.T) {
+	g, err := New(3, []Edge{
+		{E: graph.Edge{U: 0, V: 1}, P: 0.5},
+		{E: graph.Edge{U: 1, V: 2}, P: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := g.ExpectedDegrees()
+	want := []float64{0.5, 0.75, 0.25}
+	for u, w := range want {
+		if math.Abs(deg[u]-w) > 1e-9 {
+			t.Errorf("E[deg(%d)] = %v, want %v", u, deg[u], w)
+		}
+	}
+	if math.Abs(g.ExpectedEdges()-0.75) > 1e-9 {
+		t.Errorf("E[|E|] = %v, want 0.75", g.ExpectedEdges())
+	}
+}
+
+func TestCertainGraphRepresentativeIsBackbone(t *testing.T) {
+	// All probabilities 1: the representative must be the backbone itself.
+	base := gen.BarabasiAlbert(60, 2, 3)
+	var edges []Edge
+	for _, e := range base.Edges() {
+		edges = append(edges, Edge{E: e, P: 1})
+	}
+	ug, err := New(60, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ug.Representative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumEdges() != base.NumEdges() {
+		t.Errorf("certain representative |E| = %d, want %d", rep.NumEdges(), base.NumEdges())
+	}
+	if d := ug.Discrepancy(rep); d > 1e-9 {
+		t.Errorf("certain representative discrepancy = %v, want 0", d)
+	}
+}
+
+func TestRepresentativeBeatsBackboneAndEmpty(t *testing.T) {
+	// With fractional probabilities, the representative's discrepancy must
+	// beat both trivial instances: everything (backbone) and nothing.
+	rng := rand.New(rand.NewSource(7))
+	base := gen.ErdosRenyi(80, 300, 7)
+	var edges []Edge
+	for _, e := range base.Edges() {
+		edges = append(edges, Edge{E: e, P: 0.1 + 0.8*rng.Float64()})
+	}
+	ug, err := New(80, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ug.Representative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := base.Subgraph(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dRep := ug.Discrepancy(rep)
+	if dBack := ug.Discrepancy(base); dRep >= dBack {
+		t.Errorf("representative discrepancy %v >= backbone %v", dRep, dBack)
+	}
+	if dEmpty := ug.Discrepancy(empty); dRep >= dEmpty {
+		t.Errorf("representative discrepancy %v >= empty %v", dRep, dEmpty)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Errorf("representative invalid: %v", err)
+	}
+}
+
+func TestRepresentativeEdgeCountNearExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	base := gen.BarabasiAlbert(100, 3, 9)
+	var edges []Edge
+	for _, e := range base.Edges() {
+		edges = append(edges, Edge{E: e, P: 0.2 + 0.6*rng.Float64()})
+	}
+	ug, _ := New(100, edges)
+	rep, err := ug.Representative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ug.ExpectedEdges()
+	got := float64(rep.NumEdges())
+	if got < want*0.8 || got > want*1.2 {
+		t.Errorf("representative |E| = %v, want within 20%% of E[|E|] = %v", got, want)
+	}
+}
+
+// TestRepresentativeInvariant property-checks validity and the
+// discrepancy-vs-backbone ordering across random uncertain graphs.
+func TestRepresentativeInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := gen.ErdosRenyi(30, 70, seed)
+		var edges []Edge
+		for _, e := range base.Edges() {
+			edges = append(edges, Edge{E: e, P: 0.05 + 0.9*rng.Float64()})
+		}
+		ug, err := New(30, edges)
+		if err != nil {
+			return false
+		}
+		rep, err := ug.Representative()
+		if err != nil {
+			return false
+		}
+		return rep.Validate() == nil && ug.Discrepancy(rep) <= ug.Discrepancy(base)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBackboneShape(t *testing.T) {
+	g, err := New(4, []Edge{
+		{E: graph.Edge{U: 3, V: 0}, P: 0.9},
+		{E: graph.Edge{U: 1, V: 2}, P: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.Backbone()
+	if b.NumEdges() != 2 || !b.HasEdge(0, 3) || !b.HasEdge(1, 2) {
+		t.Errorf("backbone wrong: %v", b.Edges())
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 2 {
+		t.Errorf("shape accessors wrong: %d, %d", g.NumNodes(), g.NumEdges())
+	}
+}
