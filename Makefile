@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments claims fmt vet clean
+.PHONY: all build test race bench bench-centrality experiments claims fmt vet clean
 
 all: build test
 
@@ -17,6 +17,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Refresh the betweenness perf baseline: map-indexed (oracle) vs CSR-indexed
+# Brandes micro-benchmarks, recorded as JSON so PRs can diff the trajectory.
+bench-centrality:
+	$(GO) test -run xxx -bench 'Betweenness(Map|CSR)Indexed' -benchtime 1x -benchmem ./internal/centrality/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_betweenness.json
+	cat BENCH_betweenness.json
 
 # Reproduce every paper artifact at laptop scale and self-audit the shapes.
 experiments:

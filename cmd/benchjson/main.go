@@ -1,0 +1,159 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// baseline file, so benchmark numbers can be committed and diffed across
+// PRs:
+//
+//	go test -run xxx -bench Betweenness -benchtime 1x -benchmem ./internal/centrality/ | benchjson -out BENCH_betweenness.json
+//
+// Beyond the raw per-benchmark rows it derives speedup ratios for every
+// XxxMapIndexed / XxxCSRIndexed benchmark pair, which is how the Brandes
+// CSR migration records its perf trajectory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix and the
+	// -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix, 1 if absent.
+	Procs int `json:"procs"`
+	// Iterations is the b.N the reported averages were taken over.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem, else 0.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	// Benchmarks holds every parsed result line in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Speedups maps a benchmark stem to MapIndexed-ns / CSRIndexed-ns for
+	// every stem that has both variants.
+	Speedups map[string]float64 `json:"speedups,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	flag.Parse()
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans bench output, ignoring non-result lines (goos/pkg/PASS/ok).
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Speedups: map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseLine(line)
+		if ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	deriveSpeedups(rep)
+	return rep, nil
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8  10  123 ns/op  45 B/op  6 allocs/op
+//
+// reporting ok=false for lines that only look like results.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, true
+}
+
+// deriveSpeedups fills Speedups from MapIndexed/CSRIndexed benchmark pairs.
+func deriveSpeedups(rep *Report) {
+	byName := make(map[string]Benchmark, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	for name, oldB := range byName {
+		stem, ok := strings.CutSuffix(name, "MapIndexed")
+		if !ok {
+			continue
+		}
+		newB, ok := byName[stem+"CSRIndexed"]
+		if !ok || newB.NsPerOp == 0 {
+			continue
+		}
+		rep.Speedups[stem] = oldB.NsPerOp / newB.NsPerOp
+	}
+	if len(rep.Speedups) == 0 {
+		rep.Speedups = nil
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: edgeshed/internal/centrality
+cpu: some cpu
+BenchmarkEdgeBetweennessMapIndexed-8   	       2	  60000000 ns/op	  500000 B/op	    1200 allocs/op
+BenchmarkEdgeBetweennessCSRIndexed-8   	       6	  20000000 ns/op	  100000 B/op	      40 allocs/op
+BenchmarkCloseness-8                   	       3	   1000000 ns/op
+PASS
+ok  	edgeshed/internal/centrality	1.234s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "EdgeBetweennessMapIndexed" || b.Procs != 8 || b.Iterations != 2 {
+		t.Errorf("first benchmark parsed as %+v", b)
+	}
+	if b.NsPerOp != 60000000 || b.BytesPerOp != 500000 || b.AllocsPerOp != 1200 {
+		t.Errorf("metrics parsed as %+v", b)
+	}
+	if rep.Benchmarks[2].BytesPerOp != 0 || rep.Benchmarks[2].AllocsPerOp != 0 {
+		t.Errorf("benchmark without -benchmem columns parsed as %+v", rep.Benchmarks[2])
+	}
+	got, ok := rep.Speedups["EdgeBetweenness"]
+	if !ok {
+		t.Fatal("no EdgeBetweenness speedup derived")
+	}
+	if got < 2.99 || got > 3.01 {
+		t.Errorf("speedup = %v, want 3.0", got)
+	}
+}
+
+func TestParseIgnoresNonResultLines(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkBroken garbage\nBenchmarkAlso-bad\nnothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from garbage, want 0", len(rep.Benchmarks))
+	}
+	if rep.Speedups != nil {
+		t.Errorf("speedups = %v, want none", rep.Speedups)
+	}
+}
+
+func TestParseNameWithoutProcsSuffix(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkThing 	 5 	 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(rep.Benchmarks))
+	}
+	if b := rep.Benchmarks[0]; b.Name != "Thing" || b.Procs != 1 || b.NsPerOp != 100 {
+		t.Errorf("parsed as %+v", b)
+	}
+}

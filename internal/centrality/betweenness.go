@@ -4,6 +4,12 @@
 // O(s|E|) with s sampled sources for the large graphs where exact
 // computation violates the paper's resource constraints.
 //
+// The implementation runs on the graph's CSR view (graph.CSR): the BFS walks
+// flat adjacency slots, predecessors are recorded as slot indices in a flat
+// CSR-bounded array, and edge dependencies accumulate into an array indexed
+// by the slot's canonical edge id — no map lookups and no Edge.Canonical()
+// calls anywhere on the per-visit path.
+//
 // Betweenness is the backbone of CRR Phase 1 (edge ranking) and of the UDS
 // comparator's node/edge importance scores.
 package centrality
@@ -20,15 +26,21 @@ import (
 // Options configures a betweenness computation.
 type Options struct {
 	// Samples is the number of BFS source nodes. 0 (or >= |V|) means exact:
-	// every node is a source. With sampling, scores are scaled by
-	// |V|/Samples so they estimate the exact values.
+	// every node is a source. A negative value is treated as 0, i.e. exact —
+	// callers wanting validation should check before constructing Options.
+	// With sampling, scores are scaled by |V|/Samples so they estimate the
+	// exact values.
 	Samples int
-	// Workers is the parallelism across sources. 0 means GOMAXPROCS.
+	// Workers is the parallelism across sources. 0 means GOMAXPROCS; a
+	// negative value is likewise treated as GOMAXPROCS. Sources are assigned
+	// to workers by static striding, so results are deterministic for a
+	// fixed (graph, Options) pair, including the worker count.
 	Workers int
 	// Seed drives source sampling; ignored when exact.
 	Seed int64
 }
 
+// workers resolves the worker count; non-positive means GOMAXPROCS.
 func (o Options) workers() int {
 	if o.Workers > 0 {
 		return o.Workers
@@ -36,9 +48,23 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// samples resolves the sample count; negative means 0 (exact).
+func (o Options) samples() int {
+	if o.Samples < 0 {
+		return 0
+	}
+	return o.Samples
+}
+
 // sources returns the BFS sources and the per-source scale factor.
+//
+// Sampling uses a partial Fisher–Yates shuffle over a sparse swap map, so
+// picking s sources from an n-node graph costs O(s) time and memory rather
+// than the O(n) of materializing a full permutation. The sequence is
+// deterministic for a given Seed.
 func (o Options) sources(n int) ([]graph.NodeID, float64) {
-	if o.Samples <= 0 || o.Samples >= n {
+	s := o.samples()
+	if s <= 0 || s >= n {
 		all := make([]graph.NodeID, n)
 		for i := range all {
 			all[i] = graph.NodeID(i)
@@ -46,24 +72,45 @@ func (o Options) sources(n int) ([]graph.NodeID, float64) {
 		return all, 1
 	}
 	rng := rand.New(rand.NewSource(o.Seed))
-	perm := rng.Perm(n)[:o.Samples]
-	srcs := make([]graph.NodeID, o.Samples)
-	for i, p := range perm {
-		srcs[i] = graph.NodeID(p)
+	// swapped[j] holds the value that a full Fisher–Yates pass would have
+	// left at position j; absent keys still hold their identity value.
+	swapped := make(map[int]int, s)
+	srcs := make([]graph.NodeID, s)
+	for i := 0; i < s; i++ {
+		j := i + rng.Intn(n-i)
+		vj, ok := swapped[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := swapped[i]
+		if !ok {
+			vi = i
+		}
+		srcs[i] = graph.NodeID(vj)
+		swapped[j] = vi
 	}
-	return srcs, float64(n) / float64(o.Samples)
+	return srcs, float64(n) / float64(s)
 }
 
 // EdgeScores holds per-edge betweenness aligned with g.Edges().
+//
+// Scores is the primary representation: Scores[i] belongs to g.Edges()[i],
+// and every consumer in this repository indexes it directly. The
+// edge-keyed lookup map behind Of is built lazily on the first Of call, so
+// callers that only read Scores never pay for it.
 type EdgeScores struct {
 	g      *graph.Graph
 	Scores []float64 // Scores[i] is the betweenness of g.Edges()[i]
-	index  map[graph.Edge]int32
+
+	indexOnce sync.Once
+	index     map[graph.Edge]int32
 }
 
 // Of returns the score of edge e (any orientation). It panics if e is not an
-// edge of the underlying graph.
+// edge of the underlying graph. The first call builds an edge-keyed index in
+// O(|E|); prefer indexing Scores directly when the edge id is known.
 func (s *EdgeScores) Of(e graph.Edge) float64 {
+	s.indexOnce.Do(func() { s.index = edgeIndex(s.g) })
 	i, ok := s.index[e.Canonical()]
 	if !ok {
 		panic(fmt.Sprintf("centrality: edge %v not in graph", e))
@@ -86,72 +133,129 @@ func edgeIndex(g *graph.Graph) map[graph.Edge]int32 {
 	return idx
 }
 
-// brandesState is the per-worker scratch space for one BFS + accumulation
-// pass, reused across sources to avoid re-allocation.
-type brandesState struct {
-	queue []graph.NodeID // BFS queue doubling as the visit order stack
-	dist  []int32
-	sigma []float64 // shortest path counts
-	delta []float64 // dependency accumulation
-	preds [][]graph.NodeID
+// predEntry is one recorded shortest-path predecessor: the predecessor node
+// and the canonical id of the connecting edge, captured at discovery time so
+// the accumulation loop needs no further indirection through the CSR.
+type predEntry struct {
+	node graph.NodeID
+	edge int32
 }
 
-func newBrandesState(n int) *brandesState {
+// brandesState is the per-worker scratch space for one BFS + accumulation
+// pass, reused across sources to avoid re-allocation. All predecessor
+// bookkeeping lives in one flat CSR-bounded array: node w's predecessors
+// occupy preds[c.Offsets[w]] .. preds[c.Offsets[w]+predCnt[w]-1], which can
+// never overflow because a node has at most Degree(w) predecessors.
+type brandesState struct {
+	queue   []graph.NodeID // BFS queue doubling as the visit order stack
+	dist    []int32
+	sigma   []float64   // shortest path counts
+	delta   []float64   // dependency accumulation
+	preds   []predEntry // flat predecessor storage, one entry per CSR slot (2|E|)
+	predCnt []int32     // predecessors recorded per node this pass
+}
+
+func newBrandesState(c *graph.CSR) *brandesState {
+	n := c.NumNodes()
 	return &brandesState{
-		queue: make([]graph.NodeID, 0, n),
-		dist:  make([]int32, n),
-		sigma: make([]float64, n),
-		delta: make([]float64, n),
-		preds: make([][]graph.NodeID, n),
+		queue:   make([]graph.NodeID, 0, n),
+		dist:    make([]int32, n),
+		sigma:   make([]float64, n),
+		delta:   make([]float64, n),
+		preds:   make([]predEntry, c.NumSlots()),
+		predCnt: make([]int32, n),
 	}
 }
 
 // run performs one Brandes pass from source s, adding node dependencies into
 // nodeAcc (if non-nil) and edge dependencies into edgeAcc (if non-nil,
-// indexed by eIdx).
-func (st *brandesState) run(g *graph.Graph, s graph.NodeID, nodeAcc, edgeAcc []float64, eIdx map[graph.Edge]int32) {
+// indexed by canonical edge id, i.e. aligned with g.Edges()).
+func (st *brandesState) run(c *graph.CSR, s graph.NodeID, nodeAcc, edgeAcc []float64) {
 	st.queue = st.queue[:0]
 	// Reset only what the previous pass touched would be ideal; for
 	// simplicity and cache-friendliness we clear the dense arrays. dist = -1
-	// doubles as "unvisited".
+	// doubles as "unvisited". preds needs no clearing: predCnt gates every
+	// read.
 	for i := range st.dist {
 		st.dist[i] = -1
 		st.sigma[i] = 0
 		st.delta[i] = 0
-		st.preds[i] = st.preds[i][:0]
+		st.predCnt[i] = 0
 	}
-	st.dist[s] = 0
-	st.sigma[s] = 1
-	st.queue = append(st.queue, s)
-	for head := 0; head < len(st.queue); head++ {
-		v := st.queue[head]
-		dv := st.dist[v]
-		for _, w := range g.Neighbors(v) {
-			switch {
-			case st.dist[w] < 0: // first visit
-				st.dist[w] = dv + 1
-				st.sigma[w] = st.sigma[v]
-				st.preds[w] = append(st.preds[w], v)
-				st.queue = append(st.queue, w)
-			case st.dist[w] == dv+1: // another shortest path
-				st.sigma[w] += st.sigma[v]
-				st.preds[w] = append(st.preds[w], v)
+	offsets, targets, edgeID := c.Offsets, c.Targets, c.EdgeID
+	dist, sigma, delta := st.dist, st.sigma, st.delta
+	preds, predCnt := st.preds, st.predCnt
+	queue := st.queue
+	dist[s] = 0
+	sigma[s] = 1
+	queue = append(queue, s)
+	if edgeAcc != nil {
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			dw := dist[v] + 1 // distance of any node first reached from v
+			sv := sigma[v]
+			lo, hi := offsets[v], offsets[v+1]
+			for k, w := range targets[lo:hi] {
+				switch {
+				case dist[w] < 0: // first visit
+					dist[w] = dw
+					sigma[w] = sv
+					preds[offsets[w]] = predEntry{node: v, edge: edgeID[lo+int32(k)]}
+					predCnt[w] = 1
+					queue = append(queue, w)
+				case dist[w] == dw: // another shortest path
+					sigma[w] += sv
+					preds[offsets[w]+predCnt[w]] = predEntry{node: v, edge: edgeID[lo+int32(k)]}
+					predCnt[w]++
+				}
+			}
+		}
+	} else {
+		// Node-only variant: identical except it skips the edge-id loads.
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			dw := dist[v] + 1
+			sv := sigma[v]
+			lo, hi := offsets[v], offsets[v+1]
+			for _, w := range targets[lo:hi] {
+				switch {
+				case dist[w] < 0:
+					dist[w] = dw
+					sigma[w] = sv
+					preds[offsets[w]] = predEntry{node: v}
+					predCnt[w] = 1
+					queue = append(queue, w)
+				case dist[w] == dw:
+					sigma[w] += sv
+					preds[offsets[w]+predCnt[w]] = predEntry{node: v}
+					predCnt[w]++
+				}
 			}
 		}
 	}
-	// Accumulate dependencies in reverse BFS order.
-	for i := len(st.queue) - 1; i >= 0; i-- {
-		w := st.queue[i]
-		coeff := (1 + st.delta[w]) / st.sigma[w]
-		for _, v := range st.preds[w] {
-			c := st.sigma[v] * coeff
-			st.delta[v] += c
-			if edgeAcc != nil {
-				edgeAcc[eIdx[graph.Edge{U: v, V: w}.Canonical()]] += c
+	st.queue = queue
+	// Accumulate dependencies in reverse BFS order. The edge-accumulating
+	// and node-only loops are split so the innermost loop carries no nil
+	// check and, in both cases, no map lookup or Canonical() call — each
+	// predecessor visit is two array reads and two indexed accumulations.
+	for i := len(queue) - 1; i >= 0; i-- {
+		w := queue[i]
+		coeff := (1 + delta[w]) / sigma[w]
+		base := offsets[w]
+		ps := preds[base : base+predCnt[w]]
+		if edgeAcc != nil {
+			for _, p := range ps {
+				cc := sigma[p.node] * coeff
+				delta[p.node] += cc
+				edgeAcc[p.edge] += cc
+			}
+		} else {
+			for _, p := range ps {
+				delta[p.node] += sigma[p.node] * coeff
 			}
 		}
 		if w != s && nodeAcc != nil {
-			nodeAcc[w] += st.delta[w]
+			nodeAcc[w] += delta[w]
 		}
 	}
 }
@@ -164,27 +268,52 @@ func NodeBetweenness(g *graph.Graph, opt Options) []float64 {
 	return nodes
 }
 
-// EdgeBetweenness returns per-edge betweenness centrality aligned with
-// g.Edges(). With each unordered (s, t) pair contributing once.
-func EdgeBetweenness(g *graph.Graph, opt Options) *EdgeScores {
+// EdgeBetweennessScores returns per-edge betweenness centrality as a flat
+// slice aligned with g.Edges(): the score of g.Edges()[i] is element i. This
+// is the cheapest edge-betweenness entry point — no wrapper, no edge-keyed
+// map.
+func EdgeBetweennessScores(g *graph.Graph, opt Options) []float64 {
 	_, edges := both(g, opt, false, true)
 	return edges
 }
 
+// EdgeBetweenness returns per-edge betweenness centrality wrapped in an
+// EdgeScores, whose Of lookup map is built lazily on first use. Callers that
+// work with edge ids should prefer EdgeBetweennessScores.
+func EdgeBetweenness(g *graph.Graph, opt Options) *EdgeScores {
+	return &EdgeScores{g: g, Scores: EdgeBetweennessScores(g, opt)}
+}
+
 // Betweenness computes node and edge betweenness in a single pass over
-// sources, cheaper than calling NodeBetweenness and EdgeBetweenness
-// separately.
-func Betweenness(g *graph.Graph, opt Options) ([]float64, *EdgeScores) {
+// sources, cheaper than computing them separately. The edge slice is aligned
+// with g.Edges().
+func Betweenness(g *graph.Graph, opt Options) ([]float64, []float64) {
 	return both(g, opt, true, true)
 }
 
-func both(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([]float64, *EdgeScores) {
+// both runs the sampled/exact parallel Brandes driver. Sources are assigned
+// to workers by static striding (worker w takes srcs[w], srcs[w+workers], …)
+// and per-worker partial sums are merged in worker order, so the result is
+// fully deterministic for a fixed (graph, Options) — there is no channel
+// scheduling in the path.
+func both(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([]float64, []float64) {
 	n := g.NumNodes()
-	srcs, scale := opt.sources(n)
-	var eIdx map[graph.Edge]int32
-	if wantEdges {
-		eIdx = edgeIndex(g)
+	var nodes, edges []float64
+	if wantNodes {
+		nodes = make([]float64, n)
 	}
+	if wantEdges {
+		edges = make([]float64, g.NumEdges())
+	}
+	if n == 0 {
+		// Defensive: nothing to traverse regardless of Samples/Workers.
+		return nodes, edges
+	}
+	srcs, scale := opt.sources(n)
+	if len(srcs) == 0 {
+		return nodes, edges
+	}
+	c := g.CSR()
 	workers := opt.workers()
 	if workers > len(srcs) {
 		workers = len(srcs)
@@ -197,16 +326,11 @@ func both(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([]float64, *E
 	}
 	parts := make([]partial, workers)
 	var wg sync.WaitGroup
-	next := make(chan graph.NodeID, len(srcs))
-	for _, s := range srcs {
-		next <- s
-	}
-	close(next)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			st := newBrandesState(n)
+			st := newBrandesState(c)
 			var nodeAcc, edgeAcc []float64
 			if wantNodes {
 				nodeAcc = make([]float64, n)
@@ -214,17 +338,15 @@ func both(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([]float64, *E
 			if wantEdges {
 				edgeAcc = make([]float64, g.NumEdges())
 			}
-			for s := range next {
-				st.run(g, s, nodeAcc, edgeAcc, eIdx)
+			for i := w; i < len(srcs); i += workers {
+				st.run(c, srcs[i], nodeAcc, edgeAcc)
 			}
 			parts[w] = partial{nodes: nodeAcc, edges: edgeAcc}
 		}(w)
 	}
 	wg.Wait()
 
-	var nodes []float64
 	if wantNodes {
-		nodes = make([]float64, n)
 		for _, p := range parts {
 			for i, v := range p.nodes {
 				nodes[i] += v
@@ -236,18 +358,15 @@ func both(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([]float64, *E
 			nodes[i] *= scale / 2
 		}
 	}
-	var edges *EdgeScores
 	if wantEdges {
-		acc := make([]float64, g.NumEdges())
 		for _, p := range parts {
 			for i, v := range p.edges {
-				acc[i] += v
+				edges[i] += v
 			}
 		}
-		for i := range acc {
-			acc[i] *= scale / 2
+		for i := range edges {
+			edges[i] *= scale / 2
 		}
-		edges = &EdgeScores{g: g, Scores: acc, index: eIdx}
 	}
 	return nodes, edges
 }

@@ -31,6 +31,45 @@ func BenchmarkEdgeBetweennessSampled(b *testing.B) {
 	}
 }
 
+// The MapIndexed/CSRIndexed pair is the PR's perf criterion: same BA graph
+// and scale as BenchmarkEdgeBetweennessExact, single worker so the
+// comparison measures the accumulation kernel rather than scheduling. The
+// `make bench-centrality` target records both in BENCH_betweenness.json.
+
+func BenchmarkEdgeBetweennessMapIndexed(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracleBoth(g, Options{Workers: 1}, false, true)
+	}
+}
+
+func BenchmarkEdgeBetweennessCSRIndexed(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 3, 1)
+	g.CSR() // build outside the timer, as MapIndexed gets adj for free
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EdgeBetweennessScores(g, Options{Workers: 1})
+	}
+}
+
+func BenchmarkNodeBetweennessMapIndexed(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracleBoth(g, Options{Workers: 1}, true, false)
+	}
+}
+
+func BenchmarkNodeBetweennessCSRIndexed(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 3, 1)
+	g.CSR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NodeBetweenness(g, Options{Workers: 1})
+	}
+}
+
 func BenchmarkBetweennessWorkers(b *testing.B) {
 	g := gen.BarabasiAlbert(2000, 3, 1)
 	for _, workers := range []int{1, 2, 4, 8} {

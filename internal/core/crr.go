@@ -98,13 +98,19 @@ func (c CRR) steps(tgt int) int {
 
 // Reduce implements Reducer.
 func (c CRR) Reduce(g *graph.Graph, p float64) (*Result, error) {
-	return c.reduce(g, p, nil)
+	return c.reduce(g, p, nil, c.Seed)
 }
 
 // Sweep reduces g at every ratio in ps, computing the Phase 1 edge
 // importances once and reusing them — the expensive part of CRR is the
 // betweenness computation, which does not depend on p. Results align with
 // ps.
+//
+// Each sweep point runs with a seed derived from (Seed, ratio index), so the
+// "edges of the same importance are selected randomly" tie-break and the
+// Phase 2 pick sequence are independent across ratios instead of replaying
+// one permutation for the whole Figure-4/5 sweep. The whole sweep remains
+// reproducible for a fixed Seed.
 func (c CRR) Sweep(g *graph.Graph, ps []float64) ([]*Result, error) {
 	for _, p := range ps {
 		if err := checkP(p); err != nil {
@@ -114,7 +120,7 @@ func (c CRR) Sweep(g *graph.Graph, ps []float64) ([]*Result, error) {
 	scores := c.edgeImportance(g)
 	out := make([]*Result, len(ps))
 	for i, p := range ps {
-		res, err := c.reduce(g, p, scores)
+		res, err := c.reduce(g, p, scores, sweepSeed(c.Seed, i))
 		if err != nil {
 			return nil, err
 		}
@@ -123,12 +129,23 @@ func (c CRR) Sweep(g *graph.Graph, ps []float64) ([]*Result, error) {
 	return out, nil
 }
 
-// reduce runs CRR with optionally precomputed Phase 1 scores.
-func (c CRR) reduce(g *graph.Graph, p float64, scores []float64) (*Result, error) {
+// sweepSeed derives the per-ratio seed for sweep point i with a
+// splitmix64-style mix, so neighboring indices land on uncorrelated rng
+// streams.
+func sweepSeed(seed int64, i int) int64 {
+	z := uint64(seed) + (uint64(i)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// reduce runs CRR with optionally precomputed Phase 1 scores and an explicit
+// rng seed (c.Seed for single runs, a per-ratio derivation for sweeps).
+func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64) (*Result, error) {
 	if err := checkP(p); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(c.Seed))
+	rng := rand.New(rand.NewSource(seed))
 	tgt := targetEdges(g, p)
 	m := g.NumEdges()
 	if tgt >= m {
@@ -216,7 +233,7 @@ func (c CRR) edgeImportance(g *graph.Graph) []float64 {
 		if bopt.Seed == 0 {
 			bopt.Seed = c.Seed + 1
 		}
-		return centrality.EdgeBetweenness(g, bopt).Scores
+		return centrality.EdgeBetweennessScores(g, bopt)
 	}
 }
 

@@ -180,6 +180,9 @@ func TestCRRPNearOneKeepsEverything(t *testing.T) {
 }
 
 func TestCRRSweepMatchesIndividualRuns(t *testing.T) {
+	// A sweep point must equal a standalone run with the same precomputed
+	// scores and the same derived per-ratio seed (and, trivially, the same
+	// target edge count as Reduce at that p).
 	g := gen.BarabasiAlbert(150, 3, 51)
 	ps := []float64{0.7, 0.4, 0.2}
 	c := CRR{Seed: 9}
@@ -191,7 +194,7 @@ func TestCRRSweepMatchesIndividualRuns(t *testing.T) {
 		t.Fatalf("sweep returned %d results", len(swept))
 	}
 	for i, p := range ps {
-		single, err := c.Reduce(g, p)
+		single, err := c.reduce(g, p, nil, sweepSeed(c.Seed, i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -202,6 +205,56 @@ func TestCRRSweepMatchesIndividualRuns(t *testing.T) {
 		for j := range se {
 			if se[j] != pe[j] {
 				t.Fatalf("p=%v: edge %d differs between sweep and single run", p, j)
+			}
+		}
+		plain, err := c.Reduce(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Reduced.NumEdges() != swept[i].Reduced.NumEdges() {
+			t.Fatalf("p=%v: sweep |E'|=%d vs Reduce %d", p, swept[i].Reduced.NumEdges(), plain.Reduced.NumEdges())
+		}
+	}
+}
+
+func TestCRRSweepDistinctPerRatioRandomness(t *testing.T) {
+	// Regression for the re-seeding bug: with all-equal importance scores
+	// the kept set is decided purely by the tie-break permutation, so two
+	// sweep points at the same ratio must differ — the seed code replayed
+	// rand.NewSource(c.Seed) per ratio and made them identical.
+	g := gen.ErdosRenyi(120, 400, 77)
+	c := CRR{Seed: 5, Importance: ImportanceRandom, Steps: -1}
+	swept, err := c.Sweep(g, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := swept[0].Reduced.Edges(), swept[1].Reduced.Edges()
+	if len(a) != len(b) {
+		t.Fatalf("|E'| differs across equal ratios: %d vs %d", len(a), len(b))
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two sweep points with all-equal scores kept identical edge sets")
+	}
+	// The sweep itself stays reproducible for a fixed Seed.
+	again, err := c.Sweep(g, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range swept {
+		ae, be := swept[k].Reduced.Edges(), again[k].Reduced.Edges()
+		if len(ae) != len(be) {
+			t.Fatalf("sweep point %d not reproducible", k)
+		}
+		for i := range ae {
+			if ae[i] != be[i] {
+				t.Fatalf("sweep point %d edge %d differs across identical sweeps", k, i)
 			}
 		}
 	}

@@ -1,0 +1,98 @@
+package graph
+
+// CSR is a compressed-sparse-row view of a Graph: the adjacency structure
+// flattened into contiguous arrays so that traversal kernels (Brandes, BFS
+// profiles, PageRank) index with integers instead of chasing per-node slices
+// or hashing Edge keys. The paper's Phase 1 cost is dominated by exactly such
+// kernels, and index-array adjacency is the SNAP-style substrate DESIGN.md §1
+// promises for this package.
+//
+// Each undirected edge occupies two slots, one in each endpoint's range, so
+// len(Targets) == 2·NumEdges(). A "slot" is an index into Targets/EdgeID/Mate.
+// Node u owns slots Offsets[u] to Offsets[u+1] (exclusive), and within that
+// range Targets is sorted ascending — the same order as Graph.Neighbors(u).
+//
+// The view is built once per graph, cached, and immutable; like the Graph it
+// is derived from, it is safe for concurrent readers. All fields are exported
+// for zero-overhead access in hot loops but must be treated as read-only.
+type CSR struct {
+	// Offsets has length NumNodes()+1. Node u's adjacency slots are
+	// Offsets[u] .. Offsets[u+1]-1; Offsets[NumNodes()] == 2·NumEdges().
+	Offsets []int32
+	// Targets[s] is the neighbor occupying slot s.
+	Targets []NodeID
+	// EdgeID[s] is the canonical edge id of slot s: the position in
+	// Graph.Edges() of the undirected edge the slot belongs to. The two
+	// slots of an edge share one id, so per-edge accumulators indexed by
+	// EdgeID are aligned with Graph.Edges() with no map lookup and no
+	// Canonical() call.
+	EdgeID []int32
+	// Mate[s] is the reverse slot of s: if slot s sits in u's range and
+	// targets w, then Mate[s] sits in w's range and targets u, with
+	// EdgeID[s] == EdgeID[Mate[s]] and Mate[Mate[s]] == s.
+	Mate []int32
+}
+
+// NumNodes returns the number of nodes in the underlying graph.
+func (c *CSR) NumNodes() int { return len(c.Offsets) - 1 }
+
+// NumSlots returns the number of adjacency slots, 2·NumEdges().
+func (c *CSR) NumSlots() int { return len(c.Targets) }
+
+// Degree returns the degree of node u.
+func (c *CSR) Degree(u NodeID) int32 { return c.Offsets[u+1] - c.Offsets[u] }
+
+// Neighbors returns u's slice of the Targets array (sorted ascending,
+// identical contents to Graph.Neighbors(u)). Read-only.
+func (c *CSR) Neighbors(u NodeID) []NodeID {
+	return c.Targets[c.Offsets[u]:c.Offsets[u+1]]
+}
+
+// CSR returns the graph's compressed-sparse-row view, building it on first
+// use and caching it for the graph's lifetime. Concurrent callers are safe:
+// the build happens exactly once.
+func (g *Graph) CSR() *CSR {
+	g.csrOnce.Do(func() { g.csr = buildCSR(g) })
+	return g.csr
+}
+
+// buildCSR flattens g's adjacency in one pass over the sorted edge list.
+//
+// Because Edges() is sorted by (U, V) with U < V, scanning it in order
+// appends each node's neighbors in ascending order: for node u, all partners
+// a < u arrive first (from edges (a, u), globally sorted by a), then all
+// partners b > u (from the contiguous (u, b) block, sorted by b). The
+// resulting Targets ranges therefore match Neighbors() exactly, and the two
+// slots of edge i are linked as mates as they are written.
+func buildCSR(g *Graph) *CSR {
+	n := g.NumNodes()
+	m := g.NumEdges()
+	c := &CSR{
+		Offsets: make([]int32, n+1),
+		Targets: make([]NodeID, 2*m),
+		EdgeID:  make([]int32, 2*m),
+		Mate:    make([]int32, 2*m),
+	}
+	for _, e := range g.edges {
+		c.Offsets[e.U+1]++
+		c.Offsets[e.V+1]++
+	}
+	for u := 0; u < n; u++ {
+		c.Offsets[u+1] += c.Offsets[u]
+	}
+	// cur[u] is the next free slot in u's range during the fill pass.
+	cur := make([]int32, n)
+	copy(cur, c.Offsets[:n])
+	for i, e := range g.edges {
+		su, sv := cur[e.U], cur[e.V]
+		cur[e.U]++
+		cur[e.V]++
+		c.Targets[su] = e.V
+		c.Targets[sv] = e.U
+		c.EdgeID[su] = int32(i)
+		c.EdgeID[sv] = int32(i)
+		c.Mate[su] = sv
+		c.Mate[sv] = su
+	}
+	return c
+}

@@ -1,16 +1,28 @@
 // Package graph provides the undirected-graph substrate used by every other
 // package in this repository: a compact adjacency-list representation with a
-// canonical edge list, subgraph extraction, I/O and validation.
+// canonical edge list, a flat CSR view for traversal kernels, subgraph
+// extraction, I/O and validation.
 //
 // Nodes are dense indices in [0, NumNodes). Loaders and builders remap
 // arbitrary external identifiers onto this dense range. Edges are undirected
 // and stored once in canonical (min, max) order; self-loops and parallel
 // edges are rejected.
+//
+// # CSR view and edge ids
+//
+// Graph.Edges() defines a canonical edge numbering: edge i is Edges()[i].
+// Graph.CSR() exposes the adjacency as flat compressed-sparse-row arrays
+// whose every slot carries that edge id (CSR.EdgeID), so algorithms that
+// accumulate per-edge quantities — Brandes edge betweenness above all — can
+// write edgeAcc[EdgeID[slot]] with pure array indexing instead of hashing a
+// map[Edge] key per visit. The view is built lazily once per graph, cached,
+// and safe for concurrent readers like the Graph itself.
 package graph
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node. Graphs built here always use dense ids in
@@ -56,6 +68,9 @@ func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
 type Graph struct {
 	adj   [][]NodeID // adj[u] sorted ascending
 	edges []Edge     // canonical, sorted by (U, V)
+
+	csrOnce sync.Once // guards the lazily built CSR view
+	csr     *CSR
 }
 
 // NewFromEdges constructs a graph with n nodes and the given edges. Edges may

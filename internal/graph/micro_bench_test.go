@@ -77,6 +77,47 @@ func BenchmarkBinaryRoundTrip(b *testing.B) {
 	}
 }
 
+func BenchmarkCSRBuild(b *testing.B) {
+	g := microGraph(b, 10000, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buildCSR(g)
+	}
+}
+
+// BenchmarkAdjTraversal vs BenchmarkCSRTraversal: full sweep over every
+// adjacency entry through the slice-of-slices layout and the flat CSR view —
+// the per-visit cost difference that the Brandes rewrite rides on.
+func BenchmarkAdjTraversal(b *testing.B) {
+	g := microGraph(b, 10000, 50000)
+	b.ResetTimer()
+	var sum int64
+	for i := 0; i < b.N; i++ {
+		for u := 0; u < g.NumNodes(); u++ {
+			for _, w := range g.Neighbors(NodeID(u)) {
+				sum += int64(w)
+			}
+		}
+	}
+	sinkCSR = sum
+}
+
+func BenchmarkCSRTraversal(b *testing.B) {
+	g := microGraph(b, 10000, 50000)
+	c := g.CSR()
+	b.ResetTimer()
+	var sum int64
+	for i := 0; i < b.N; i++ {
+		for s := range c.Targets {
+			sum += int64(c.Targets[s])
+		}
+	}
+	sinkCSR = sum
+}
+
+// sinkCSR defeats dead-code elimination in the traversal benchmarks.
+var sinkCSR int64
+
 func BenchmarkValidate(b *testing.B) {
 	g := microGraph(b, 10000, 50000)
 	b.ResetTimer()

@@ -119,10 +119,10 @@ func (s Summarizer) Summarize(g *graph.Graph) (*Summary, error) {
 	st.summary.penalty = st.penalty
 
 	// Importances (paper settings: betweenness for both nodes and edges),
-	// normalized to sum to 1 each.
-	nodeBC, edgeBC := centrality.Betweenness(g, s.Betweenness)
+	// normalized to sum to 1 each. The edge scores arrive as a flat slice
+	// aligned with g.Edges(), so edge i's importance is edgeImp[i] directly.
+	nodeBC, edgeImp := centrality.Betweenness(g, s.Betweenness)
 	normalize(nodeBC)
-	edgeImp := append([]float64(nil), edgeBC.Scores...)
 	normalize(edgeImp)
 
 	for u := 0; u < n; u++ {
