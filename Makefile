@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-centrality experiments claims fmt vet clean
+.PHONY: all build test race bench bench-centrality bench-tasks experiments claims fmt vet clean
 
 all: build test
 
@@ -13,7 +13,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/centrality/ ./internal/uds/ ./internal/stream/
+	$(GO) test -race ./internal/par/ ./internal/analysis/ ./internal/tasks/ \
+		./internal/centrality/ ./internal/uds/ ./internal/stream/
 
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
@@ -24,6 +25,14 @@ bench-centrality:
 	$(GO) test -run xxx -bench 'Betweenness(Map|CSR)Indexed' -benchtime 1x -benchmem ./internal/centrality/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_betweenness.json
 	cat BENCH_betweenness.json
+
+# Refresh the analysis-task perf baseline: seed serial kernels vs the
+# parallel CSR kernels at 4 workers (distance profile and clustering),
+# recorded as JSON. -benchtime 5x keeps the derived speedups stable.
+bench-tasks:
+	$(GO) test -run xxx -bench '(DistanceProfile|Clustering)(Serial|Parallel)' -benchtime 5x -benchmem ./internal/analysis/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_tasks.json
+	cat BENCH_tasks.json
 
 # Reproduce every paper artifact at laptop scale and self-audit the shapes.
 experiments:

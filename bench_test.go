@@ -267,7 +267,7 @@ func BenchmarkTable7AnalysisLight(b *testing.B) {
 			}
 			b.Run(fmt.Sprintf("%s/p=%.1f", r.Name(), p), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					analysis.LocalClustering(res.Reduced)
+					analysis.LocalClustering(res.Reduced, 0)
 				}
 			})
 		}

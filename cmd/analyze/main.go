@@ -27,15 +27,16 @@ func main() {
 		topPct   = flag.Float64("top", 10, "top-t%% for the topk task")
 		sources  = flag.Int("sources", 0, "BFS/betweenness source samples (0 = exact)")
 		seed     = flag.Int64("seed", 1, "sampling seed")
+		workers  = flag.Int("workers", 0, "worker goroutines for parallel kernels (0 = GOMAXPROCS); results are identical at any count")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *in, *taskList, *topPct, *sources, *seed); err != nil {
+	if err := run(os.Stdout, *in, *taskList, *topPct, *sources, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, in, taskList string, topPct float64, sources int, seed int64) error {
+func run(w io.Writer, in, taskList string, topPct float64, sources int, seed int64, workers int) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -70,7 +71,7 @@ func run(w io.Writer, in, taskList string, topPct float64, sources int, seed int
 				}
 			}
 		case "sp":
-			prof := analysis.NewDistanceProfile(g, analysis.ProfileOptions{Sources: sources, Seed: seed})
+			prof := analysis.NewDistanceProfile(g, analysis.ProfileOptions{Sources: sources, Seed: seed, Workers: workers})
 			fmt.Fprintf(w, "\nshortest paths: diameter=%d mean distance=%.3f reachable pairs=%.0f\n",
 				prof.Diameter, prof.MeanDistance(), prof.ReachablePairs)
 			for d, f := range prof.Distribution() {
@@ -79,16 +80,16 @@ func run(w io.Writer, in, taskList string, topPct float64, sources int, seed int
 				}
 			}
 		case "hopplot":
-			prof := analysis.NewDistanceProfile(g, analysis.ProfileOptions{Sources: sources, Seed: seed})
+			prof := analysis.NewDistanceProfile(g, analysis.ProfileOptions{Sources: sources, Seed: seed, Workers: workers})
 			fmt.Fprintln(w, "\nhop-plot (k: cumulative fraction):")
 			for k, f := range prof.HopPlot() {
 				fmt.Fprintf(w, "  k=%2d: %.4f\n", k, f)
 			}
 		case "cc":
 			fmt.Fprintf(w, "\naverage clustering coefficient: %.4f, triangles: %d\n",
-				analysis.AverageClustering(g), analysis.Triangles(g))
+				analysis.AverageClustering(g, workers), analysis.Triangles(g, workers))
 		case "topk":
-			pr := analysis.PageRank(g, analysis.PageRankOptions{})
+			pr := analysis.PageRank(g, analysis.PageRankOptions{Workers: workers})
 			k := int(float64(g.NumNodes()) * topPct / 100)
 			top := analysis.TopK(pr, k)
 			fmt.Fprintf(w, "\ntop-%.0f%%: %d nodes by PageRank; first 10 (label: score):\n", topPct, len(top))
@@ -104,14 +105,14 @@ func run(w io.Writer, in, taskList string, topPct float64, sources int, seed int
 			fmt.Fprintf(w, "\nconnected components: %d; largest: %d nodes (%.1f%%)\n",
 				count, len(lc), 100*float64(len(lc))/float64(g.NumNodes()))
 		case "betweenness":
-			opt := centrality.Options{Samples: sources, Seed: seed}
+			opt := centrality.Options{Samples: sources, Seed: seed, Workers: workers}
 			bc := centrality.NodeBetweenness(g, opt)
 			fmt.Fprintln(w, "\ntop-10 nodes by betweenness centrality (label: score):")
 			for _, u := range analysis.TopK(bc, 10) {
 				fmt.Fprintf(w, "  %d: %.2f\n", label(u), bc[u])
 			}
 		case "closeness":
-			cl := centrality.Closeness(g, centrality.Options{})
+			cl := centrality.Closeness(g, centrality.Options{Workers: workers})
 			fmt.Fprintln(w, "\ntop-10 nodes by closeness centrality (label: score):")
 			for _, u := range analysis.TopK(cl, 10) {
 				fmt.Fprintf(w, "  %d: %.4f\n", label(u), cl[u])

@@ -5,8 +5,9 @@
 //	go test -run xxx -bench Betweenness -benchtime 1x -benchmem ./internal/centrality/ | benchjson -out BENCH_betweenness.json
 //
 // Beyond the raw per-benchmark rows it derives speedup ratios for every
-// XxxMapIndexed / XxxCSRIndexed benchmark pair, which is how the Brandes
-// CSR migration records its perf trajectory.
+// old/new benchmark pair following a known naming convention:
+// XxxMapIndexed / XxxCSRIndexed (the Brandes CSR migration) and
+// XxxSerial / XxxParallel (the parallel analysis kernels).
 package main
 
 import (
@@ -40,8 +41,9 @@ type Benchmark struct {
 type Report struct {
 	// Benchmarks holds every parsed result line in input order.
 	Benchmarks []Benchmark `json:"benchmarks"`
-	// Speedups maps a benchmark stem to MapIndexed-ns / CSRIndexed-ns for
-	// every stem that has both variants.
+	// Speedups maps a benchmark stem to old-ns / new-ns for every stem that
+	// has both variants of a recognized pair (MapIndexed/CSRIndexed,
+	// Serial/Parallel).
 	Speedups map[string]float64 `json:"speedups,omitempty"`
 }
 
@@ -136,22 +138,33 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
-// deriveSpeedups fills Speedups from MapIndexed/CSRIndexed benchmark pairs.
+// speedupPairs are the recognized old/new benchmark suffix conventions:
+// the old variant's ns/op divided by the new variant's becomes the stem's
+// speedup.
+var speedupPairs = [][2]string{
+	{"MapIndexed", "CSRIndexed"},
+	{"Serial", "Parallel"},
+}
+
+// deriveSpeedups fills Speedups from every benchmark pair matching a
+// recognized suffix convention.
 func deriveSpeedups(rep *Report) {
 	byName := make(map[string]Benchmark, len(rep.Benchmarks))
 	for _, b := range rep.Benchmarks {
 		byName[b.Name] = b
 	}
 	for name, oldB := range byName {
-		stem, ok := strings.CutSuffix(name, "MapIndexed")
-		if !ok {
-			continue
+		for _, pair := range speedupPairs {
+			stem, ok := strings.CutSuffix(name, pair[0])
+			if !ok {
+				continue
+			}
+			newB, ok := byName[stem+pair[1]]
+			if !ok || newB.NsPerOp == 0 {
+				continue
+			}
+			rep.Speedups[stem] = oldB.NsPerOp / newB.NsPerOp
 		}
-		newB, ok := byName[stem+"CSRIndexed"]
-		if !ok || newB.NsPerOp == 0 {
-			continue
-		}
-		rep.Speedups[stem] = oldB.NsPerOp / newB.NsPerOp
 	}
 	if len(rep.Speedups) == 0 {
 		rep.Speedups = nil

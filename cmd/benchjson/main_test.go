@@ -68,3 +68,24 @@ func TestParseNameWithoutProcsSuffix(t *testing.T) {
 		t.Errorf("parsed as %+v", b)
 	}
 }
+
+func TestSerialParallelSpeedupPair(t *testing.T) {
+	input := `BenchmarkDistanceProfileSerial-4   	       1	  80000000 ns/op
+BenchmarkDistanceProfileParallel-4 	       4	  20000000 ns/op
+BenchmarkClusteringSerial          	       2	  30000000 ns/op
+`
+	rep, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rep.Speedups["DistanceProfile"]
+	if !ok {
+		t.Fatal("no DistanceProfile speedup derived from Serial/Parallel pair")
+	}
+	if got < 3.99 || got > 4.01 {
+		t.Errorf("speedup = %v, want 4.0", got)
+	}
+	if _, ok := rep.Speedups["Clustering"]; ok {
+		t.Error("unpaired ClusteringSerial produced a speedup")
+	}
+}

@@ -28,15 +28,16 @@ func main() {
 		sources  = flag.Int("sources", 0, "BFS/betweenness source samples (0 = exact)")
 		maxPairs = flag.Int("maxpairs", 20000, "cap on 2-hop pairs for link prediction (0 = all)")
 		seed     = flag.Int64("seed", 1, "sampling seed")
+		workers  = flag.Int("workers", 0, "worker goroutines for parallel kernels (0 = GOMAXPROCS); results are identical at any count")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *origPath, *redPath, *sources, *maxPairs, *seed); err != nil {
+	if err := run(os.Stdout, *origPath, *redPath, *sources, *maxPairs, *workers, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, origPath, redPath string, sources, maxPairs int, seed int64) error {
+func run(w io.Writer, origPath, redPath string, sources, maxPairs, workers int, seed int64) error {
 	if origPath == "" || redPath == "" {
 		return fmt.Errorf("-orig and -reduced are required")
 	}
@@ -56,7 +57,7 @@ func run(w io.Writer, origPath, redPath string, sources, maxPairs int, seed int6
 		orig.NumNodes(), orig.NumEdges(), red.NumEdges(),
 		float64(red.NumEdges())/float64(orig.NumEdges()))
 
-	suite := tasks.Suite{Sources: sources, MaxPairs: maxPairs, Seed: seed}
+	suite := tasks.Suite{Sources: sources, MaxPairs: maxPairs, Seed: seed, Workers: workers}
 	fmt.Fprintf(w, "%-28s %10s   %s\n", "task", "value", "meaning")
 	for _, m := range suite.Evaluate(orig, red) {
 		fmt.Fprintf(w, "%-28s %10.4f   %s\n", m.Task, m.Value, m.Meaning)

@@ -30,15 +30,16 @@ func main() {
 		out     = flag.String("out", "", "output file (default: stdout)")
 		skipUDS = flag.Bool("skip-uds", false, "skip the UDS comparator (it dominates runtime)")
 		md      = flag.Bool("md", false, "render tables as GitHub-flavored Markdown")
+		workers = flag.Int("workers", 0, "worker goroutines for parallel kernels (0 = GOMAXPROCS); measured values are identical at any count")
 	)
 	flag.Parse()
-	if err := run(*runID, *list, *scale, *seed, *psFlag, *out, *skipUDS, *md); err != nil {
+	if err := run(*runID, *list, *scale, *seed, *psFlag, *out, *skipUDS, *md, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(runID string, list bool, scale int, seed int64, psFlag, out string, skipUDS, md bool) error {
+func run(runID string, list bool, scale int, seed int64, psFlag, out string, skipUDS, md bool, workers int) error {
 	if list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
@@ -67,7 +68,7 @@ func run(runID string, list bool, scale int, seed int64, psFlag, out string, ski
 		defer f.Close()
 		w = f
 	}
-	cfg := experiments.Config{Out: w, Scale: scale, Seed: seed, Ps: ps, SkipUDS: skipUDS, Markdown: md}
+	cfg := experiments.Config{Out: w, Scale: scale, Seed: seed, Ps: ps, SkipUDS: skipUDS, Markdown: md, Workers: workers}
 	fmt.Fprintf(w, "# edgeshed experiments: run=%s scale=%d seed=%d ps=%v skip-uds=%v (%s)\n\n",
 		runID, scale, seed, cfg.PsOrDefault(), skipUDS, runtime.Version())
 

@@ -113,7 +113,7 @@ func DegreeDistribution(g *Graph, cap int) []float64 {
 }
 
 // AverageClustering returns the mean local clustering coefficient.
-func AverageClustering(g *Graph) float64 { return analysis.AverageClustering(g) }
+func AverageClustering(g *Graph) float64 { return analysis.AverageClustering(g, 0) }
 
 // TVD returns the total variation distance between two discrete
 // distributions.

@@ -23,7 +23,7 @@ func main() {
 	// Scale 8: ~650 nodes, laptop-instant; drop to scale 1 for paper size.
 	g := spec.MustBuild(8, spec.DefaultSeed)
 	fmt.Printf("%s stand-in: |V|=%d |E|=%d avg clustering=%.3f\n\n",
-		spec.Name, g.NumNodes(), g.NumEdges(), analysis.AverageClustering(g))
+		spec.Name, g.NumNodes(), g.NumEdges(), analysis.AverageClustering(g, 0))
 
 	ccTask := tasks.ClusteringTask{}
 	spTask := tasks.SPDistanceTask{}

@@ -97,7 +97,7 @@ func TestMeanByDegree(t *testing.T) {
 func TestLocalClusteringTriangle(t *testing.T) {
 	// Triangle plus a pendant: nodes 0,1,2 form K3; 3 hangs off 0.
 	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 0, V: 3}})
-	cc := LocalClustering(g)
+	cc := LocalClustering(g, 1)
 	// Node 0 has neighbors {1,2,3}: one edge (1,2) of three pairs.
 	if math.Abs(cc[0]-1.0/3) > 1e-9 {
 		t.Errorf("cc[0] = %v, want 1/3", cc[0])
@@ -111,29 +111,29 @@ func TestLocalClusteringTriangle(t *testing.T) {
 }
 
 func TestAverageClustering(t *testing.T) {
-	if got := AverageClustering(gen.Complete(5)); math.Abs(got-1) > 1e-9 {
+	if got := AverageClustering(gen.Complete(5), 1); math.Abs(got-1) > 1e-9 {
 		t.Errorf("K5 average clustering = %v, want 1", got)
 	}
-	if got := AverageClustering(gen.Cycle(6)); got != 0 {
+	if got := AverageClustering(gen.Cycle(6), 1); got != 0 {
 		t.Errorf("C6 average clustering = %v, want 0", got)
 	}
 }
 
 func TestTriangles(t *testing.T) {
-	if got := Triangles(gen.Complete(4)); got != 4 {
+	if got := Triangles(gen.Complete(4), 1); got != 4 {
 		t.Errorf("K4 triangles = %d, want 4", got)
 	}
-	if got := Triangles(gen.Cycle(5)); got != 0 {
+	if got := Triangles(gen.Cycle(5), 1); got != 0 {
 		t.Errorf("C5 triangles = %d, want 0", got)
 	}
-	if got := Triangles(gen.Complete(5)); got != 10 {
+	if got := Triangles(gen.Complete(5), 1); got != 10 {
 		t.Errorf("K5 triangles = %d, want 10", got)
 	}
 }
 
 func TestClusteringByDegree(t *testing.T) {
 	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 0, V: 3}})
-	byDeg := ClusteringByDegree(g)
+	byDeg := ClusteringByDegree(g, 1)
 	if math.Abs(byDeg[2]-1) > 1e-9 { // nodes 1 and 2, both cc = 1
 		t.Errorf("mean cc at degree 2 = %v, want 1", byDeg[2])
 	}

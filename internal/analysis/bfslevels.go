@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"edgeshed/internal/graph"
+)
+
+// Direction-optimizing BFS switch thresholds (Beamer, Asanović & Patterson,
+// SC'12): go bottom-up when the frontier owns more than 1/bfsAlpha of the
+// still-unexplored adjacency slots, return top-down when the frontier
+// shrinks below 1/bfsBeta of the nodes. The classic constants work well on
+// the low-diameter scale-free graphs the paper evaluates; on high-diameter
+// graphs (paths, grids) the frontier never grows enough to trigger
+// bottom-up and the kernel degenerates to plain top-down BFS.
+const (
+	bfsAlpha = 14
+	bfsBeta  = 24
+)
+
+// levelBFS is per-worker scratch for level-synchronous BFS traversals. It is
+// reused across sources: allocate once per worker, call run per source. All
+// bookkeeping is integer, so pair counts derived from it are exact and any
+// merge order across workers yields the same bits.
+type levelBFS struct {
+	dist []int32 // -1 = unvisited; reset lazily via order
+	// order holds visited nodes in level order: level d occupies
+	// order[levelStart[d] : levelStart[d+1]] during a run.
+	order []graph.NodeID
+	// unvisited is bottom-up scratch: the ids not yet claimed, compacted as
+	// levels claim them, so each bottom-up pass scans survivors instead of
+	// all n nodes. Rebuilt lazily per run at the first bottom-up switch.
+	unvisited []int32
+	// counts[d] accumulates, across every source this worker has processed,
+	// the number of nodes first reached at distance d >= 1.
+	counts []int64
+	// pairs accumulates the total reachable ordered pair count.
+	pairs int64
+	// diameter is the largest distance observed by this worker.
+	diameter int
+}
+
+// newLevelBFS returns scratch sized for an n-node graph.
+func newLevelBFS(n int) *levelBFS {
+	st := &levelBFS{
+		dist:  make([]int32, n),
+		order: make([]graph.NodeID, 0, n),
+	}
+	for i := range st.dist {
+		st.dist[i] = -1
+	}
+	return st
+}
+
+// run performs one direction-optimizing BFS from src over the CSR view,
+// folding the per-level visit counts into st.counts/st.pairs/st.diameter.
+// The traversal is level-synchronous: within a level it expands either
+// top-down (scan the frontier's adjacency) or bottom-up (scan unvisited
+// nodes for a parent in the previous level), switching by the Beamer
+// heuristic. Both directions discover exactly the true BFS levels, so the
+// counts are independent of the strategy actually chosen.
+func (st *levelBFS) run(c *graph.CSR, src graph.NodeID) {
+	offsets, targets := c.Offsets, c.Targets
+	dist := st.dist
+	order := st.order[:0]
+	n := c.NumNodes()
+
+	dist[src] = 0
+	order = append(order, src)
+	// remSlots counts adjacency slots owned by still-unvisited nodes;
+	// scoutSlots counts slots owned by the current frontier.
+	remSlots := int64(c.NumSlots())
+	scoutSlots := int64(offsets[src+1] - offsets[src])
+	remSlots -= scoutSlots
+
+	frontStart := 0
+	bottomUp := false
+	haveUnvisited := false
+	for d := int32(1); frontStart < len(order); d++ {
+		frontEnd := len(order)
+		frontier := order[frontStart:frontEnd]
+		// Direction choice for this level.
+		if !bottomUp {
+			if scoutSlots > remSlots/bfsAlpha {
+				bottomUp = true
+			}
+		} else if len(frontier) < n/bfsBeta {
+			bottomUp = false
+		}
+		if bottomUp {
+			// Bottom-up: every unvisited node probes its adjacency for a
+			// parent at distance d-1 and stops at the first hit. Nodes
+			// claimed earlier in this same pass get distance d, which can
+			// never match d-1, so the scan order within the level is
+			// irrelevant to the outcome. The unvisited list is compacted in
+			// place so later levels only scan survivors; nodes visited by
+			// intervening top-down levels fall out at the next compaction.
+			prev := d - 1
+			if !haveUnvisited {
+				// First bottom-up level: scan every node directly and collect
+				// the survivors as the unvisited list for later levels, so no
+				// separate build pass is needed.
+				live := st.unvisited[:0]
+				for u := int32(0); u < int32(n); u++ {
+					if dist[u] >= 0 {
+						continue
+					}
+					claimed := false
+					for _, w := range targets[offsets[u]:offsets[u+1]] {
+						if dist[w] == prev {
+							dist[u] = d
+							order = append(order, graph.NodeID(u))
+							claimed = true
+							break
+						}
+					}
+					if !claimed {
+						live = append(live, u)
+					}
+				}
+				st.unvisited = live
+				haveUnvisited = true
+			} else {
+				live := st.unvisited[:0]
+				for _, u := range st.unvisited {
+					if dist[u] >= 0 {
+						continue
+					}
+					claimed := false
+					for _, w := range targets[offsets[u]:offsets[u+1]] {
+						if dist[w] == prev {
+							dist[u] = d
+							order = append(order, graph.NodeID(u))
+							claimed = true
+							break
+						}
+					}
+					if !claimed {
+						live = append(live, u)
+					}
+				}
+				st.unvisited = live
+			}
+		} else {
+			for _, v := range frontier {
+				for _, w := range targets[offsets[v]:offsets[v+1]] {
+					if dist[w] < 0 {
+						dist[w] = d
+						order = append(order, w)
+					}
+				}
+			}
+		}
+		level := order[frontEnd:]
+		if len(level) > 0 {
+			scoutSlots = 0
+			for _, v := range level {
+				scoutSlots += int64(offsets[v+1] - offsets[v])
+			}
+			remSlots -= scoutSlots
+			for int(d) >= len(st.counts) {
+				st.counts = append(st.counts, 0)
+			}
+			st.counts[d] += int64(len(level))
+			st.pairs += int64(len(level))
+			if int(d) > st.diameter {
+				st.diameter = int(d)
+			}
+		}
+		frontStart = frontEnd
+	}
+	// Reset only the entries this traversal touched.
+	for _, v := range order {
+		dist[v] = -1
+	}
+	st.order = order
+}

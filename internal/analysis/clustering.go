@@ -2,47 +2,164 @@ package analysis
 
 import (
 	"edgeshed/internal/graph"
+	"edgeshed/internal/par"
 )
+
+// forwardAdj is the degree-ordered "forward" adjacency used for triangle
+// counting (Schank & Wagner's forward algorithm, the same orientation trick
+// SNAP uses): nodes are ranked by (degree, id) ascending and each edge is
+// kept only in its lower-ranked endpoint's list. Every triangle then appears
+// exactly once, closing two forward edges with a third forward edge, and
+// each list has length O(sqrt(m)) on the graphs that make the naive
+// neighborhood scan quadratic — hub adjacency never gets rescanned per
+// neighbor.
+type forwardAdj struct {
+	node    []graph.NodeID // node[r] is the node with rank r
+	offsets []int32        // rank r's forward list is targets[offsets[r]:offsets[r+1]]
+	targets []int32        // forward neighbors as ranks, in no particular order
+}
+
+// buildForwardAdj ranks nodes and orients the edges in O(|V| + |E|): a
+// counting sort for the ranks, then two passes over the flat edge list —
+// count, prefix-sum, fill. Ranks are a permutation, so the two endpoint
+// ranks of an edge never tie.
+func buildForwardAdj(g *graph.Graph) *forwardAdj {
+	n := g.NumNodes()
+	f := &forwardAdj{
+		node:    make([]graph.NodeID, n),
+		offsets: make([]int32, n+1),
+	}
+	// Counting sort by degree gives the rank order; ties break by node id
+	// because nodes are scanned in id order within each degree bucket.
+	maxDeg := g.MaxDegree()
+	binStart := make([]int32, maxDeg+2)
+	for u := 0; u < n; u++ {
+		binStart[g.Degree(graph.NodeID(u))+1]++
+	}
+	for d := 1; d <= maxDeg+1; d++ {
+		binStart[d] += binStart[d-1]
+	}
+	rank := make([]int32, n)
+	for u := 0; u < n; u++ {
+		d := g.Degree(graph.NodeID(u))
+		r := binStart[d]
+		binStart[d]++
+		rank[u] = r
+		f.node[r] = graph.NodeID(u)
+	}
+	edges := g.Edges()
+	for _, e := range edges {
+		ru, rv := rank[e.U], rank[e.V]
+		if rv < ru {
+			ru = rv
+		}
+		f.offsets[ru+1]++
+	}
+	for r := 0; r < n; r++ {
+		f.offsets[r+1] += f.offsets[r]
+	}
+	f.targets = make([]int32, len(edges))
+	cur := make([]int32, n)
+	copy(cur, f.offsets[:n])
+	for _, e := range edges {
+		ru, rv := rank[e.U], rank[e.V]
+		if ru < rv {
+			f.targets[cur[ru]] = rv
+			cur[ru]++
+		} else {
+			f.targets[cur[rv]] = ru
+			cur[rv]++
+		}
+	}
+	return f
+}
+
+// triangleCounts returns the number of triangles through each node,
+// computed rank-parallel over the forward adjacency: each worker closes
+// forward wedges for a stride of ranks into its own integer accumulator, and
+// the per-worker counts merge exactly — the result is identical at any
+// worker count. workers follows the par.Workers convention (<= 0 means
+// GOMAXPROCS).
+func triangleCounts(g *graph.Graph, workers int) []int64 {
+	n := g.NumNodes()
+	f := buildForwardAdj(g)
+	w := par.Workers(workers, n)
+	parts := make([][]int64, w)
+	par.Run(w, func(id int) {
+		tri := make([]int64, n)
+		// stamp[rv] == r+1 marks rv as a forward neighbor of the rank r
+		// currently being processed; versioned stamps avoid clearing.
+		stamp := make([]int32, n)
+		offsets, targets := f.offsets, f.targets
+		for r := int32(id); r < int32(n); r += int32(w) {
+			lo, hi := offsets[r], offsets[r+1]
+			if hi-lo < 2 {
+				continue
+			}
+			mark := r + 1
+			for _, rv := range targets[lo:hi] {
+				stamp[rv] = mark
+			}
+			// A triangle with ranks r < rv < rw is found exactly once: edge
+			// r→rv is scanned, rv's forward list supplies rw, and the stamp
+			// confirms the closing edge r→rw. The r and rv counts batch in
+			// locals so the hot loop issues one array write per triangle.
+			var triR int64
+			for _, rv := range targets[lo:hi] {
+				var triRV int64
+				for _, rw := range targets[offsets[rv]:offsets[rv+1]] {
+					if stamp[rw] == mark {
+						triRV++
+						tri[f.node[rw]]++
+					}
+				}
+				if triRV != 0 {
+					tri[f.node[rv]] += triRV
+					triR += triRV
+				}
+			}
+			if triR != 0 {
+				tri[f.node[r]] += triR
+			}
+		}
+		parts[id] = tri
+	})
+	total := parts[0]
+	for _, p := range parts[1:] {
+		for u, c := range p {
+			total[u] += c
+		}
+	}
+	return total
+}
 
 // LocalClustering returns each node's local clustering coefficient: the
 // fraction of its neighbor pairs that are themselves connected. Nodes of
-// degree < 2 get 0.
-func LocalClustering(g *graph.Graph) []float64 {
+// degree < 2 get 0. workers is the parallelism across nodes; 0 (or
+// negative) means GOMAXPROCS, and the result is bit-identical at any worker
+// count because the per-node triangle counts are integers.
+func LocalClustering(g *graph.Graph, workers int) []float64 {
 	n := g.NumNodes()
 	cc := make([]float64, n)
-	mark := make([]bool, n)
+	if n == 0 {
+		return cc
+	}
+	tri := triangleCounts(g, workers)
 	for u := 0; u < n; u++ {
-		nb := g.Neighbors(graph.NodeID(u))
-		d := len(nb)
+		d := g.Degree(graph.NodeID(u))
 		if d < 2 {
 			continue
 		}
-		// Mark u's neighborhood, then count neighbor-neighbor edges by
-		// scanning each neighbor's adjacency once: O(Σ_{v∈N(u)} deg v)
-		// instead of the quadratic pairwise probe.
-		for _, v := range nb {
-			mark[v] = true
-		}
-		links := 0
-		for _, v := range nb {
-			for _, w := range g.Neighbors(v) {
-				if w > v && mark[w] {
-					links++
-				}
-			}
-		}
-		for _, v := range nb {
-			mark[v] = false
-		}
-		cc[u] = 2 * float64(links) / float64(d*(d-1))
+		cc[u] = 2 * float64(tri[u]) / float64(d*(d-1))
 	}
 	return cc
 }
 
 // AverageClustering returns the mean local clustering coefficient over all
-// nodes (the network average clustering coefficient).
-func AverageClustering(g *graph.Graph) float64 {
-	cc := LocalClustering(g)
+// nodes (the network average clustering coefficient). workers follows the
+// LocalClustering convention.
+func AverageClustering(g *graph.Graph, workers int) float64 {
+	cc := LocalClustering(g, workers)
 	if len(cc) == 0 {
 		return 0
 	}
@@ -54,29 +171,44 @@ func AverageClustering(g *graph.Graph) float64 {
 }
 
 // ClusteringByDegree returns the mean local clustering coefficient at each
-// degree, the series plotted in the paper's Figure 9.
-func ClusteringByDegree(g *graph.Graph) []float64 {
-	return MeanByDegree(g, LocalClustering(g))
+// degree, the series plotted in the paper's Figure 9. workers follows the
+// LocalClustering convention.
+func ClusteringByDegree(g *graph.Graph, workers int) []float64 {
+	return MeanByDegree(g, LocalClustering(g, workers))
 }
 
-// Triangles returns the total number of triangles in g.
-func Triangles(g *graph.Graph) int {
-	count := 0
-	for _, e := range g.Edges() {
-		a, b := g.Neighbors(e.U), g.Neighbors(e.V)
-		i, j := 0, 0
-		for i < len(a) && j < len(b) {
-			switch {
-			case a[i] < b[j]:
-				i++
-			case a[i] > b[j]:
-				j++
-			default:
-				count++
-				i++
-				j++
+// Triangles returns the total number of triangles in g, counted in parallel
+// over static edge ranges: each worker intersects the (sorted) endpoint
+// adjacencies of its edge block into an integer subtotal, and subtotals
+// merge exactly, so the count is identical at any worker count. workers
+// follows the par.Workers convention (<= 0 means GOMAXPROCS).
+func Triangles(g *graph.Graph, workers int) int {
+	edges := g.Edges()
+	w := par.Workers(workers, len(edges))
+	sums := make([]int64, w)
+	par.Blocks(len(edges), w, func(id, lo, hi int) {
+		var count int64
+		for _, e := range edges[lo:hi] {
+			a, b := g.Neighbors(e.U), g.Neighbors(e.V)
+			i, j := 0, 0
+			for i < len(a) && j < len(b) {
+				switch {
+				case a[i] < b[j]:
+					i++
+				case a[i] > b[j]:
+					j++
+				default:
+					count++
+					i++
+					j++
+				}
 			}
 		}
+		sums[id] = count
+	})
+	var total int64
+	for _, s := range sums {
+		total += s
 	}
-	return count / 3
+	return int(total / 3)
 }

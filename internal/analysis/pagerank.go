@@ -4,17 +4,31 @@ import (
 	"sort"
 
 	"edgeshed/internal/graph"
+	"edgeshed/internal/par"
 )
 
 // PageRankOptions configures PageRank. The zero value selects the
-// conventional damping 0.85 and 50 iterations.
+// conventional damping 0.85 and 50 iterations. Out-of-range values are
+// clamped to the defaults rather than rejected, matching the
+// centrality.Options convention — callers wanting validation should check
+// before constructing the options.
 type PageRankOptions struct {
-	// Damping is the restart-complement factor; 0 means 0.85.
+	// Damping is the restart-complement factor. Only values strictly inside
+	// (0, 1) are meaningful; anything else — the zero value, negatives, and
+	// Damping >= 1 (which would drop the restart mass entirely and break
+	// convergence on disconnected graphs) — selects the conventional 0.85.
 	Damping float64
-	// Iterations is the power-iteration count; 0 means 50.
+	// Iterations is the power-iteration count; 0 selects 50, and a negative
+	// value is likewise treated as 0, i.e. the default 50.
 	Iterations int
+	// Workers is the parallelism across nodes; 0 (or negative) means
+	// GOMAXPROCS. Each node's rank is pulled over its CSR adjacency in a
+	// fixed order and the dangling mass is summed serially, so the vector
+	// is bit-identical at any worker count.
+	Workers int
 }
 
+// damping resolves the damping factor; values outside (0, 1) mean 0.85.
 func (o PageRankOptions) damping() float64 {
 	if o.Damping <= 0 || o.Damping >= 1 {
 		return 0.85
@@ -22,6 +36,7 @@ func (o PageRankOptions) damping() float64 {
 	return o.Damping
 }
 
+// iterations resolves the iteration count; non-positive means 50.
 func (o PageRankOptions) iterations() int {
 	if o.Iterations <= 0 {
 		return 50
@@ -32,38 +47,64 @@ func (o PageRankOptions) iterations() int {
 // PageRank returns the PageRank vector of the undirected graph (each edge
 // treated as two directed links). Dangling (isolated) nodes redistribute
 // their mass uniformly. Scores sum to 1 for any non-empty graph.
+//
+// The iteration is pull-based over the graph's CSR view:
+//
+//	next[u] = (1-d)/n + d·(Σ_{v∈N(u)} pr[v]/deg[v] + dangling/n)
+//
+// Each node's sum runs over its CSR slots in a fixed order regardless of
+// how nodes are partitioned across workers, and the dangling mass is summed
+// serially over a precomputed node list, so the result does not depend on
+// Workers.
 func PageRank(g *graph.Graph, opt PageRankOptions) []float64 {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil
 	}
+	c := g.CSR()
 	d := opt.damping()
 	iters := opt.iterations()
+	workers := par.Workers(opt.Workers, n)
+
 	pr := make([]float64, n)
 	next := make([]float64, n)
+	contrib := make([]float64, n) // contrib[v] = pr[v]/deg[v] this iteration
+	invDeg := make([]float64, n)
+	var dangling []int32
+	for u := 0; u < n; u++ {
+		if deg := c.Degree(graph.NodeID(u)); deg > 0 {
+			invDeg[u] = 1 / float64(deg)
+		} else {
+			dangling = append(dangling, int32(u))
+		}
+	}
 	inv := 1 / float64(n)
 	for i := range pr {
 		pr[i] = inv
 	}
 	base := (1 - d) * inv
+	offsets, targets := c.Offsets, c.Targets
 	for it := 0; it < iters; it++ {
-		var dangling float64
-		for u := 0; u < n; u++ {
-			deg := g.Degree(graph.NodeID(u))
-			if deg == 0 {
-				dangling += pr[u]
-				continue
+		par.Blocks(n, workers, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				contrib[v] = pr[v] * invDeg[v]
 			}
-			share := pr[u] / float64(deg)
-			for _, v := range g.Neighbors(graph.NodeID(u)) {
-				next[v] += share
+		})
+		var danglingMass float64
+		for _, u := range dangling {
+			danglingMass += pr[u]
+		}
+		danglingShare := danglingMass * inv
+		par.Blocks(n, workers, func(_, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				var sum float64
+				for _, v := range targets[offsets[u]:offsets[u+1]] {
+					sum += contrib[v]
+				}
+				next[u] = base + d*(sum+danglingShare)
 			}
-		}
-		danglingShare := dangling * inv
-		for u := 0; u < n; u++ {
-			pr[u] = base + d*(next[u]+danglingShare)
-			next[u] = 0
-		}
+		})
+		pr, next = next, pr
 	}
 	return pr
 }

@@ -1,9 +1,8 @@
 package analysis
 
 import (
-	"math/rand"
-
 	"edgeshed/internal/graph"
+	"edgeshed/internal/par"
 )
 
 // DistanceProfile summarizes the shortest-path structure of a graph: the
@@ -24,57 +23,71 @@ type DistanceProfile struct {
 // ProfileOptions configures NewDistanceProfile.
 type ProfileOptions struct {
 	// Sources caps the number of BFS sources; 0 (or >= |V|) means exact
-	// all-sources computation. Sampled profiles estimate the full pair
-	// counts by scaling with |V|/Sources.
+	// all-sources computation, and a negative value is likewise treated as
+	// 0. Sampled profiles estimate the full pair counts by scaling with
+	// |V|/Sources.
 	Sources int
 	// Seed drives source sampling.
 	Seed int64
+	// Workers is the parallelism across BFS sources; 0 (or negative) means
+	// GOMAXPROCS. Sources are strided statically over workers and the
+	// per-distance pair counts accumulate as integers, merged exactly and
+	// scaled once at the end — so the profile is bit-identical at any
+	// worker count.
+	Workers int
 }
 
-// NewDistanceProfile computes the distance profile of g.
+// sources resolves the BFS source set and the pair-count scale factor.
+// Sampling uses the shared O(Sources) partial Fisher–Yates draw.
+func (o ProfileOptions) sources(n int) ([]graph.NodeID, float64) {
+	if o.Sources > 0 && o.Sources < n {
+		return graph.SampleNodeIDs(n, o.Sources, o.Seed), float64(n) / float64(o.Sources)
+	}
+	return graph.SampleNodeIDs(n, n, 0), 1
+}
+
+// NewDistanceProfile computes the distance profile of g by one BFS per
+// source, parallel across sources. Each worker runs the direction-optimizing
+// level-synchronous BFS kernel with its own reusable distance and frontier
+// buffers, counting (source, target) pairs per distance as integers; the
+// per-worker integer counts merge exactly and are scaled by |V|/Sources once
+// at the end.
 func NewDistanceProfile(g *graph.Graph, opt ProfileOptions) *DistanceProfile {
 	n := g.NumNodes()
-	srcs := make([]graph.NodeID, 0, n)
-	scale := 1.0
-	if opt.Sources > 0 && opt.Sources < n {
-		rng := rand.New(rand.NewSource(opt.Seed))
-		for _, i := range rng.Perm(n)[:opt.Sources] {
-			srcs = append(srcs, graph.NodeID(i))
-		}
-		scale = float64(n) / float64(opt.Sources)
-	} else {
-		for i := 0; i < n; i++ {
-			srcs = append(srcs, graph.NodeID(i))
-		}
-	}
+	srcs, scale := opt.sources(n)
 	p := &DistanceProfile{Sources: len(srcs)}
-	dist := make([]int32, n)
-	for i := range dist {
-		dist[i] = -1
+	if len(srcs) == 0 {
+		return p
 	}
-	queue := make([]graph.NodeID, 0, n)
-	for _, s := range srcs {
-		visited := bfsInto(g, s, dist, queue)
-		for _, v := range visited {
-			d := int(dist[v])
-			if d == 0 {
-				continue
-			}
-			for d >= len(p.DistCounts) {
-				p.DistCounts = append(p.DistCounts, 0)
-			}
-			p.DistCounts[d] += scale
-			p.ReachablePairs += scale
-			if d > p.Diameter {
-				p.Diameter = d
-			}
+	c := g.CSR()
+	workers := par.Workers(opt.Workers, len(srcs))
+	states := make([]*levelBFS, workers)
+	par.Run(workers, func(w int) {
+		st := newLevelBFS(n)
+		for i := w; i < len(srcs); i += workers {
+			st.run(c, srcs[i])
 		}
-		// Reset only touched entries.
-		for _, v := range visited {
-			dist[v] = -1
+		states[w] = st
+	})
+	var counts []int64
+	var pairs int64
+	for _, st := range states {
+		for d, cnt := range st.counts {
+			for d >= len(counts) {
+				counts = append(counts, 0)
+			}
+			counts[d] += cnt
 		}
-		queue = visited[:0]
+		pairs += st.pairs
+		if st.diameter > p.Diameter {
+			p.Diameter = st.diameter
+		}
 	}
+	p.DistCounts = make([]float64, len(counts))
+	for d, cnt := range counts {
+		p.DistCounts[d] = float64(cnt) * scale
+	}
+	p.ReachablePairs = float64(pairs) * scale
 	return p
 }
 

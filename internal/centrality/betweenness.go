@@ -16,11 +16,10 @@ package centrality
 
 import (
 	"fmt"
-	"math/rand"
-	"runtime"
 	"sync"
 
 	"edgeshed/internal/graph"
+	"edgeshed/internal/par"
 )
 
 // Options configures a betweenness computation.
@@ -32,20 +31,14 @@ type Options struct {
 	// exact values.
 	Samples int
 	// Workers is the parallelism across sources. 0 means GOMAXPROCS; a
-	// negative value is likewise treated as GOMAXPROCS. Sources are assigned
-	// to workers by static striding, so results are deterministic for a
-	// fixed (graph, Options) pair, including the worker count.
+	// negative value is likewise treated as GOMAXPROCS. Sources accumulate
+	// into par.Shards fixed shards (source i into shard i mod par.Shards)
+	// that merge in shard order, so the scores are bit-identical at ANY
+	// worker count, not just deterministic per count. Parallelism is
+	// therefore capped at par.Shards workers.
 	Workers int
 	// Seed drives source sampling; ignored when exact.
 	Seed int64
-}
-
-// workers resolves the worker count; non-positive means GOMAXPROCS.
-func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
-	}
-	return runtime.GOMAXPROCS(0)
 }
 
 // samples resolves the sample count; negative means 0 (exact).
@@ -57,39 +50,14 @@ func (o Options) samples() int {
 }
 
 // sources returns the BFS sources and the per-source scale factor.
-//
-// Sampling uses a partial Fisher–Yates shuffle over a sparse swap map, so
-// picking s sources from an n-node graph costs O(s) time and memory rather
-// than the O(n) of materializing a full permutation. The sequence is
-// deterministic for a given Seed.
+// Sampling uses graph.SampleNodeIDs, the shared partial Fisher–Yates draw:
+// O(Samples) time and memory, deterministic for a given Seed.
 func (o Options) sources(n int) ([]graph.NodeID, float64) {
 	s := o.samples()
 	if s <= 0 || s >= n {
-		all := make([]graph.NodeID, n)
-		for i := range all {
-			all[i] = graph.NodeID(i)
-		}
-		return all, 1
+		return graph.SampleNodeIDs(n, n, 0), 1
 	}
-	rng := rand.New(rand.NewSource(o.Seed))
-	// swapped[j] holds the value that a full Fisher–Yates pass would have
-	// left at position j; absent keys still hold their identity value.
-	swapped := make(map[int]int, s)
-	srcs := make([]graph.NodeID, s)
-	for i := 0; i < s; i++ {
-		j := i + rng.Intn(n-i)
-		vj, ok := swapped[j]
-		if !ok {
-			vj = j
-		}
-		vi, ok := swapped[i]
-		if !ok {
-			vi = i
-		}
-		srcs[i] = graph.NodeID(vj)
-		swapped[j] = vi
-	}
-	return srcs, float64(n) / float64(s)
+	return graph.SampleNodeIDs(n, s, o.Seed), float64(n) / float64(s)
 }
 
 // EdgeScores holds per-edge betweenness aligned with g.Edges().
@@ -291,11 +259,14 @@ func Betweenness(g *graph.Graph, opt Options) ([]float64, []float64) {
 	return both(g, opt, true, true)
 }
 
-// both runs the sampled/exact parallel Brandes driver. Sources are assigned
-// to workers by static striding (worker w takes srcs[w], srcs[w+workers], …)
-// and per-worker partial sums are merged in worker order, so the result is
-// fully deterministic for a fixed (graph, Options) — there is no channel
-// scheduling in the path.
+// both runs the sampled/exact parallel Brandes driver. Per-source
+// dependencies are floating point, so to keep the scores bit-identical at
+// any worker count the accumulation is sharded, not per-worker: source
+// srcs[i] always accumulates into shard i mod par.Shards, worker w
+// processes shards w, w+workers, … with one reusable traversal state, and
+// the per-shard partial sums merge in shard index order. The summation tree
+// is then a function of (graph, Options) alone — the worker count only
+// changes which goroutine happens to own a shard.
 func both(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([]float64, []float64) {
 	n := g.NumNodes()
 	var nodes, edges []float64
@@ -314,23 +285,18 @@ func both(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([]float64, []
 		return nodes, edges
 	}
 	c := g.CSR()
-	workers := opt.workers()
-	if workers > len(srcs) {
-		workers = len(srcs)
+	shards := par.Shards
+	if shards > len(srcs) {
+		shards = len(srcs)
 	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := par.Workers(opt.Workers, shards)
 	type partial struct {
 		nodes, edges []float64
 	}
-	parts := make([]partial, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			st := newBrandesState(c)
+	parts := make([]partial, shards)
+	par.Run(workers, func(w int) {
+		st := newBrandesState(c)
+		for s := w; s < shards; s += workers {
 			var nodeAcc, edgeAcc []float64
 			if wantNodes {
 				nodeAcc = make([]float64, n)
@@ -338,13 +304,12 @@ func both(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([]float64, []
 			if wantEdges {
 				edgeAcc = make([]float64, g.NumEdges())
 			}
-			for i := w; i < len(srcs); i += workers {
+			for i := s; i < len(srcs); i += shards {
 				st.run(c, srcs[i], nodeAcc, edgeAcc)
 			}
-			parts[w] = partial{nodes: nodeAcc, edges: edgeAcc}
-		}(w)
-	}
-	wg.Wait()
+			parts[s] = partial{nodes: nodeAcc, edges: edgeAcc}
+		}
+	})
 
 	if wantNodes {
 		for _, p := range parts {

@@ -1,9 +1,8 @@
 package centrality
 
 import (
-	"sync"
-
 	"edgeshed/internal/graph"
+	"edgeshed/internal/par"
 )
 
 // Closeness returns each node's closeness centrality in the Wasserman–Faust
@@ -12,61 +11,49 @@ import (
 //	C(u) = ((r-1)/(n-1)) · ((r-1) / Σ_{v reachable} d(u, v))
 //
 // where r is the size of u's reachable set. Isolated nodes score 0. The
-// computation runs one BFS per node, parallelized like Betweenness; opt's
-// Samples field is ignored (closeness has no per-source decomposition), but
-// Workers applies.
+// computation runs one BFS per node, source-strided across workers; each
+// node's score is written independently, so the result is bit-identical at
+// any worker count. opt's Samples field is ignored (closeness has no
+// per-source decomposition), but Workers applies.
 func Closeness(g *graph.Graph, opt Options) []float64 {
 	n := g.NumNodes()
 	scores := make([]float64, n)
 	if n <= 1 {
 		return scores
 	}
-	workers := opt.workers()
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	next := make(chan graph.NodeID, n)
-	for u := 0; u < n; u++ {
-		next <- graph.NodeID(u)
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			dist := make([]int32, n)
-			for i := range dist {
-				dist[i] = -1
-			}
-			queue := make([]graph.NodeID, 0, n)
-			for s := range next {
-				queue = queue[:0]
-				dist[s] = 0
-				queue = append(queue, s)
-				var sum int64
-				for head := 0; head < len(queue); head++ {
-					v := queue[head]
-					sum += int64(dist[v])
-					for _, x := range g.Neighbors(v) {
-						if dist[x] < 0 {
-							dist[x] = dist[v] + 1
-							queue = append(queue, x)
-						}
+	workers := par.Workers(opt.Workers, n)
+	par.Run(workers, func(w int) {
+		dist := make([]int32, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue := make([]graph.NodeID, 0, n)
+		for su := w; su < n; su += workers {
+			s := graph.NodeID(su)
+			queue = queue[:0]
+			dist[s] = 0
+			queue = append(queue, s)
+			var sum int64
+			for head := 0; head < len(queue); head++ {
+				v := queue[head]
+				sum += int64(dist[v])
+				for _, x := range g.Neighbors(v) {
+					if dist[x] < 0 {
+						dist[x] = dist[v] + 1
+						queue = append(queue, x)
 					}
 				}
-				r := len(queue)
-				if r > 1 && sum > 0 {
-					rm1 := float64(r - 1)
-					scores[s] = (rm1 / float64(n-1)) * (rm1 / float64(sum))
-				}
-				for _, v := range queue {
-					dist[v] = -1
-				}
 			}
-		}()
-	}
-	wg.Wait()
+			r := len(queue)
+			if r > 1 && sum > 0 {
+				rm1 := float64(r - 1)
+				scores[s] = (rm1 / float64(n-1)) * (rm1 / float64(sum))
+			}
+			for _, v := range queue {
+				dist[v] = -1
+			}
+		}
+	})
 	return scores
 }
 

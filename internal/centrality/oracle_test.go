@@ -4,14 +4,16 @@ package centrality
 // test oracle. The production path accumulates edge dependencies through
 // graph.CSR edge ids; the oracle hashes a map[graph.Edge]int32 per
 // predecessor visit, exactly as the seed implementation did. Both drivers
-// assign sources to workers by identical static striding and merge partial
-// sums in worker order, so the comparison is bit-exact, not approximate.
+// assign sources to the same fixed accumulation shards (source i into shard
+// i mod par.Shards) and merge partial sums in shard order, so the
+// comparison is bit-exact, not approximate.
 
 import (
 	"testing"
 
 	"edgeshed/internal/graph"
 	"edgeshed/internal/graph/gen"
+	"edgeshed/internal/par"
 )
 
 // mapBrandesState is the seed per-source scratch space: per-node predecessor
@@ -80,10 +82,11 @@ func (st *mapBrandesState) run(g *graph.Graph, s graph.NodeID, nodeAcc, edgeAcc 
 }
 
 // oracleBoth mirrors the production both() driver — same source selection,
-// same static worker striding, same merge and scaling order — over the
-// map-indexed oracle kernel. Workers run sequentially; since striding fixes
-// each worker's source set and partials merge in worker order, the result is
-// bit-identical to the concurrent production run.
+// same fixed accumulation shards, same merge and scaling order — over the
+// map-indexed oracle kernel. Shards run sequentially; since the shard
+// assignment is a function of the source index alone and partials merge in
+// shard order, the result is bit-identical to the concurrent production run
+// at any worker count.
 func oracleBoth(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([]float64, []float64) {
 	n := g.NumNodes()
 	var nodes, edges []float64
@@ -104,19 +107,16 @@ func oracleBoth(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([]float
 	if wantEdges {
 		eIdx = edgeIndex(g)
 	}
-	workers := opt.workers()
-	if workers > len(srcs) {
-		workers = len(srcs)
-	}
-	if workers < 1 {
-		workers = 1
+	shards := par.Shards
+	if shards > len(srcs) {
+		shards = len(srcs)
 	}
 	type partial struct {
 		nodes, edges []float64
 	}
-	parts := make([]partial, workers)
-	for w := 0; w < workers; w++ {
-		st := newMapBrandesState(n)
+	parts := make([]partial, shards)
+	st := newMapBrandesState(n)
+	for s := 0; s < shards; s++ {
 		var nodeAcc, edgeAcc []float64
 		if wantNodes {
 			nodeAcc = make([]float64, n)
@@ -124,10 +124,10 @@ func oracleBoth(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([]float
 		if wantEdges {
 			edgeAcc = make([]float64, g.NumEdges())
 		}
-		for i := w; i < len(srcs); i += workers {
+		for i := s; i < len(srcs); i += shards {
 			st.run(g, srcs[i], nodeAcc, edgeAcc, eIdx)
 		}
-		parts[w] = partial{nodes: nodeAcc, edges: edgeAcc}
+		parts[s] = partial{nodes: nodeAcc, edges: edgeAcc}
 	}
 	if wantNodes {
 		for _, p := range parts {

@@ -73,9 +73,9 @@ func (b BM2) Reduce(g *graph.Graph, p float64) (*Result, error) {
 		return nil, err
 	}
 	selected := append([]graph.Edge(nil), bm.Edges...)
-	inSelected := make(map[graph.Edge]struct{}, len(selected))
-	for _, e := range selected {
-		inSelected[e.Canonical()] = struct{}{}
+	inSelected := make([]bool, g.NumEdges())
+	for _, id := range bm.IDs {
+		inSelected[id] = true
 	}
 
 	// Degree discrepancies after Phase 1 (lines 8-16). Group membership is
@@ -96,8 +96,8 @@ func (b BM2) Reduce(g *graph.Graph, p float64) (*Result, error) {
 	var q matching.PQ[bpEdge]
 	adjA := make(map[graph.NodeID][]*matching.Handle[bpEdge])
 	adjB := make(map[graph.NodeID][]*matching.Handle[bpEdge])
-	for _, e := range g.Edges() {
-		if _, ok := inSelected[e]; ok {
+	for i, e := range g.Edges() {
+		if inSelected[i] {
 			continue
 		}
 		var a, bb graph.NodeID

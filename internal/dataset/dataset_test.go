@@ -114,12 +114,12 @@ func TestStandInFidelity(t *testing.T) {
 	// but the properties each stand-in is responsible for reproducing.
 	grqc, _ := ByName("ca-GrQc")
 	g := grqc.MustBuild(16, grqc.DefaultSeed)
-	if cc := analysis.AverageClustering(g); cc < 0.25 {
+	if cc := analysis.AverageClustering(g, 0); cc < 0.25 {
 		t.Errorf("ca-GrQc stand-in clustering = %.3f, want >= 0.25 (collaboration network)", cc)
 	}
 	hepph, _ := ByName("ca-HepPh")
 	g = hepph.MustBuild(16, hepph.DefaultSeed)
-	if cc := analysis.AverageClustering(g); cc < 0.1 {
+	if cc := analysis.AverageClustering(g, 0); cc < 0.1 {
 		t.Errorf("ca-HepPh stand-in clustering = %.3f, want >= 0.1", cc)
 	}
 	enron, _ := ByName("email-Enron")

@@ -40,6 +40,11 @@ type Config struct {
 	// Markdown renders tables as GitHub-flavored Markdown instead of
 	// aligned plain text.
 	Markdown bool
+	// Workers is the parallelism for analysis and centrality kernels; 0
+	// means GOMAXPROCS. Every kernel follows the internal/par determinism
+	// discipline, so measured values are identical at any worker count
+	// (timings, of course, are not).
+	Workers int
 }
 
 // PsOrDefault exposes the effective preservation ratios (the default sweep
@@ -85,21 +90,21 @@ func (c Config) build(name string) (*graph.Graph, error) {
 // betweennessOptions picks exact Brandes for small graphs and source
 // sampling for larger ones, mirroring the paper's resource-constraint
 // premise.
-func betweennessOptions(g *graph.Graph, seed int64) centrality.Options {
+func betweennessOptions(g *graph.Graph, seed int64, workers int) centrality.Options {
 	if g.NumNodes() <= 2048 {
-		return centrality.Options{}
+		return centrality.Options{Workers: workers}
 	}
 	samples := 256
 	if g.NumNodes() < 8*samples {
 		samples = g.NumNodes() / 8
 	}
-	return centrality.Options{Samples: samples, Seed: seed}
+	return centrality.Options{Samples: samples, Seed: seed, Workers: workers}
 }
 
 // reducerSet returns the paper's three methods configured for graph g, in
 // table order (UDS, CRR, BM2). The UDS entry is nil when skipped.
 func (c Config) reducerSet(g *graph.Graph) []core.Reducer {
-	bopt := betweennessOptions(g, c.Seed+77)
+	bopt := betweennessOptions(g, c.Seed+77, c.Workers)
 	set := []core.Reducer{
 		nil,
 		core.CRR{Seed: c.Seed + 1, Betweenness: bopt},

@@ -30,7 +30,7 @@ func runFig4(cfg Config) error {
 				res, rerr = core.CRR{
 					Seed:        cfg.Seed + 1,
 					StepsFactor: x,
-					Betweenness: betweennessOptions(g, cfg.Seed+77),
+					Betweenness: betweennessOptions(g, cfg.Seed+77, cfg.Workers),
 				}.Reduce(g, 0.5)
 				return rerr
 			})
@@ -57,7 +57,7 @@ func runFig5ab(cfg Config) error {
 		fmt.Sprintf("Figure 5(a)-(b) (ca-GrQc stand-in, |V|=%d |E|=%d): error vs bound", g.NumNodes(), g.NumEdges()),
 		"p", "CRR err", "CRR bound", "BM2 err", "BM2 bound")
 	for _, p := range cfg.ps() {
-		crrRes, err := (core.CRR{Seed: cfg.Seed + 1, Betweenness: betweennessOptions(g, cfg.Seed+77)}).Reduce(g, p)
+		crrRes, err := (core.CRR{Seed: cfg.Seed + 1, Betweenness: betweennessOptions(g, cfg.Seed+77, cfg.Workers)}).Reduce(g, p)
 		if err != nil {
 			return err
 		}
@@ -171,7 +171,7 @@ func runFig7(cfg Config) error {
 	return cfg.distributionFigure("Figure 7: shortest-path distance distribution",
 		smallDatasets, 0.3,
 		func(g *graph.Graph) []float64 {
-			opt := analysis.ProfileOptions{Sources: profileSources(g), Seed: cfg.Seed + 5}
+			opt := analysis.ProfileOptions{Sources: profileSources(g), Seed: cfg.Seed + 5, Workers: cfg.Workers}
 			return analysis.NewDistanceProfile(g, opt).Distribution()
 		}, 12)
 }
@@ -181,7 +181,7 @@ func runFig10(cfg Config) error {
 	return cfg.distributionFigure("Figure 10: hop-plot",
 		smallDatasets, 0.3,
 		func(g *graph.Graph) []float64 {
-			opt := analysis.ProfileOptions{Sources: profileSources(g), Seed: cfg.Seed + 5}
+			opt := analysis.ProfileOptions{Sources: profileSources(g), Seed: cfg.Seed + 5, Workers: cfg.Workers}
 			return analysis.NewDistanceProfile(g, opt).HopPlot()
 		}, 12)
 }
@@ -206,7 +206,7 @@ func runFig8(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		bopt := betweennessOptions(g, cfg.Seed+6)
+		bopt := betweennessOptions(g, cfg.Seed+6, cfg.Workers)
 		fmt.Fprintf(cfg.Out, "Figure 8: betweenness vs degree (%s stand-in, p=0.3), buckets deg 0..15\n", name)
 		origBC := analysis.MeanByDegree(g, centrality.NodeBetweenness(g, bopt))
 		if err := seriesLine(cfg.Out, "original", normalizeSeries(origBC), 16); err != nil {
@@ -264,7 +264,7 @@ func runFig9(cfg Config) error {
 		}
 		task := tasks.ClusteringTask{}
 		fmt.Fprintf(cfg.Out, "Figure 9: clustering coefficient vs degree (%s stand-in, p=0.3), buckets deg 0..15\n", name)
-		orig := analysis.ClusteringByDegree(g)
+		orig := analysis.ClusteringByDegree(g, cfg.Workers)
 		if err := seriesLine(cfg.Out, "original", orig, 16); err != nil {
 			return err
 		}

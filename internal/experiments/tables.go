@@ -64,16 +64,16 @@ func heavyTasks() []taskSpec {
 			return nil
 		}},
 		{"SP distance", func(cfg Config, g *graph.Graph) error {
-			opt := analysis.ProfileOptions{Sources: profileSources(g), Seed: cfg.Seed + 5}
+			opt := analysis.ProfileOptions{Sources: profileSources(g), Seed: cfg.Seed + 5, Workers: cfg.Workers}
 			analysis.NewDistanceProfile(g, opt)
 			return nil
 		}},
 		{"Betweenness", func(cfg Config, g *graph.Graph) error {
-			centrality.NodeBetweenness(g, betweennessOptions(g, cfg.Seed+6))
+			centrality.NodeBetweenness(g, betweennessOptions(g, cfg.Seed+6, cfg.Workers))
 			return nil
 		}},
 		{"Hop-plot", func(cfg Config, g *graph.Graph) error {
-			opt := analysis.ProfileOptions{Sources: profileSources(g), Seed: cfg.Seed + 5}
+			opt := analysis.ProfileOptions{Sources: profileSources(g), Seed: cfg.Seed + 5, Workers: cfg.Workers}
 			analysis.NewDistanceProfile(g, opt).HopPlot()
 			return nil
 		}},
@@ -84,7 +84,7 @@ func heavyTasks() []taskSpec {
 func lightTasks() []taskSpec {
 	return []taskSpec{
 		{"Top-k", func(cfg Config, g *graph.Graph) error {
-			analysis.TopK(analysis.PageRank(g, analysis.PageRankOptions{}), g.NumNodes()/10)
+			analysis.TopK(analysis.PageRank(g, analysis.PageRankOptions{Workers: cfg.Workers}), g.NumNodes()/10)
 			return nil
 		}},
 		{"Vertex degree", func(cfg Config, g *graph.Graph) error {
@@ -92,7 +92,7 @@ func lightTasks() []taskSpec {
 			return nil
 		}},
 		{"Clustering coef", func(cfg Config, g *graph.Graph) error {
-			analysis.LocalClustering(g)
+			analysis.LocalClustering(g, cfg.Workers)
 			return nil
 		}},
 	}

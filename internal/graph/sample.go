@@ -1,0 +1,42 @@
+package graph
+
+import "math/rand"
+
+// SampleNodeIDs draws k distinct node ids uniformly at random from [0, n)
+// using a partial Fisher–Yates shuffle over a sparse swap map, so the draw
+// costs O(k) time and memory rather than the O(n) of materializing a full
+// permutation. The sequence is deterministic for a given seed: the first k
+// entries equal those of rand.New(rand.NewSource(seed)).Perm(n) under the
+// same swap rule. k <= 0 returns nil; k >= n returns the identity order
+// 0..n-1 (every node, unshuffled).
+func SampleNodeIDs(n, k int, seed int64) []NodeID {
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+	if k >= n {
+		all := make([]NodeID, n)
+		for i := range all {
+			all[i] = NodeID(i)
+		}
+		return all
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// swapped[j] holds the value a full Fisher–Yates pass would have left at
+	// position j; absent keys still hold their identity value.
+	swapped := make(map[int]int, k)
+	out := make([]NodeID, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		vj, ok := swapped[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := swapped[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = NodeID(vj)
+		swapped[j] = vi
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSampleNodeIDsMatchesPerm: the partial draw must reproduce the prefix
+// of a full Fisher–Yates pass with the same rng, i.e. sampling is exactly
+// "first k of a permutation" without the O(n) cost.
+func TestSampleNodeIDsMatchesPerm(t *testing.T) {
+	const n, k = 500, 40
+	for seed := int64(0); seed < 5; seed++ {
+		got := SampleNodeIDs(n, k, seed)
+		// Reference: a literal full Fisher–Yates with the same draw rule.
+		rng := rand.New(rand.NewSource(seed))
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := 0; i < k; i++ {
+			j := i + rng.Intn(n-i)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for i := 0; i < k; i++ {
+			if int(got[i]) != perm[i] {
+				t.Fatalf("seed %d: sample[%d] = %d, want %d", seed, i, got[i], perm[i])
+			}
+		}
+	}
+}
+
+func TestSampleNodeIDsDistinctAndInRange(t *testing.T) {
+	const n, k = 200, 64
+	got := SampleNodeIDs(n, k, 9)
+	if len(got) != k {
+		t.Fatalf("len = %d, want %d", len(got), k)
+	}
+	seen := make(map[NodeID]bool, k)
+	for _, u := range got {
+		if u < 0 || int(u) >= n {
+			t.Fatalf("sampled id %d outside [0, %d)", u, n)
+		}
+		if seen[u] {
+			t.Fatalf("duplicate sampled id %d", u)
+		}
+		seen[u] = true
+	}
+}
+
+// TestSampleNodeIDsPinned pins the exact draw for a fixed seed, so any
+// change to the sampling sequence (which silently re-randomizes every
+// seeded experiment) fails loudly.
+func TestSampleNodeIDsPinned(t *testing.T) {
+	got := SampleNodeIDs(20, 5, 7)
+	want := []NodeID{6, 14, 11, 8, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSampleNodeIDsEdgeCases(t *testing.T) {
+	if got := SampleNodeIDs(10, 0, 1); got != nil {
+		t.Errorf("k=0: got %v, want nil", got)
+	}
+	if got := SampleNodeIDs(10, -3, 1); got != nil {
+		t.Errorf("k<0: got %v, want nil", got)
+	}
+	if got := SampleNodeIDs(0, 5, 1); got != nil {
+		t.Errorf("n=0: got %v, want nil", got)
+	}
+	all := SampleNodeIDs(6, 99, 1)
+	if len(all) != 6 {
+		t.Fatalf("k>n: len = %d, want 6", len(all))
+	}
+	for i, u := range all {
+		if int(u) != i {
+			t.Errorf("k>n: identity order expected, got %v", all)
+			break
+		}
+	}
+}

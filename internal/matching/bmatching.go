@@ -40,6 +40,10 @@ func (o EdgeOrder) String() string {
 type BMatching struct {
 	// Edges are the matched edges, in selection order.
 	Edges []graph.Edge
+	// IDs are the matched edges' canonical ids — positions in g.Edges() —
+	// aligned with Edges, so callers can mark membership in a []bool instead
+	// of hashing edges into a map.
+	IDs []int32
 	// Degrees[u] is u's degree within the matching.
 	Degrees []int
 }
@@ -58,27 +62,34 @@ func GreedyBMatching(g *graph.Graph, caps []int, order EdgeOrder) (*BMatching, e
 			return nil, fmt.Errorf("matching: negative capacity %d at node %d", c, u)
 		}
 	}
+	// Scan a permutation of edge ids rather than copied edges, so each kept
+	// edge's canonical id (its position in g.Edges()) rides along for free.
 	edges := g.Edges()
+	scan := make([]int32, len(edges))
+	for i := range scan {
+		scan[i] = int32(i)
+	}
 	if order != InputOrder {
-		edges = append([]graph.Edge(nil), edges...)
-		key := func(e graph.Edge) int {
-			cu, cv := caps[e.U], caps[e.V]
+		key := func(id int32) int {
+			cu, cv := caps[edges[id].U], caps[edges[id].V]
 			if cu < cv {
 				return cu
 			}
 			return cv
 		}
-		sort.SliceStable(edges, func(i, j int) bool {
+		sort.SliceStable(scan, func(i, j int) bool {
 			if order == ScarceFirst {
-				return key(edges[i]) < key(edges[j])
+				return key(scan[i]) < key(scan[j])
 			}
-			return key(edges[i]) > key(edges[j])
+			return key(scan[i]) > key(scan[j])
 		})
 	}
 	m := &BMatching{Degrees: make([]int, g.NumNodes())}
-	for _, e := range edges {
+	for _, id := range scan {
+		e := edges[id]
 		if m.Degrees[e.U] < caps[e.U] && m.Degrees[e.V] < caps[e.V] {
 			m.Edges = append(m.Edges, e)
+			m.IDs = append(m.IDs, id)
 			m.Degrees[e.U]++
 			m.Degrees[e.V]++
 		}

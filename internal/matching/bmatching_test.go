@@ -240,3 +240,33 @@ func TestGreedyBipartiteEmptyInput(t *testing.T) {
 		t.Errorf("GreedyBipartite(nil) = %v", got)
 	}
 }
+
+// TestGreedyBMatchingIDsAligned pins the Edges/IDs contract across every
+// scan order: IDs[i] is the position of Edges[i] in g.Edges(), so callers may
+// mark matched edges in a []bool indexed by canonical edge id.
+func TestGreedyBMatchingIDsAligned(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 3, 5)
+	all := g.Edges()
+	for _, order := range []EdgeOrder{InputOrder, ScarceFirst, DenseFirst} {
+		m, err := GreedyBMatching(g, unitCaps(g.NumNodes(), 2), order)
+		if err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		if len(m.IDs) != len(m.Edges) {
+			t.Fatalf("%v: %d ids for %d edges", order, len(m.IDs), len(m.Edges))
+		}
+		seen := make(map[int32]bool, len(m.IDs))
+		for i, id := range m.IDs {
+			if id < 0 || int(id) >= len(all) {
+				t.Fatalf("%v: id %d outside [0,%d)", order, id, len(all))
+			}
+			if seen[id] {
+				t.Fatalf("%v: duplicate edge id %d", order, id)
+			}
+			seen[id] = true
+			if all[id] != m.Edges[i] {
+				t.Fatalf("%v: IDs[%d]=%d names %v, Edges[%d]=%v", order, i, id, all[id], i, m.Edges[i])
+			}
+		}
+	}
+}

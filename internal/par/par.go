@@ -1,0 +1,103 @@
+// Package par provides the worker-count resolution and static work-sharding
+// primitives shared by the repository's parallel kernels (centrality,
+// analysis, tasks).
+//
+// Every kernel built on this package follows one determinism discipline, the
+// one the Brandes rewrite established:
+//
+//   - Work is assigned to workers statically — by stride (worker w takes
+//     items w, w+workers, …) or by contiguous Blocks — never through a
+//     channel, so the partition is a pure function of (items, workers).
+//   - Outputs that are per-item independent (one array slot per node or
+//     edge) are written directly: the value of each slot does not depend on
+//     the partition at all.
+//   - Reductions over integers merge per-worker partials with exact
+//     arithmetic, so any merge order gives the same bits.
+//   - Reductions over floating point accumulate into a fixed number of
+//     Shards keyed by item index, not by worker, and merge in shard order.
+//     The summation tree is then a function of the item set alone, making
+//     the result bit-identical at any worker count.
+//
+// Together these rules make every kernel's output a deterministic function
+// of (input, options) — the worker count only changes wall-clock time.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Shards is the fixed accumulation-shard count for deterministic
+// floating-point reductions: item i always accumulates into shard
+// i mod Shards, whatever the worker count, and per-shard partials merge in
+// shard index order. Kernels that shard this way cannot exploit more than
+// Shards workers, and hold Shards copies of their accumulator arrays while
+// running; 16 keeps that memory overhead moderate while covering common
+// core counts.
+const Shards = 16
+
+// Workers resolves a requested worker count against an item count:
+// requested <= 0 selects runtime.GOMAXPROCS(0), and the result is clamped
+// to [1, max(items, 1)] so callers can launch exactly that many goroutines
+// without spawning idle ones.
+func Workers(requested, items int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run invokes fn(w) for every worker index w in [0, workers) and waits for
+// all of them. With workers == 1 it calls fn inline, so serial runs pay no
+// goroutine or synchronization cost. fn receives only its worker index;
+// sharding is the caller's business (stride over items, or use Blocks).
+func Run(workers int, fn func(w int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Block returns the half-open range [lo, hi) of the w-th of workers
+// contiguous, near-equal blocks over n items. The first n mod workers
+// blocks are one item larger; the union of all blocks is exactly [0, n).
+func Block(n, workers, w int) (lo, hi int) {
+	size := n / workers
+	rem := n % workers
+	lo = w*size + min(w, rem)
+	hi = lo + size
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Blocks partitions n items into workers contiguous near-equal ranges and
+// runs fn(w, lo, hi) on each concurrently, waiting for all. It is the
+// sharding of choice for per-item-independent output arrays: each worker
+// writes a disjoint contiguous slice, which is race-free and
+// cache-friendly, and the values are partition-independent by construction.
+func Blocks(n, workers int, fn func(w, lo, hi int)) {
+	Run(workers, func(w int) {
+		lo, hi := Block(n, workers, w)
+		if lo < hi {
+			fn(w, lo, hi)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package tasks
+
+import (
+	"testing"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+)
+
+// dropEveryThird builds a "reduced" graph by shedding every third edge of g,
+// a deterministic stand-in for a reducer that keeps the suite's inputs fixed
+// across worker counts without importing internal/core.
+func dropEveryThird(g *graph.Graph) *graph.Graph {
+	b := graph.NewBuilder(g.NumNodes())
+	for i, e := range g.Edges() {
+		if i%3 == 2 {
+			continue
+		}
+		b.TryAddEdge(e.U, e.V)
+	}
+	return b.Graph()
+}
+
+// TestSuiteBitIdenticalAcrossWorkerCounts is the cross-worker determinism
+// property test: every measurement Suite.Evaluate produces — betweenness
+// included, via the fixed-shard accumulation — must be bit-identical for
+// Workers ∈ {1, 2, 4, 7} on both a scale-free and a community-structured
+// graph.
+func TestSuiteBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"BA", gen.BarabasiAlbert(300, 3, 11)},
+		{"PP", gen.PlantedPartition(4, 75, 0.15, 0.01, 13)},
+	}
+	for _, tg := range graphs {
+		red := dropEveryThird(tg.g)
+		base := Suite{Sources: 64, MaxPairs: 2000, Seed: 5, SkipEmbedding: true, Workers: 1}
+		want := base.Evaluate(tg.g, red)
+		for _, workers := range []int{2, 4, 7} {
+			s := base
+			s.Workers = workers
+			got := s.Evaluate(tg.g, red)
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: %d measurements, want %d", tg.name, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Task != want[i].Task {
+					t.Fatalf("%s workers=%d row %d: task %q, want %q",
+						tg.name, workers, i, got[i].Task, want[i].Task)
+				}
+				if got[i].Value != want[i].Value {
+					t.Fatalf("%s workers=%d task %q: value %v != workers=1 value %v",
+						tg.name, workers, got[i].Task, got[i].Value, want[i].Value)
+				}
+			}
+		}
+	}
+}

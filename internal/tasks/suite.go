@@ -1,6 +1,7 @@
 package tasks
 
 import (
+	"edgeshed/internal/analysis"
 	"edgeshed/internal/centrality"
 	"edgeshed/internal/community"
 	"edgeshed/internal/embed"
@@ -20,6 +21,11 @@ type Suite struct {
 	// SkipEmbedding drops the node2vec link-prediction row (the most
 	// expensive task) when speed matters.
 	SkipEmbedding bool
+	// Workers is the parallelism threaded through every task kernel
+	// (profiles, clustering, betweenness, PageRank); 0 means GOMAXPROCS.
+	// Every kernel follows the internal/par determinism discipline, so the
+	// measurements are bit-identical at any worker count.
+	Workers int
 }
 
 // Measurement is one task's outcome.
@@ -39,14 +45,15 @@ type Measurement struct {
 // graphs (same node-id space) and returns the measurements in the paper's
 // task order.
 func (s Suite) Evaluate(orig, red *graph.Graph) []Measurement {
-	bopt := centrality.Options{Samples: s.Sources, Seed: s.Seed}
+	bopt := centrality.Options{Samples: s.Sources, Seed: s.Seed, Workers: s.Workers}
+	propt := analysis.PageRankOptions{Workers: s.Workers}
 	out := []Measurement{
 		{"vertex degree", (DegreeTask{Cap: 300}).Error(orig, red), false, "TVD, lower is better"},
-		{"shortest-path distance", (SPDistanceTask{Sources: s.Sources, Seed: s.Seed}).Error(orig, red), false, "TVD, lower is better"},
+		{"shortest-path distance", (SPDistanceTask{Sources: s.Sources, Seed: s.Seed, Workers: s.Workers}).Error(orig, red), false, "TVD, lower is better"},
 		{"betweenness centrality", (BetweennessTask{Options: bopt}).Error(orig, red), false, "relative L1, lower is better"},
-		{"clustering coefficient", (ClusteringTask{}).Error(orig, red), false, "mean |gap|, lower is better"},
-		{"hop-plot", (HopPlotTask{Sources: s.Sources, Seed: s.Seed}).Error(orig, red), false, "mean |gap|, lower is better"},
-		{"top-10% query", (TopKTask{}).Utility(orig, red), true, "utility, higher is better"},
+		{"clustering coefficient", (ClusteringTask{Workers: s.Workers}).Error(orig, red), false, "mean |gap|, lower is better"},
+		{"hop-plot", (HopPlotTask{Sources: s.Sources, Seed: s.Seed, Workers: s.Workers}).Error(orig, red), false, "mean |gap|, lower is better"},
+		{"top-10% query", (TopKTask{PageRank: propt}).Utility(orig, red), true, "utility, higher is better"},
 	}
 	if !s.SkipEmbedding {
 		out = append(out, Measurement{

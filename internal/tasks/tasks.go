@@ -36,11 +36,14 @@ type SPDistanceTask struct {
 	Sources int
 	// Seed drives source sampling.
 	Seed int64
+	// Workers is the BFS parallelism; 0 means GOMAXPROCS. Results are
+	// bit-identical at any worker count.
+	Workers int
 }
 
 // Distributions returns the distance distributions of both graphs.
 func (t SPDistanceTask) Distributions(orig, red *graph.Graph) (o, r []float64) {
-	opt := analysis.ProfileOptions{Sources: t.Sources, Seed: t.Seed}
+	opt := analysis.ProfileOptions{Sources: t.Sources, Seed: t.Seed, Workers: t.Workers}
 	return analysis.NewDistanceProfile(orig, opt).Distribution(),
 		analysis.NewDistanceProfile(red, opt).Distribution()
 }
@@ -53,13 +56,17 @@ func (t SPDistanceTask) Error(orig, red *graph.Graph) float64 {
 
 // HopPlotTask compares hop-plots (task 5, Figure 10).
 type HopPlotTask struct {
+	// Sources samples BFS sources; 0 means exact.
 	Sources int
-	Seed    int64
+	// Seed drives source sampling.
+	Seed int64
+	// Workers is the BFS parallelism; 0 means GOMAXPROCS.
+	Workers int
 }
 
 // Series returns the cumulative reachable-pair fractions per hop.
 func (t HopPlotTask) Series(orig, red *graph.Graph) (o, r []float64) {
-	opt := analysis.ProfileOptions{Sources: t.Sources, Seed: t.Seed}
+	opt := analysis.ProfileOptions{Sources: t.Sources, Seed: t.Seed, Workers: t.Workers}
 	return analysis.NewDistanceProfile(orig, opt).HopPlot(),
 		analysis.NewDistanceProfile(red, opt).HopPlot()
 }
@@ -120,13 +127,16 @@ func (t BetweennessTask) Error(orig, red *graph.Graph) float64 {
 
 // ClusteringTask compares clustering coefficient by degree (task 4,
 // Figure 9).
-type ClusteringTask struct{}
+type ClusteringTask struct {
+	// Workers is the triangle-counting parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
 
 // Series returns mean clustering coefficient per degree, aligned by the
 // original graph's degrees.
-func (ClusteringTask) Series(orig, red *graph.Graph) (o, r []float64) {
-	oc := analysis.LocalClustering(orig)
-	rc := analysis.LocalClustering(red)
+func (t ClusteringTask) Series(orig, red *graph.Graph) (o, r []float64) {
+	oc := analysis.LocalClustering(orig, t.Workers)
+	rc := analysis.LocalClustering(red, t.Workers)
 	return analysis.MeanByDegree(orig, oc), analysis.MeanByDegree(orig, rc)
 }
 
