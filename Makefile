@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-centrality bench-tasks experiments claims fmt vet clean
+.PHONY: all build test race bench bench-centrality bench-tasks bench-shedding experiments claims fmt vet clean
 
 all: build test
 
@@ -14,7 +14,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/par/ ./internal/analysis/ ./internal/tasks/ \
-		./internal/centrality/ ./internal/uds/ ./internal/stream/
+		./internal/centrality/ ./internal/uds/ ./internal/stream/ \
+		./internal/core/ ./internal/matching/
 
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
@@ -33,6 +34,16 @@ bench-tasks:
 	$(GO) test -run xxx -bench '(DistanceProfile|Clustering)(Serial|Parallel)' -benchtime 5x -benchmem ./internal/analysis/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_tasks.json
 	cat BENCH_tasks.json
+
+# Refresh the shedding-core perf baseline: map-indexed (seed-era oracle)
+# reducers vs the edge-id-native CSR implementations, plus the serial vs
+# parallel CRR sweep, recorded as JSON. -benchtime 10x keeps the derived
+# speedups stable.
+bench-shedding:
+	$(GO) test -run xxx -bench '(CRRReduce|BM2Reduce|GreedyBMatching|ShedderInsert)(Map|CSR)Indexed|CRRSweep(Serial|Parallel)' -benchtime 10x -benchmem \
+		./internal/core/ ./internal/matching/ ./internal/stream/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_shedding.json
+	cat BENCH_shedding.json
 
 # Reproduce every paper artifact at laptop scale and self-audit the shapes.
 experiments:

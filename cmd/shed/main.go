@@ -33,15 +33,16 @@ func main() {
 		steps   = flag.Int("steps", 0, "CRR rewiring steps (0 = paper default [10*P], <0 = off)")
 		samples = flag.Int("samples", 0, "betweenness source samples (0 = exact)")
 		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "worker goroutines for the betweenness kernel and CRR multi-ratio sweeps (0 = GOMAXPROCS); output is identical at any count")
 	)
 	flag.Parse()
-	if err := run(*in, *out, *method, *pFlag, *steps, *samples, *seed); err != nil {
+	if err := run(*in, *out, *method, *pFlag, *steps, *samples, *workers, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "shed:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, method, pFlag string, steps, samples int, seed int64) error {
+func run(in, out, method, pFlag string, steps, samples, workers int, seed int64) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -56,10 +57,10 @@ func run(in, out, method, pFlag string, steps, samples int, seed int64) error {
 	fmt.Fprintf(os.Stderr, "loaded %s: |V|=%d |E|=%d\n", in, g.NumNodes(), g.NumEdges())
 
 	var reducer core.Reducer
-	bopt := centrality.Options{Samples: samples, Seed: seed + 1}
+	bopt := centrality.Options{Samples: samples, Seed: seed + 1, Workers: workers}
 	switch strings.ToLower(method) {
 	case "crr":
-		reducer = core.CRR{Seed: seed, Steps: steps, Betweenness: bopt}
+		reducer = core.CRR{Seed: seed, Steps: steps, Betweenness: bopt, Workers: workers}
 	case "bm2":
 		reducer = core.BM2{}
 	case "random":

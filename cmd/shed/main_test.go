@@ -23,7 +23,7 @@ func TestRunAllMethods(t *testing.T) {
 	in, g := writeTestGraph(t)
 	for _, method := range []string{"crr", "bm2", "random", "uds", "forestfire", "spanningforest", "weighted"} {
 		out := filepath.Join(t.TempDir(), method+".txt")
-		if err := run(in, out, method, "0.5", 0, 0, 1); err != nil {
+		if err := run(in, out, method, "0.5", 0, 0, 0, 1); err != nil {
 			t.Fatalf("%s: %v", method, err)
 		}
 		red, _, err := graph.ReadEdgeListFile(out)
@@ -48,11 +48,11 @@ func TestRunMethodOptions(t *testing.T) {
 	in, _ := writeTestGraph(t)
 	out := filepath.Join(t.TempDir(), "r.txt")
 	// Sampled betweenness and explicit steps for CRR.
-	if err := run(in, out, "crr", "0.4", 50, 20, 3); err != nil {
+	if err := run(in, out, "crr", "0.4", 50, 20, 2, 3); err != nil {
 		t.Fatalf("crr with options: %v", err)
 	}
 	// Method name matching is case-insensitive.
-	if err := run(in, out, "BM2", "0.4", 0, 0, 3); err != nil {
+	if err := run(in, out, "BM2", "0.4", 0, 0, 0, 3); err != nil {
 		t.Fatalf("case-insensitive method: %v", err)
 	}
 }
@@ -60,7 +60,7 @@ func TestRunMethodOptions(t *testing.T) {
 func TestRunSweep(t *testing.T) {
 	in, g := writeTestGraph(t)
 	out := filepath.Join(t.TempDir(), "sweep.txt")
-	if err := run(in, out, "crr", "0.8,0.4", 0, 0, 1); err != nil {
+	if err := run(in, out, "crr", "0.8,0.4", 0, 0, 3, 1); err != nil {
 		t.Fatalf("sweep: %v", err)
 	}
 	for _, p := range []string{"0.80", "0.40"} {
@@ -77,7 +77,7 @@ func TestRunSweep(t *testing.T) {
 
 func TestRunBadPList(t *testing.T) {
 	in, _ := writeTestGraph(t)
-	if err := run(in, "", "crr", "0.5,abc", 0, 0, 1); err == nil {
+	if err := run(in, "", "crr", "0.5,abc", 0, 0, 0, 1); err == nil {
 		t.Error("malformed -p list accepted")
 	}
 }
@@ -85,16 +85,16 @@ func TestRunBadPList(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	in, _ := writeTestGraph(t)
 	out := filepath.Join(t.TempDir(), "r.txt")
-	if err := run("", out, "crr", "0.5", 0, 0, 1); err == nil {
+	if err := run("", out, "crr", "0.5", 0, 0, 0, 1); err == nil {
 		t.Error("missing -in accepted")
 	}
-	if err := run(in, out, "bogus", "0.5", 0, 0, 1); err == nil {
+	if err := run(in, out, "bogus", "0.5", 0, 0, 0, 1); err == nil {
 		t.Error("unknown method accepted")
 	}
-	if err := run(in, out, "crr", "1.5", 0, 0, 1); err == nil {
+	if err := run(in, out, "crr", "1.5", 0, 0, 0, 1); err == nil {
 		t.Error("p > 1 accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "nope.txt"), out, "crr", "0.5", 0, 0, 1); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope.txt"), out, "crr", "0.5", 0, 0, 0, 1); err == nil {
 		t.Error("missing input file accepted")
 	}
 }

@@ -49,24 +49,28 @@ func (f ForestFire) Reduce(g *graph.Graph, p float64) (*Result, error) {
 	rng := rand.New(rand.NewSource(f.Seed))
 	pf := f.burnProb()
 	n := g.NumNodes()
+	csr := g.CSR()
 	burned := make([]bool, n)
-	taken := make(map[graph.Edge]struct{}, tgt)
-	edges := make([]graph.Edge, 0, tgt)
+	// Already-collected edges are flagged in a []bool over canonical edge
+	// ids, read off the CSR slots alongside each neighbor — the slot order
+	// matches g.Neighbors, so the burn visits edges exactly as before.
+	taken := make([]bool, g.NumEdges())
+	ids := make([]int32, 0, tgt)
 	takeIncident := func(u graph.NodeID) {
-		for _, v := range g.Neighbors(u) {
-			if !burned[v] || len(edges) >= tgt {
+		for s := csr.Offsets[u]; s < csr.Offsets[u+1]; s++ {
+			if !burned[csr.Targets[s]] || len(ids) >= tgt {
 				continue
 			}
-			e := graph.Edge{U: u, V: v}.Canonical()
-			if _, dup := taken[e]; dup {
+			id := csr.EdgeID[s]
+			if taken[id] {
 				continue
 			}
-			taken[e] = struct{}{}
-			edges = append(edges, e)
+			taken[id] = true
+			ids = append(ids, id)
 		}
 	}
 	var queue []graph.NodeID
-	for len(edges) < tgt {
+	for len(ids) < tgt {
 		// Ignite a fresh unburned seed; if all nodes are burned, restart the
 		// burn state but keep collected edges.
 		seed := graph.NodeID(rng.Intn(n))
@@ -80,7 +84,7 @@ func (f ForestFire) Reduce(g *graph.Graph, p float64) (*Result, error) {
 		}
 		burned[seed] = true
 		queue = append(queue[:0], seed)
-		for head := 0; head < len(queue) && len(edges) < tgt; head++ {
+		for head := 0; head < len(queue) && len(ids) < tgt; head++ {
 			u := queue[head]
 			takeIncident(u)
 			// Geometric number of neighbors to burn: mean pf/(1-pf).
@@ -98,7 +102,7 @@ func (f ForestFire) Reduce(g *graph.Graph, p float64) (*Result, error) {
 			}
 		}
 	}
-	return newResult(g, p, edges)
+	return newResultIDs(g, p, ids)
 }
 
 // SpanningForest sheds edges while preserving connectivity first: it keeps

@@ -38,6 +38,14 @@ func (r Rounding) apply(x float64) int {
 // bipartite graph of still-shed A–B edges weighted by the Δ-gain of adding
 // them (Lemma 1), and greedily matches it with dynamic re-weighting
 // (Algorithm 3).
+//
+// The Algorithm 3 loop is edge-id native: the bipartite graph lives in a
+// matching.FlatPQ keyed by canonical edge id plus two slice-indexed
+// adjacency tables, with the A/B orientation of each queued edge recorded in
+// flat arrays — no maps, no per-edge Handle allocations. FlatPQ mirrors the
+// pointer-handle PQ's heap dynamics exactly, so the popped-edge order — and
+// with it the selected edge set — is bit-identical to the map-based
+// implementation this replaced (pinned by TestBM2MatchesSeedImplementation).
 type BM2 struct {
 	// Rounding is the capacity rounding rule; the zero value is the paper's
 	// round-half-up.
@@ -72,7 +80,7 @@ func (b BM2) Reduce(g *graph.Graph, p float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	selected := append([]graph.Edge(nil), bm.Edges...)
+	selected := append([]int32(nil), bm.IDs...)
 	inSelected := make([]bool, g.NumEdges())
 	for _, id := range bm.IDs {
 		inSelected[id] = true
@@ -88,14 +96,17 @@ func (b BM2) Reduce(g *graph.Graph, p float64) (*Result, error) {
 	inB := func(u graph.NodeID) bool { return dis[u] > -0.5 && dis[u] < 0 }
 
 	// Build the weighted bipartite graph G* over still-shed A–B edges
-	// (lines 17-24). Edges are oriented (a ∈ A, b ∈ B).
+	// (lines 17-24). Each queued edge is addressed by its canonical id; its
+	// (a ∈ A, b ∈ B) orientation — fixed at build time, since dis drifts
+	// during Algorithm 3 — lives in bpA/bpB.
 	gain := func(a, bb graph.NodeID) float64 {
 		return math.Abs(dis[a]) + 2*math.Abs(dis[bb]) - math.Abs(dis[a]+1) - 1
 	}
-	type bpEdge struct{ a, b graph.NodeID }
-	var q matching.PQ[bpEdge]
-	adjA := make(map[graph.NodeID][]*matching.Handle[bpEdge])
-	adjB := make(map[graph.NodeID][]*matching.Handle[bpEdge])
+	var q matching.FlatPQ
+	bpA := make([]graph.NodeID, g.NumEdges())
+	bpB := make([]graph.NodeID, g.NumEdges())
+	adjA := make([][]int32, n)
+	adjB := make([][]int32, n)
 	for i, e := range g.Edges() {
 		if inSelected[i] {
 			continue
@@ -113,55 +124,58 @@ func (b BM2) Reduce(g *graph.Graph, p float64) (*Result, error) {
 		if w < 0 || (w == 0 && b.DropZeroGain) {
 			continue
 		}
-		h := q.Push(bpEdge{a, bb}, w)
-		adjA[a] = append(adjA[a], h)
-		adjB[bb] = append(adjB[bb], h)
+		id := int32(i)
+		q.Push(id, w)
+		bpA[id], bpB[id] = a, bb
+		adjA[a] = append(adjA[a], id)
+		adjB[bb] = append(adjB[bb], id)
 	}
 
 	// Algorithm 3: pop best edges, update discrepancies, re-weight.
 	for {
-		e, _, ok := q.Pop()
+		eid, _, ok := q.Pop()
 		if !ok {
 			break
 		}
-		selected = append(selected, graph.Edge{U: e.a, V: e.b}.Canonical())
+		a, bb := bpA[eid], bpB[eid]
+		selected = append(selected, eid)
 		// b joins group C (dis > 0): drop it and all its edges (line 6).
-		dis[e.b]++
-		for _, h := range adjB[e.b] {
-			q.Remove(h)
+		dis[bb]++
+		for _, id := range adjB[bb] {
+			q.Remove(id)
 		}
-		delete(adjB, e.b)
+		adjB[bb] = nil
 		// Update a (line 7) and branch on its new discrepancy.
-		dis[e.a]++
+		dis[a]++
 		switch {
-		case dis[e.a] <= -1:
+		case dis[a] <= -1:
 			// Lemma 2 region: gains of a's edges are unchanged.
-		case dis[e.a] <= -0.5:
+		case dis[a] <= -0.5:
 			// a stays in group A but its gains shift (lines 8-14). The
 			// algorithm states the open interval (−1, −0.5); at exactly
 			// −0.5 the node is still in A per the group definition, so we
 			// re-weight there too.
-			live := adjA[e.a][:0]
-			for _, h := range adjA[e.a] {
-				if !h.Valid() {
+			live := adjA[a][:0]
+			for _, id := range adjA[a] {
+				if !q.Contains(id) {
 					continue
 				}
-				w := gain(e.a, h.Value.b)
+				w := gain(a, bpB[id])
 				if w > 0 {
-					q.Update(h, w)
-					live = append(live, h)
+					q.Update(id, w)
+					live = append(live, id)
 				} else {
-					q.Remove(h)
+					q.Remove(id)
 				}
 			}
-			adjA[e.a] = live
+			adjA[a] = live
 		default:
 			// dis(a) > −0.5: a left group A; drop its edges (lines 15-17).
-			for _, h := range adjA[e.a] {
-				q.Remove(h)
+			for _, id := range adjA[a] {
+				q.Remove(id)
 			}
-			delete(adjA, e.a)
+			adjA[a] = nil
 		}
 	}
-	return newResult(g, p, selected)
+	return newResultIDs(g, p, selected)
 }

@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"edgeshed/internal/graph"
 )
@@ -56,6 +57,19 @@ func targetEdges(g *graph.Graph, p float64) int {
 // newResult assembles a Result from a selected edge set.
 func newResult(g *graph.Graph, p float64, edges []graph.Edge) (*Result, error) {
 	sub, err := g.Subgraph(edges)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Original: g, Reduced: sub, P: p}, nil
+}
+
+// newResultIDs assembles a Result from selected canonical edge ids, sorting
+// them in place. It produces exactly the graph newResult would for the same
+// edge set, through the id-native Graph.SubgraphByIDs fast path — no edge
+// hashing or re-sorting.
+func newResultIDs(g *graph.Graph, p float64, ids []int32) (*Result, error) {
+	slices.Sort(ids)
+	sub, err := g.SubgraphByIDs(ids)
 	if err != nil {
 		return nil, err
 	}

@@ -141,7 +141,7 @@ func TestDeltaChangeMatchesBruteForce(t *testing.T) {
 		dis := func(u graph.NodeID) float64 {
 			return float64(degKept[u]) - p*float64(g.Degree(u))
 		}
-		got := deltaChange(dis, c.e1, c.e2)
+		got := deltaChange(dis, c.e1.U, c.e1.V, c.e2.U, c.e2.V)
 		// Brute force: apply the swap, recompute Σ|dis| over all nodes.
 		before := 0.0
 		for u := 0; u < 5; u++ {

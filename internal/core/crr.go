@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"edgeshed/internal/centrality"
 	"edgeshed/internal/graph"
+	"edgeshed/internal/par"
 )
 
 // DefaultStepsFactor is the paper's recommended x in steps = [x·P]: Figure 4
@@ -65,7 +65,7 @@ type CRR struct {
 	// with ImportanceBetweenness); the zero value is exact Brandes on all
 	// sources.
 	Betweenness centrality.Options
-	// Seed drives tie-shuffling of equal-centrality edges ("edges of the
+	// Seed drives tie-breaking of equal-importance edges ("edges of the
 	// same importance are selected randomly") and the Phase 2 edge picks.
 	Seed int64
 	// AdaptiveStop, when positive, ends Phase 2 early once the acceptance
@@ -73,6 +73,11 @@ type CRR struct {
 	// fraction — rewiring budget goes where it still helps. 0 keeps the
 	// paper's fixed step count.
 	AdaptiveStop float64
+	// Workers bounds the goroutines Sweep uses to run its per-ratio
+	// reductions concurrently. <= 0 selects GOMAXPROCS. Sweep's output is
+	// bit-identical at any worker count: each ratio's rng stream is derived
+	// independently via sweepSeed, so the points never share mutable state.
+	Workers int
 }
 
 // adaptiveWindow is the trailing-attempt window for AdaptiveStop.
@@ -109,8 +114,10 @@ func (c CRR) Reduce(g *graph.Graph, p float64) (*Result, error) {
 // Each sweep point runs with a seed derived from (Seed, ratio index), so the
 // "edges of the same importance are selected randomly" tie-break and the
 // Phase 2 pick sequence are independent across ratios instead of replaying
-// one permutation for the whole Figure-4/5 sweep. The whole sweep remains
-// reproducible for a fixed Seed.
+// one permutation for the whole Figure-4/5 sweep. That independence also
+// makes the points embarrassingly parallel: Sweep runs them across Workers
+// goroutines with static striding, and the i-th result is the same bits
+// whether the sweep runs serially or on any number of workers.
 func (c CRR) Sweep(g *graph.Graph, ps []float64) ([]*Result, error) {
 	for _, p := range ps {
 		if err := checkP(p); err != nil {
@@ -118,13 +125,22 @@ func (c CRR) Sweep(g *graph.Graph, ps []float64) ([]*Result, error) {
 		}
 	}
 	scores := c.edgeImportance(g)
+	// Build the shared read-only views before the fan-out: CSR construction
+	// is cached behind a sync.Once, but forcing it here keeps the workers'
+	// critical path free of the one-time build.
+	g.CSR()
 	out := make([]*Result, len(ps))
-	for i, p := range ps {
-		res, err := c.reduce(g, p, scores, sweepSeed(c.Seed, i))
+	errs := make([]error, len(ps))
+	workers := par.Workers(c.Workers, len(ps))
+	par.Run(workers, func(w int) {
+		for i := w; i < len(ps); i += workers {
+			out[i], errs[i] = c.reduce(g, ps[i], scores, sweepSeed(c.Seed, i))
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out[i] = res
 	}
 	return out, nil
 }
@@ -141,11 +157,15 @@ func sweepSeed(seed int64, i int) int64 {
 
 // reduce runs CRR with optionally precomputed Phase 1 scores and an explicit
 // rng seed (c.Seed for single runs, a per-ratio derivation for sweeps).
+//
+// The whole pipeline is edge-id native: Phase 1 ranks int32 edge ids, Phase 2
+// swaps ids across the kept boundary and reads endpoints from the CSR view's
+// EdgeU/EdgeV arrays, and edges materialize as graph.Edge values only when
+// the Result is assembled. No step hashes an edge or touches a map.
 func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64) (*Result, error) {
 	if err := checkP(p); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
 	tgt := targetEdges(g, p)
 	m := g.NumEdges()
 	if tgt >= m {
@@ -153,32 +173,34 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64) (*R
 	}
 
 	// Phase 1 (lines 1-6): rank all edges by importance and keep the top
-	// [P]. Shuffling before the stable sort realizes the paper's random
-	// selection among equal-importance edges.
+	// [P]. The splitmix64 tiebreak inside rankEdges realizes the paper's
+	// random selection among equal-importance edges without consuming the
+	// Phase 2 rng stream.
 	if scores == nil {
 		scores = c.edgeImportance(g)
 	}
-	order := rng.Perm(m)
-	sort.SliceStable(order, func(i, j int) bool {
-		return scores[order[i]] > scores[order[j]]
-	})
-	all := g.Edges()
 	// kept[:tgt] is E', kept[tgt:] is E \ E'. Swaps exchange positions
 	// across the boundary, keeping |E'| = [P] invariant (the paper's
 	// expected-average-degree guarantee).
-	kept := make([]graph.Edge, m)
-	for i, oi := range order {
-		kept[i] = all[oi]
-	}
+	kept := rankEdges(scores, seed)
 
-	// dis bookkeeping: dis(u) = degKept(u) − p·deg_G(u).
+	csr := g.CSR()
+	eu, ev := csr.EdgeU, csr.EdgeV
+
+	// dis bookkeeping: dis(u) = degKept(u) − p·deg_G(u). The expected-degree
+	// term is constant per node, so precompute it once instead of multiplying
+	// inside every Phase 2 evaluation.
 	degKept := make([]int, g.NumNodes())
-	for _, e := range kept[:tgt] {
-		degKept[e.U]++
-		degKept[e.V]++
+	for _, id := range kept[:tgt] {
+		degKept[eu[id]]++
+		degKept[ev[id]]++
+	}
+	exp := make([]float64, g.NumNodes())
+	for u := range exp {
+		exp[u] = p * float64(g.Degree(graph.NodeID(u)))
 	}
 	dis := func(u graph.NodeID) float64 {
-		return float64(degKept[u]) - p*float64(g.Degree(u))
+		return float64(degKept[u]) - exp[u]
 	}
 
 	// Phase 2 (lines 7-13): random replacement attempts. For disjoint edge
@@ -186,19 +208,38 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64) (*R
 	// share an endpoint it evaluates the true Δ change, which the paper's
 	// independent formulas slightly misstate.
 	if tgt > 0 && tgt < m {
+		rng := rand.New(rand.NewSource(seed))
 		steps := c.steps(tgt)
 		accepted, window := 0, 0
 		for i := 0; i < steps; i++ {
-			ki := rng.Intn(tgt)          // e1 ∈ E'
-			si := tgt + rng.Intn(m-tgt)  // e2 ∈ E \ E'
-			e1, e2 := kept[ki], kept[si] // remove e1, add e2
-			d := deltaChange(dis, e1, e2)
+			ki := rng.Intn(tgt)         // e1 ∈ E'
+			si := tgt + rng.Intn(m-tgt) // e2 ∈ E \ E'
+			e1, e2 := kept[ki], kept[si]
+			// Remove e1, add e2.
+			u1, v1, u2, v2 := eu[e1], ev[e1], eu[e2], ev[e2]
+			var d float64
+			if u1 != u2 && u1 != v2 && v1 != u2 && v1 != v2 {
+				// Disjoint endpoints — the overwhelmingly common case on a
+				// sparse graph. Evaluate the four independent shifts inline,
+				// in deltaChange's exact accumulation order, skipping its
+				// duplicate-folding pass and per-node closure calls.
+				du1 := float64(degKept[u1]) - exp[u1]
+				dv1 := float64(degKept[v1]) - exp[v1]
+				du2 := float64(degKept[u2]) - exp[u2]
+				dv2 := float64(degKept[v2]) - exp[v2]
+				d = math.Abs(du1-1) - math.Abs(du1)
+				d += math.Abs(dv1-1) - math.Abs(dv1)
+				d += math.Abs(du2+1) - math.Abs(du2)
+				d += math.Abs(dv2+1) - math.Abs(dv2)
+			} else {
+				d = deltaChange(dis, u1, v1, u2, v2)
+			}
 			if d < 0 {
 				kept[ki], kept[si] = e2, e1
-				degKept[e1.U]--
-				degKept[e1.V]--
-				degKept[e2.U]++
-				degKept[e2.V]++
+				degKept[eu[e1]]--
+				degKept[ev[e1]]--
+				degKept[eu[e2]]++
+				degKept[ev[e2]]++
 				accepted++
 			}
 			if c.AdaptiveStop > 0 {
@@ -212,7 +253,7 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64) (*R
 			}
 		}
 	}
-	return newResult(g, p, kept[:tgt])
+	return newResultIDs(g, p, kept[:tgt])
 }
 
 // edgeImportance computes the Phase 1 ranking scores, aligned with
@@ -226,7 +267,7 @@ func (c CRR) edgeImportance(g *graph.Graph) []float64 {
 		}
 		return scores
 	case ImportanceRandom:
-		// All-equal scores: the pre-sort shuffle supplies the randomness.
+		// All-equal scores: the ranking tiebreak supplies the randomness.
 		return make([]float64, g.NumEdges())
 	default:
 		bopt := c.Betweenness
@@ -237,10 +278,10 @@ func (c CRR) edgeImportance(g *graph.Graph) []float64 {
 	}
 }
 
-// deltaChange returns the exact change in Δ caused by removing e1 and adding
-// e2, accounting for shared endpoints.
-func deltaChange(dis func(graph.NodeID) float64, e1, e2 graph.Edge) float64 {
-	nodes := [4]graph.NodeID{e1.U, e1.V, e2.U, e2.V}
+// deltaChange returns the exact change in Δ caused by removing edge (u1, v1)
+// and adding edge (u2, v2), accounting for shared endpoints.
+func deltaChange(dis func(graph.NodeID) float64, u1, v1, u2, v2 graph.NodeID) float64 {
+	nodes := [4]graph.NodeID{u1, v1, u2, v2}
 	deltas := [4]int{-1, -1, 1, 1}
 	// Fold duplicate nodes into a single net delta.
 	for i := 2; i < 4; i++ {

@@ -348,3 +348,44 @@ func TestCRRTinyP(t *testing.T) {
 		t.Errorf("ActiveNodes = %d, want 0", res.ActiveNodes())
 	}
 }
+
+// TestCRRSweepBitIdenticalAcrossWorkerCounts pins the parallel Sweep's
+// determinism contract: every worker count — including counts that do not
+// divide the ratio count — produces exactly the serial results. Runs under
+// -race in CI, which also proves the per-ratio reductions share no mutable
+// state.
+func TestCRRSweepBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	ps := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	for name, g := range map[string]*graph.Graph{
+		"barabasi-albert":   gen.BarabasiAlbert(300, 3, 5),
+		"planted-partition": gen.PlantedPartition(3, 80, 0.08, 0.01, 6),
+	} {
+		base := CRR{Seed: 21, Importance: ImportanceDegreeProduct}
+		base.Workers = 1
+		want, err := base.Sweep(g, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 7} {
+			c := base
+			c.Workers = workers
+			got, err := c.Sweep(g, ps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ps {
+				ge, we := got[i].Reduced.Edges(), want[i].Reduced.Edges()
+				if len(ge) != len(we) {
+					t.Fatalf("%s workers=%d p=%v: %d edges, serial kept %d",
+						name, workers, ps[i], len(ge), len(we))
+				}
+				for j := range ge {
+					if ge[j] != we[j] {
+						t.Fatalf("%s workers=%d p=%v: edge %d = %v, serial has %v",
+							name, workers, ps[i], j, ge[j], we[j])
+					}
+				}
+			}
+		}
+	}
+}

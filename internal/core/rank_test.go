@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestRankEdgesScoreOrder(t *testing.T) {
+	scores := []float64{0.5, 2, 0.5, 1, 2, 0}
+	order := rankEdges(scores, 7)
+	if len(order) != len(scores) {
+		t.Fatalf("len = %d, want %d", len(order), len(scores))
+	}
+	seen := make([]bool, len(scores))
+	for i, id := range order {
+		if seen[id] {
+			t.Fatalf("edge %d ranked twice", id)
+		}
+		seen[id] = true
+		if i > 0 && scores[order[i-1]] < scores[id] {
+			t.Fatalf("rank %d: score %v after %v", i, scores[id], scores[order[i-1]])
+		}
+	}
+}
+
+func TestRankEdgesReproducible(t *testing.T) {
+	scores := make([]float64, 500)
+	for i := range scores {
+		scores[i] = float64(i % 7)
+	}
+	a := rankEdges(scores, 42)
+	b := rankEdges(scores, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d differs across identical calls: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRankEdgesMatchesFloatComparator pins the packed-key sort against a
+// direct float comparator: the bit-twiddled key composition must order
+// exactly like (score descending, tiebreak ascending), including negative,
+// zero and duplicated scores.
+func TestRankEdgesMatchesFloatComparator(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pool := []float64{-2.5, -1, math.Copysign(0, -1), 0, 0.5, 0.5, 1, 3, 1e-12, -1e-12, 1e300}
+	for trial := 0; trial < 50; trial++ {
+		scores := make([]float64, 200)
+		for i := range scores {
+			scores[i] = pool[rng.Intn(len(pool))]
+		}
+		seed := rng.Int63()
+		ref := make([]int32, len(scores))
+		for i := range ref {
+			ref[i] = int32(i)
+		}
+		sort.SliceStable(ref, func(i, j int) bool {
+			a, b := ref[i], ref[j]
+			if scores[a] != scores[b] {
+				return scores[a] > scores[b]
+			}
+			return tiebreak(seed, a) < tiebreak(seed, b)
+		})
+		got := rankEdges(scores, seed)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d rank %d: %d (score %v), reference %d (score %v)",
+					trial, i, got[i], scores[got[i]], ref[i], scores[ref[i]])
+			}
+		}
+	}
+}
+
+// TestRankEdgesTieRandomness checks the random-among-equals semantics: over
+// many seeds, a block of equal-score edges lands in many distinct orders.
+func TestRankEdgesTieRandomness(t *testing.T) {
+	scores := make([]float64, 6) // all zero: one big tie group, 720 orders
+	perms := map[string]bool{}
+	for seed := int64(0); seed < 300; seed++ {
+		perms[fmt.Sprint(rankEdges(scores, seed))] = true
+	}
+	// 300 draws from 720 permutations should hit far more than a handful;
+	// a deterministic or near-deterministic tiebreak would collapse this.
+	if len(perms) < 200 {
+		t.Fatalf("only %d distinct tie orders across 300 seeds", len(perms))
+	}
+}

@@ -2,8 +2,6 @@ package core
 
 import (
 	"math"
-	"math/rand"
-	"sort"
 
 	"edgeshed/internal/centrality"
 	"edgeshed/internal/graph"
@@ -15,7 +13,8 @@ import (
 // most negative one (too few), and applies the single best swap incident to
 // them. Each move is chosen greedily instead of sampled, so the same Δ
 // reduction needs far fewer iterations than the paper's [10·P] random
-// attempts — at the cost of maintaining per-node incidence lists.
+// attempts — and the per-node incidence lists it needs come free from the
+// CSR view's slot ranges, so the repair state is just two flat arrays.
 //
 // This is "future work" relative to the paper: Algorithm 1's Phase 2 is
 // the random variant.
@@ -26,7 +25,7 @@ type TargetedCRR struct {
 	// Importance and Betweenness configure Phase 1 exactly as in CRR.
 	Importance  Importance
 	Betweenness centrality.Options
-	// Seed drives Phase 1 tie-shuffling.
+	// Seed drives Phase 1 tie-breaking.
 	Seed int64
 }
 
@@ -44,15 +43,11 @@ func (c TargetedCRR) Reduce(g *graph.Graph, p float64) (*Result, error) {
 		return newResult(g, p, g.Edges())
 	}
 	// Phase 1: identical ranking to CRR.
-	rng := rand.New(rand.NewSource(c.Seed))
 	scores := (CRR{Seed: c.Seed, Importance: c.Importance, Betweenness: c.Betweenness}).edgeImportance(g)
-	order := rng.Perm(m)
-	sort.SliceStable(order, func(i, j int) bool {
-		return scores[order[i]] > scores[order[j]]
-	})
+	order := rankEdges(scores, c.Seed)
 	st := newTargetedState(g, p)
-	for i, oi := range order {
-		st.setKept(g.Edges()[oi], i < tgt)
+	for i, id := range order {
+		st.setKept(id, i < tgt)
 	}
 
 	// Phase 2: targeted repair.
@@ -65,44 +60,41 @@ func (c TargetedCRR) Reduce(g *graph.Graph, p float64) (*Result, error) {
 			break
 		}
 	}
-	return newResult(g, p, st.keptEdges())
+	return newResultIDs(g, p, st.keptIDs())
 }
 
-// targetedState maintains per-node incidence lists split into kept and shed
-// edges, plus discrepancies.
+// targetedState maintains the kept flags (a []bool over canonical edge ids)
+// and per-node discrepancies; incidence is read straight off the CSR view's
+// slot ranges, which enumerate each node's edges in the same order the old
+// per-node lists did.
 type targetedState struct {
 	g    *graph.Graph
+	csr  *graph.CSR
 	p    float64
-	kept map[graph.Edge]bool
+	kept []bool
 	dis  []float64
-	// incident edges per node (all edges; kept-ness looked up in the map).
-	incident [][]graph.Edge
 }
 
 func newTargetedState(g *graph.Graph, p float64) *targetedState {
 	st := &targetedState{
-		g:        g,
-		p:        p,
-		kept:     make(map[graph.Edge]bool, g.NumEdges()),
-		dis:      make([]float64, g.NumNodes()),
-		incident: make([][]graph.Edge, g.NumNodes()),
+		g:    g,
+		csr:  g.CSR(),
+		p:    p,
+		kept: make([]bool, g.NumEdges()),
+		dis:  make([]float64, g.NumNodes()),
 	}
 	for u := 0; u < g.NumNodes(); u++ {
 		st.dis[u] = -p * float64(g.Degree(graph.NodeID(u)))
-	}
-	for _, e := range g.Edges() {
-		st.incident[e.U] = append(st.incident[e.U], e)
-		st.incident[e.V] = append(st.incident[e.V], e)
 	}
 	return st
 }
 
 // setKept initializes an edge's kept flag, updating discrepancies.
-func (st *targetedState) setKept(e graph.Edge, kept bool) {
-	st.kept[e] = kept
+func (st *targetedState) setKept(id int32, kept bool) {
+	st.kept[id] = kept
 	if kept {
-		st.dis[e.U]++
-		st.dis[e.V]++
+		st.dis[st.csr.EdgeU[id]]++
+		st.dis[st.csr.EdgeV[id]]++
 	}
 }
 
@@ -123,30 +115,32 @@ func (st *targetedState) repairOnce() bool {
 		return false
 	}
 	// Candidate removal: hi's kept edge whose removal helps most.
-	var remove, add graph.Edge
+	remove, add := int32(-1), int32(-1)
 	removeGain := math.Inf(1)
 	if hi >= 0 {
-		for _, e := range st.incident[hi] {
-			if !st.kept[e] {
+		for s := st.csr.Offsets[hi]; s < st.csr.Offsets[hi+1]; s++ {
+			id := st.csr.EdgeID[s]
+			if !st.kept[id] {
 				continue
 			}
-			d := st.pairChange(e, -1)
+			d := st.pairChange(id, -1)
 			if d < removeGain {
 				removeGain = d
-				remove = e
+				remove = id
 			}
 		}
 	}
 	addGain := math.Inf(1)
 	if lo >= 0 {
-		for _, e := range st.incident[lo] {
-			if st.kept[e] {
+		for s := st.csr.Offsets[lo]; s < st.csr.Offsets[lo+1]; s++ {
+			id := st.csr.EdgeID[s]
+			if st.kept[id] {
 				continue
 			}
-			d := st.pairChange(e, +1)
+			d := st.pairChange(id, +1)
 			if d < addGain {
 				addGain = d
-				add = e
+				add = id
 			}
 		}
 	}
@@ -167,35 +161,39 @@ func (st *targetedState) repairOnce() bool {
 	return true
 }
 
-// pairChange returns the Δ change of shifting both endpoints of e by delta.
-func (st *targetedState) pairChange(e graph.Edge, delta int) float64 {
+// pairChange returns the Δ change of shifting both endpoints of edge id by
+// delta.
+func (st *targetedState) pairChange(id int32, delta int) float64 {
+	u, v := st.csr.EdgeU[id], st.csr.EdgeV[id]
 	d := float64(delta)
-	return math.Abs(st.dis[e.U]+d) - math.Abs(st.dis[e.U]) +
-		math.Abs(st.dis[e.V]+d) - math.Abs(st.dis[e.V])
+	return math.Abs(st.dis[u]+d) - math.Abs(st.dis[u]) +
+		math.Abs(st.dis[v]+d) - math.Abs(st.dis[v])
 }
 
 // swapChange evaluates the exact Δ change of the remove+add pair, handling
 // shared endpoints.
-func swapChange(st *targetedState, remove, add graph.Edge) float64 {
-	return deltaChange(func(u graph.NodeID) float64 { return st.dis[u] }, remove, add)
+func swapChange(st *targetedState, remove, add int32) float64 {
+	return deltaChange(func(u graph.NodeID) float64 { return st.dis[u] },
+		st.csr.EdgeU[remove], st.csr.EdgeV[remove],
+		st.csr.EdgeU[add], st.csr.EdgeV[add])
 }
 
 // apply commits the swap.
-func (st *targetedState) apply(remove, add graph.Edge) {
+func (st *targetedState) apply(remove, add int32) {
 	st.kept[remove] = false
-	st.dis[remove.U]--
-	st.dis[remove.V]--
+	st.dis[st.csr.EdgeU[remove]]--
+	st.dis[st.csr.EdgeV[remove]]--
 	st.kept[add] = true
-	st.dis[add.U]++
-	st.dis[add.V]++
+	st.dis[st.csr.EdgeU[add]]++
+	st.dis[st.csr.EdgeV[add]]++
 }
 
-// keptEdges collects the kept edge set in canonical order.
-func (st *targetedState) keptEdges() []graph.Edge {
-	var out []graph.Edge
-	for _, e := range st.g.Edges() {
-		if st.kept[e] {
-			out = append(out, e)
+// keptIDs collects the kept edge ids in ascending order.
+func (st *targetedState) keptIDs() []int32 {
+	var out []int32
+	for id, k := range st.kept {
+		if k {
+			out = append(out, int32(id))
 		}
 	}
 	return out

@@ -107,7 +107,7 @@ func (c Config) reducerSet(g *graph.Graph) []core.Reducer {
 	bopt := betweennessOptions(g, c.Seed+77, c.Workers)
 	set := []core.Reducer{
 		nil,
-		core.CRR{Seed: c.Seed + 1, Betweenness: bopt},
+		core.CRR{Seed: c.Seed + 1, Betweenness: bopt, Workers: c.Workers},
 		core.BM2{},
 	}
 	if !c.SkipUDS {

@@ -223,7 +223,7 @@ func runStream(cfg Config) error {
 		var snap *graph.Graph
 		var delta float64
 		dur, err := timed(func() error {
-			s, err := stream.NewShedder(stream.Options{P: p, Seed: cfg.Seed + 32, Nodes: g.NumNodes()})
+			s, err := stream.NewShedder(stream.Options{P: p, Seed: cfg.Seed + 32, Nodes: g.NumNodes(), Base: g})
 			if err != nil {
 				return err
 			}

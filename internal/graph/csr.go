@@ -31,6 +31,12 @@ type CSR struct {
 	// targets w, then Mate[s] sits in w's range and targets u, with
 	// EdgeID[s] == EdgeID[Mate[s]] and Mate[Mate[s]] == s.
 	Mate []int32
+	// EdgeU and EdgeV are the canonical endpoints of each edge, indexed by
+	// edge id: EdgeU[i] <= EdgeV[i] and Graph.Edges()[i] == {EdgeU[i],
+	// EdgeV[i]}. They are the structure-of-arrays twin of Graph.Edges() for
+	// kernels whose inner loops index endpoints by edge id (the CRR swap
+	// loop, targeted repair) and want no Edge struct values in flight.
+	EdgeU, EdgeV []NodeID
 }
 
 // NumNodes returns the number of nodes in the underlying graph.
@@ -46,6 +52,32 @@ func (c *CSR) Degree(u NodeID) int32 { return c.Offsets[u+1] - c.Offsets[u] }
 // identical contents to Graph.Neighbors(u)). Read-only.
 func (c *CSR) Neighbors(u NodeID) []NodeID {
 	return c.Targets[c.Offsets[u]:c.Offsets[u+1]]
+}
+
+// EdgeIDOf returns the canonical edge id of the undirected edge (u, v), or
+// -1 when the edge (or either endpoint) is absent. It binary-searches the
+// smaller endpoint's sorted slot range, so the lookup is O(log deg) over
+// contiguous arrays — the flat replacement for hashing a map[Edge] key.
+func (c *CSR) EdgeIDOf(u, v NodeID) int32 {
+	if u < 0 || v < 0 || int(u) >= c.NumNodes() || int(v) >= c.NumNodes() || u == v {
+		return -1
+	}
+	if c.Degree(u) > c.Degree(v) {
+		u, v = v, u
+	}
+	lo, hi := int(c.Offsets[u]), int(c.Offsets[u+1])
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.Targets[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < int(c.Offsets[u+1]) && c.Targets[lo] == v {
+		return c.EdgeID[lo]
+	}
+	return -1
 }
 
 // CSR returns the graph's compressed-sparse-row view, building it on first
@@ -72,6 +104,8 @@ func buildCSR(g *Graph) *CSR {
 		Targets: make([]NodeID, 2*m),
 		EdgeID:  make([]int32, 2*m),
 		Mate:    make([]int32, 2*m),
+		EdgeU:   make([]NodeID, m),
+		EdgeV:   make([]NodeID, m),
 	}
 	for _, e := range g.edges {
 		c.Offsets[e.U+1]++
@@ -93,6 +127,8 @@ func buildCSR(g *Graph) *CSR {
 		c.EdgeID[sv] = int32(i)
 		c.Mate[su] = sv
 		c.Mate[sv] = su
+		c.EdgeU[i] = e.U
+		c.EdgeV[i] = e.V
 	}
 	return c
 }

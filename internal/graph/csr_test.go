@@ -70,6 +70,48 @@ func TestCSREdgeIDsAndMates(t *testing.T) {
 	}
 }
 
+func TestCSREndpointArrays(t *testing.T) {
+	g := microTestGraph(t, 150, 600)
+	c := g.CSR()
+	edges := g.Edges()
+	if len(c.EdgeU) != len(edges) || len(c.EdgeV) != len(edges) {
+		t.Fatalf("endpoint array lengths %d/%d, want %d", len(c.EdgeU), len(c.EdgeV), len(edges))
+	}
+	for i, e := range edges {
+		if c.EdgeU[i] != e.U || c.EdgeV[i] != e.V {
+			t.Fatalf("edge %d: endpoint arrays (%d,%d), want %v", i, c.EdgeU[i], c.EdgeV[i], e)
+		}
+	}
+}
+
+func TestCSREdgeIDOf(t *testing.T) {
+	g := microTestGraph(t, 120, 400)
+	c := g.CSR()
+	// Every present edge resolves to its id, in both orientations.
+	for i, e := range g.Edges() {
+		if got := c.EdgeIDOf(e.U, e.V); got != int32(i) {
+			t.Fatalf("EdgeIDOf(%v) = %d, want %d", e, got, i)
+		}
+		if got := c.EdgeIDOf(e.V, e.U); got != int32(i) {
+			t.Fatalf("EdgeIDOf reversed (%v) = %d, want %d", e, got, i)
+		}
+	}
+	// Absent pairs, self-loops and out-of-range endpoints return -1.
+	rng := rand.New(rand.NewSource(9))
+	for tries := 0; tries < 200; tries++ {
+		u := NodeID(rng.Intn(g.NumNodes()))
+		v := NodeID(rng.Intn(g.NumNodes()))
+		if got, want := c.EdgeIDOf(u, v) >= 0, g.HasEdge(u, v); got != want {
+			t.Fatalf("EdgeIDOf(%d,%d) found=%v, HasEdge=%v", u, v, got, want)
+		}
+	}
+	for _, bad := range [][2]NodeID{{3, 3}, {-1, 2}, {2, -1}, {0, NodeID(g.NumNodes())}} {
+		if got := c.EdgeIDOf(bad[0], bad[1]); got != -1 {
+			t.Errorf("EdgeIDOf(%d,%d) = %d, want -1", bad[0], bad[1], got)
+		}
+	}
+}
+
 func TestCSRCachedAndConcurrent(t *testing.T) {
 	g := microTestGraph(t, 100, 300)
 	var wg sync.WaitGroup

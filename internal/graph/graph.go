@@ -188,6 +188,48 @@ func (g *Graph) Subgraph(edges []Edge) (*Graph, error) {
 	return b.Graph(), nil
 }
 
+// SubgraphByIDs returns a new graph over the same node set containing
+// exactly the edges with the given canonical ids — positions in Edges() —
+// which must be sorted ascending and duplicate-free. It is the id-native
+// fast path behind the shedding reducers: because the canonical edge list is
+// sorted by (U, V), selecting ascending ids yields the subgraph's edge list
+// and adjacency already in order, so the whole construction is two linear
+// passes with no hashing, no edge re-sort and a single backing allocation
+// for all adjacency lists.
+func (g *Graph) SubgraphByIDs(ids []int32) (*Graph, error) {
+	sub := &Graph{
+		adj:   make([][]NodeID, len(g.adj)),
+		edges: make([]Edge, len(ids)),
+	}
+	deg := make([]int, len(g.adj))
+	prev := int32(-1)
+	for i, id := range ids {
+		if id <= prev {
+			return nil, fmt.Errorf("graph: subgraph edge ids not ascending at position %d (%d after %d)", i, id, prev)
+		}
+		if int(id) >= len(g.edges) {
+			return nil, fmt.Errorf("graph: subgraph edge id %d outside [0,%d)", id, len(g.edges))
+		}
+		prev = id
+		e := g.edges[id]
+		sub.edges[i] = e
+		deg[e.U]++
+		deg[e.V]++
+	}
+	backing := make([]NodeID, 0, 2*len(ids))
+	for u, d := range deg {
+		if d > 0 {
+			sub.adj[u] = backing[len(backing) : len(backing) : len(backing)+d]
+			backing = backing[:len(backing)+d]
+		}
+	}
+	for _, e := range sub.edges {
+		sub.adj[e.U] = append(sub.adj[e.U], e.V)
+		sub.adj[e.V] = append(sub.adj[e.V], e.U)
+	}
+	return sub, nil
+}
+
 // InducedSubgraph returns the subgraph induced by the given node set: the
 // same node-id space with exactly the edges whose endpoints are both in the
 // set. Duplicate nodes in the input are tolerated.

@@ -261,3 +261,71 @@ func TestGraphString(t *testing.T) {
 		t.Errorf("Edge.String = %q, want %q", got, want)
 	}
 }
+
+func TestSubgraphByIDsMatchesSubgraph(t *testing.T) {
+	g := microTestGraph(t, 150, 500)
+	rng := rand.New(rand.NewSource(3))
+	all := g.Edges()
+	for trial := 0; trial < 10; trial++ {
+		var ids []int32
+		var edges []Edge
+		for i := range all {
+			if rng.Intn(3) == 0 {
+				ids = append(ids, int32(i))
+				edges = append(edges, all[i])
+			}
+		}
+		fast, err := g.SubgraphByIDs(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := g.Subgraph(edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fast.Validate(); err != nil {
+			t.Fatalf("SubgraphByIDs result invalid: %v", err)
+		}
+		if fast.NumNodes() != slow.NumNodes() || fast.NumEdges() != slow.NumEdges() {
+			t.Fatalf("shape (%d,%d) != (%d,%d)", fast.NumNodes(), fast.NumEdges(), slow.NumNodes(), slow.NumEdges())
+		}
+		fe, se := fast.Edges(), slow.Edges()
+		for i := range fe {
+			if fe[i] != se[i] {
+				t.Fatalf("edge %d: %v != %v", i, fe[i], se[i])
+			}
+		}
+		for u := 0; u < fast.NumNodes(); u++ {
+			fn, sn := fast.Neighbors(NodeID(u)), slow.Neighbors(NodeID(u))
+			if len(fn) != len(sn) {
+				t.Fatalf("node %d: degree %d != %d", u, len(fn), len(sn))
+			}
+			for i := range fn {
+				if fn[i] != sn[i] {
+					t.Fatalf("node %d neighbor %d: %d != %d", u, i, fn[i], sn[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSubgraphByIDsRejectsBadInput(t *testing.T) {
+	g := microTestGraph(t, 50, 120)
+	for name, ids := range map[string][]int32{
+		"descending":   {3, 1},
+		"duplicate":    {2, 2},
+		"negative":     {-1},
+		"out-of-range": {0, int32(g.NumEdges())},
+	} {
+		if _, err := g.SubgraphByIDs(ids); err == nil {
+			t.Errorf("%s ids accepted", name)
+		}
+	}
+	empty, err := g.SubgraphByIDs(nil)
+	if err != nil {
+		t.Fatalf("empty id set rejected: %v", err)
+	}
+	if empty.NumEdges() != 0 || empty.NumNodes() != g.NumNodes() {
+		t.Errorf("empty subgraph shape (%d,%d)", empty.NumNodes(), empty.NumEdges())
+	}
+}

@@ -70,18 +70,22 @@ func GreedyBMatching(g *graph.Graph, caps []int, order EdgeOrder) (*BMatching, e
 		scan[i] = int32(i)
 	}
 	if order != InputOrder {
-		key := func(id int32) int {
-			cu, cv := caps[edges[id].U], caps[edges[id].V]
-			if cu < cv {
-				return cu
+		// Precompute each edge's key once: the stable sort performs
+		// O(m log m) comparisons, and recomputing min(caps) per comparison
+		// doubles its memory traffic.
+		key := make([]int32, len(edges))
+		for id, e := range edges {
+			cu, cv := caps[e.U], caps[e.V]
+			if cu > cv {
+				cu = cv
 			}
-			return cv
+			key[id] = int32(cu)
 		}
 		sort.SliceStable(scan, func(i, j int) bool {
 			if order == ScarceFirst {
-				return key(scan[i]) < key(scan[j])
+				return key[scan[i]] < key[scan[j]]
 			}
-			return key(scan[i]) > key(scan[j])
+			return key[scan[i]] > key[scan[j]]
 		})
 	}
 	m := &BMatching{Degrees: make([]int, g.NumNodes())}
@@ -98,13 +102,21 @@ func GreedyBMatching(g *graph.Graph, caps []int, order EdgeOrder) (*BMatching, e
 }
 
 // VerifyMaximal reports whether m is a maximal b-matching of g under caps:
-// every matched edge respects both capacities and no unmatched edge of g
-// could be added without violating one. It is O(|E|) and intended for tests.
+// every matched edge exists in g and respects both capacities, and no
+// unmatched edge of g could be added without violating one. Membership is
+// tracked in a []bool over canonical edge ids (resolved through the CSR
+// view) instead of a map[Edge] set. It is O(|E| log deg) and intended for
+// tests.
 func (m *BMatching) VerifyMaximal(g *graph.Graph, caps []int) error {
-	in := make(map[graph.Edge]struct{}, len(m.Edges))
+	csr := g.CSR()
+	in := make([]bool, g.NumEdges())
 	deg := make([]int, g.NumNodes())
 	for _, e := range m.Edges {
-		in[e.Canonical()] = struct{}{}
+		id := csr.EdgeIDOf(e.U, e.V)
+		if id < 0 {
+			return fmt.Errorf("matching: matched edge %v not present in graph", e)
+		}
+		in[id] = true
 		deg[e.U]++
 		deg[e.V]++
 	}
@@ -116,8 +128,8 @@ func (m *BMatching) VerifyMaximal(g *graph.Graph, caps []int) error {
 			return fmt.Errorf("matching: node %d degree %d exceeds capacity %d", u, deg[u], caps[u])
 		}
 	}
-	for _, e := range g.Edges() {
-		if _, ok := in[e]; ok {
+	for i, e := range g.Edges() {
+		if in[i] {
 			continue
 		}
 		if deg[e.U] < caps[e.U] && deg[e.V] < caps[e.V] {
@@ -141,17 +153,26 @@ type WeightedEdge struct {
 func GreedyBipartite(edges []WeightedEdge) []WeightedEdge {
 	sorted := append([]WeightedEdge(nil), edges...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].W > sorted[j].W })
-	used := make(map[graph.NodeID]struct{})
+	// Matched flags live in a []bool over the dense node-id range instead of
+	// a map: ids are dense everywhere in this repository, so the flat array
+	// is both smaller and branch-predictable.
+	maxID := graph.NodeID(-1)
+	for _, we := range edges {
+		if we.E.U > maxID {
+			maxID = we.E.U
+		}
+		if we.E.V > maxID {
+			maxID = we.E.V
+		}
+	}
+	used := make([]bool, maxID+1)
 	var out []WeightedEdge
 	for _, we := range sorted {
-		if _, ok := used[we.E.U]; ok {
+		if used[we.E.U] || used[we.E.V] {
 			continue
 		}
-		if _, ok := used[we.E.V]; ok {
-			continue
-		}
-		used[we.E.U] = struct{}{}
-		used[we.E.V] = struct{}{}
+		used[we.E.U] = true
+		used[we.E.V] = true
 		out = append(out, we)
 	}
 	return out

@@ -1,0 +1,148 @@
+package matching
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestFlatPQBasicOrder(t *testing.T) {
+	var q FlatPQ
+	for id, pri := range []float64{3, 1, 4, 1.5, 9, 2.6} {
+		q.Push(int32(id), pri)
+	}
+	if q.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", q.Len())
+	}
+	wantIDs := []int32{4, 2, 0, 5, 3, 1}
+	for _, want := range wantIDs {
+		id, _, ok := q.Pop()
+		if !ok || id != want {
+			t.Fatalf("Pop = %d (ok=%v), want %d", id, ok, want)
+		}
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue reported ok")
+	}
+}
+
+func TestFlatPQUpdateRemoveContains(t *testing.T) {
+	var q FlatPQ
+	q.Push(0, 1)
+	q.Push(1, 2)
+	q.Push(2, 3)
+	q.Update(0, 10)
+	if id, pri, _ := q.Pop(); id != 0 || pri != 10 {
+		t.Fatalf("after Update, Pop = (%d, %v), want (0, 10)", id, pri)
+	}
+	if q.Contains(0) {
+		t.Error("popped id still Contains")
+	}
+	q.Remove(2)
+	if q.Contains(2) {
+		t.Error("removed id still Contains")
+	}
+	q.Remove(2) // no-op on detached id
+	if id, _, _ := q.Pop(); id != 1 {
+		t.Fatalf("Pop = %d, want 1", id)
+	}
+	// A popped id may be pushed again.
+	q.Push(1, 5)
+	if !q.Contains(1) || q.Priority(1) != 5 {
+		t.Error("re-push of a popped id failed")
+	}
+}
+
+func TestFlatPQPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	var q FlatPQ
+	q.Push(3, 1)
+	assertPanics("double Push", func() { q.Push(3, 2) })
+	assertPanics("Update on detached id", func() { q.Update(7, 1) })
+}
+
+// TestFlatPQMatchesPQ pins the equivalence contract FlatPQ is built on: for
+// any operation sequence, FlatPQ pops the same ids in the same order as the
+// pointer-handle PQ — including among tied priorities, where the order is
+// decided purely by the shared heap dynamics. BM2's bit-identical migration
+// rests on this.
+func TestFlatPQMatchesPQ(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var flat FlatPQ
+		var ref PQ[int32]
+		handles := map[int32]*Handle[int32]{}
+		next := int32(0)
+		// Coarse priorities force frequent ties.
+		randPri := func() float64 { return float64(rng.Intn(8)) / 2 }
+		queued := func() []int32 {
+			ids := make([]int32, 0, len(handles))
+			for id, h := range handles {
+				if h.Valid() {
+					ids = append(ids, id)
+				}
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			return ids
+		}
+		for op := 0; op < 400; op++ {
+			switch r := rng.Intn(10); {
+			case r < 4: // push
+				pri := randPri()
+				flat.Push(next, pri)
+				handles[next] = ref.Push(next, pri)
+				next++
+			case r < 6: // pop
+				fid, fpri, fok := flat.Pop()
+				rid, rpri, rok := ref.Pop()
+				if fok != rok || (fok && (fid != rid || fpri != rpri)) {
+					t.Fatalf("trial %d op %d: flat Pop (%d,%v,%v) != ref (%d,%v,%v)",
+						trial, op, fid, fpri, fok, rid, rpri, rok)
+				}
+				if fok {
+					delete(handles, fid)
+				}
+			case r < 8: // update a random queued id
+				ids := queued()
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				pri := randPri()
+				flat.Update(id, pri)
+				ref.Update(handles[id], pri)
+			default: // remove a random queued id
+				ids := queued()
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				flat.Remove(id)
+				ref.Remove(handles[id])
+				delete(handles, id)
+			}
+			if flat.Len() != ref.Len() {
+				t.Fatalf("trial %d op %d: Len %d != %d", trial, op, flat.Len(), ref.Len())
+			}
+		}
+		// Drain both completely.
+		for {
+			fid, fpri, fok := flat.Pop()
+			rid, rpri, rok := ref.Pop()
+			if fok != rok || fid != rid || fpri != rpri {
+				t.Fatalf("trial %d drain: flat (%d,%v,%v) != ref (%d,%v,%v)",
+					trial, fid, fpri, fok, rid, rpri, rok)
+			}
+			if !fok {
+				break
+			}
+		}
+	}
+}

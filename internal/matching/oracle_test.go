@@ -1,0 +1,89 @@
+package matching
+
+// Oracle test for the edge-id migration of GreedyBMatching: the seed
+// implementation copied and stable-sorted []graph.Edge values, recomputing
+// the capacity key inside every comparison; the production code now sorts
+// int32 edge ids over precomputed keys. Both must select the identical edge
+// sequence for any (graph, caps, order).
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+)
+
+// seedGreedyBMatching is the pre-migration implementation, kept verbatim
+// (minus the validation both share).
+func seedGreedyBMatching(g *graph.Graph, caps []int, order EdgeOrder) *BMatching {
+	edges := g.Edges()
+	if order != InputOrder {
+		edges = append([]graph.Edge(nil), edges...)
+		key := func(e graph.Edge) int {
+			cu, cv := caps[e.U], caps[e.V]
+			if cu < cv {
+				return cu
+			}
+			return cv
+		}
+		sort.SliceStable(edges, func(i, j int) bool {
+			if order == ScarceFirst {
+				return key(edges[i]) < key(edges[j])
+			}
+			return key(edges[i]) > key(edges[j])
+		})
+	}
+	m := &BMatching{Degrees: make([]int, g.NumNodes())}
+	for _, e := range edges {
+		if m.Degrees[e.U] < caps[e.U] && m.Degrees[e.V] < caps[e.V] {
+			m.Edges = append(m.Edges, e)
+			m.Degrees[e.U]++
+			m.Degrees[e.V]++
+		}
+	}
+	return m
+}
+
+func TestGreedyBMatchingMatchesSeedImplementation(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"barabasi-albert":   gen.BarabasiAlbert(400, 3, 7),
+		"erdos-renyi":       gen.ErdosRenyi(400, 900, 11),
+		"planted-partition": gen.PlantedPartition(4, 100, 0.05, 0.005, 13),
+	}
+	for name, g := range graphs {
+		rng := rand.New(rand.NewSource(17))
+		caps := make([]int, g.NumNodes())
+		for u := range caps {
+			caps[u] = rng.Intn(1 + g.Degree(graph.NodeID(u)))
+		}
+		for _, order := range []EdgeOrder{InputOrder, ScarceFirst, DenseFirst} {
+			got, err := GreedyBMatching(g, caps, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := seedGreedyBMatching(g, caps, order)
+			if len(got.Edges) != len(want.Edges) {
+				t.Fatalf("%s/%v: matched %d edges, oracle %d", name, order, len(got.Edges), len(want.Edges))
+			}
+			for i := range got.Edges {
+				if got.Edges[i] != want.Edges[i] {
+					t.Fatalf("%s/%v: edge %d = %v, oracle %v", name, order, i, got.Edges[i], want.Edges[i])
+				}
+			}
+			for u := range got.Degrees {
+				if got.Degrees[u] != want.Degrees[u] {
+					t.Fatalf("%s/%v: degree[%d] = %d, oracle %d", name, order, u, got.Degrees[u], want.Degrees[u])
+				}
+			}
+			// IDs must point back at the matched edges.
+			all := g.Edges()
+			for i, id := range got.IDs {
+				if all[id] != got.Edges[i] {
+					t.Fatalf("%s/%v: IDs[%d] = %d resolves to %v, edge is %v", name, order, i, id, all[id], got.Edges[i])
+				}
+			}
+		}
+	}
+}

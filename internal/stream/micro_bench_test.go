@@ -7,12 +7,19 @@ import (
 	"edgeshed/internal/graph/gen"
 )
 
-func BenchmarkShedderInsert(b *testing.B) {
+// benchShedderInsert replays a stored graph as an insert stream; withBase
+// selects the base-graph (flat edge-id) bookkeeping over the map.
+func benchShedderInsert(b *testing.B, withBase bool) {
 	g := gen.BarabasiAlbert(20000, 4, 1)
+	opts := Options{P: 0.5, Seed: 1, Nodes: g.NumNodes()}
+	if withBase {
+		opts.Base = g
+		g.CSR() // build the shared view outside the timed loop
+	}
 	edges := g.Edges()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, err := NewShedder(Options{P: 0.5, Seed: 1, Nodes: g.NumNodes()})
+		s, err := NewShedder(opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -23,6 +30,14 @@ func BenchmarkShedderInsert(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(edges)), "edges/op")
+}
+
+func BenchmarkShedderInsertMapIndexed(b *testing.B) {
+	benchShedderInsert(b, false)
+}
+
+func BenchmarkShedderInsertCSRIndexed(b *testing.B) {
+	benchShedderInsert(b, true)
 }
 
 func BenchmarkShedderCandidates(b *testing.B) {

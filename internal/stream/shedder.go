@@ -30,7 +30,16 @@ type Shedder struct {
 	origDeg []int64
 	keptDeg []int32
 	kept    []graph.Edge
-	index   map[graph.Edge]int32 // kept edge -> position in kept
+
+	// Kept-edge positions are looked up in two tiers. Edges of the optional
+	// base graph resolve through its CSR view to a canonical edge id and
+	// index the flat basePos array (-1 = not kept); only edges the base has
+	// never seen — truly novel stream edges — fall back to hashing into the
+	// map. On replayed or mostly-known streams the hot path never hashes a
+	// graph.Edge.
+	base    *graph.CSR
+	basePos []int32
+	index   map[graph.Edge]int32 // novel kept edge -> position in kept
 }
 
 // Options configures a Shedder.
@@ -45,6 +54,13 @@ type Options struct {
 	// Nodes pre-sizes per-node state; the shedder grows on demand if node
 	// ids exceed it.
 	Nodes int
+	// Base optionally declares a graph whose edges the stream is expected to
+	// (mostly) draw from — the natural case when replaying a stored graph as
+	// a stream. Base-graph edges then track their kept position in a flat
+	// array indexed by canonical edge id instead of a map; the stream may
+	// still contain arbitrary novel edges, which use the map as before.
+	// Setting Base never changes the shedder's output, only its speed.
+	Base *graph.Graph
 }
 
 // NewShedder returns a shedder maintaining a [p·m]-edge reduction.
@@ -60,14 +76,60 @@ func NewShedder(opt Options) (*Shedder, error) {
 	if n < 0 {
 		n = 0
 	}
-	return &Shedder{
+	if opt.Base != nil && opt.Base.NumNodes() > n {
+		n = opt.Base.NumNodes()
+	}
+	s := &Shedder{
 		p:          opt.P,
 		rng:        rand.New(rand.NewSource(opt.Seed)),
 		candidates: cand,
 		origDeg:    make([]int64, n),
 		keptDeg:    make([]int32, n),
 		index:      make(map[graph.Edge]int32),
-	}, nil
+	}
+	if opt.Base != nil {
+		s.base = opt.Base.CSR()
+		s.basePos = make([]int32, opt.Base.NumEdges())
+		for i := range s.basePos {
+			s.basePos[i] = -1
+		}
+	}
+	return s, nil
+}
+
+// lookup returns the kept position of e, resolving base-graph edges through
+// the flat basePos array and novel edges through the map.
+func (s *Shedder) lookup(e graph.Edge) (int32, bool) {
+	if s.base != nil {
+		if id := s.base.EdgeIDOf(e.U, e.V); id >= 0 {
+			pos := s.basePos[id]
+			return pos, pos >= 0
+		}
+	}
+	i, ok := s.index[e]
+	return i, ok
+}
+
+// setPos records e's position in the kept slice.
+func (s *Shedder) setPos(e graph.Edge, pos int32) {
+	if s.base != nil {
+		if id := s.base.EdgeIDOf(e.U, e.V); id >= 0 {
+			s.basePos[id] = pos
+			return
+		}
+	}
+	s.index[e] = pos
+}
+
+// delPos forgets e's position.
+func (s *Shedder) delPos(e graph.Edge) {
+	if s.base != nil {
+		if id := s.base.EdgeIDOf(e.U, e.V); id >= 0 {
+			s.basePos[id] = -1
+			return
+		}
+	}
+	delete(s.index, e)
 }
 
 // grow ensures per-node state covers node u.
@@ -117,7 +179,7 @@ func (s *Shedder) Insert(u, v graph.NodeID) error {
 	s.seen++
 	s.origDeg[u]++
 	s.origDeg[v]++
-	_, alreadyKept := s.index[e]
+	_, alreadyKept := s.lookup(e)
 
 	// Phase 1: grow toward the budget.
 	if len(s.kept) < s.target() && !alreadyKept {
@@ -134,7 +196,7 @@ func (s *Shedder) Insert(u, v graph.NodeID) error {
 
 // keep stores edge e.
 func (s *Shedder) keep(e graph.Edge) {
-	s.index[e] = int32(len(s.kept))
+	s.setPos(e, int32(len(s.kept)))
 	s.kept = append(s.kept, e)
 	s.keptDeg[e.U]++
 	s.keptDeg[e.V]++
@@ -146,10 +208,10 @@ func (s *Shedder) evict(i int32) {
 	last := int32(len(s.kept) - 1)
 	if i != last {
 		s.kept[i] = s.kept[last]
-		s.index[s.kept[i]] = i
+		s.setPos(s.kept[i], i)
 	}
 	s.kept = s.kept[:last]
-	delete(s.index, e)
+	s.delPos(e)
 	s.keptDeg[e.U]--
 	s.keptDeg[e.V]--
 }
@@ -228,7 +290,7 @@ func (s *Shedder) Delete(u, v graph.NodeID) error {
 	s.seen--
 	s.origDeg[u]--
 	s.origDeg[v]--
-	if i, ok := s.index[e]; ok {
+	if i, ok := s.lookup(e); ok {
 		s.evict(i)
 	}
 	// Over-budget after shrink: drop the eviction that most improves Δ

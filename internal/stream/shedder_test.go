@@ -254,6 +254,61 @@ func TestDeleteMaintainsBudget(t *testing.T) {
 	}
 }
 
+// TestBaseIndexMatchesMap pins the Options.Base contract: declaring a base
+// graph switches the kept-position bookkeeping from the map to the flat
+// edge-id array, and must not change a single output — across inserts,
+// duplicate inserts, deletions, and novel edges (including node ids beyond
+// the base graph) that exercise the map fallback.
+func TestBaseIndexMatchesMap(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 19)
+	plain, err := NewShedder(Options{P: 0.5, Seed: 4, Nodes: g.NumNodes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	based, err := NewShedder(Options{P: 0.5, Seed: 4, Base: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(20))
+	edges := append([]graph.Edge(nil), g.Edges()...)
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	step := func(op func(s *Shedder) error) {
+		if err := op(plain); err != nil {
+			t.Fatal(err)
+		}
+		if err := op(based); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, e := range edges {
+		step(func(s *Shedder) error { return s.Insert(e.U, e.V) })
+		switch {
+		case i%17 == 3:
+			// Novel edge the base graph has never seen (fresh node id).
+			u := graph.NodeID(g.NumNodes() + i)
+			step(func(s *Shedder) error { return s.Insert(e.U, u) })
+		case i%13 == 5:
+			// Duplicate observation of a base edge.
+			step(func(s *Shedder) error { return s.Insert(e.U, e.V) })
+		case i%11 == 7:
+			step(func(s *Shedder) error { return s.Delete(e.U, e.V) })
+		}
+	}
+	if plain.Seen() != based.Seen() || plain.Kept() != based.Kept() {
+		t.Fatalf("seen/kept diverge: (%d,%d) vs (%d,%d)",
+			plain.Seen(), plain.Kept(), based.Seen(), based.Kept())
+	}
+	pe, be := plain.Edges(), based.Edges()
+	for i := range pe {
+		if pe[i] != be[i] {
+			t.Fatalf("kept edge %d diverges: %v vs %v", i, pe[i], be[i])
+		}
+	}
+	if plain.Delta() != based.Delta() {
+		t.Fatalf("Δ diverges: %v vs %v", plain.Delta(), based.Delta())
+	}
+}
+
 // TestStreamInvariants property-checks budget and Δ consistency across
 // random streams and parameters.
 func TestStreamInvariants(t *testing.T) {
