@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-centrality bench-tasks bench-shedding experiments claims fmt vet clean
+.PHONY: all build test race bench bench-centrality bench-tasks bench-shedding experiments claims profile fmt vet clean
 
 all: build test
 
@@ -15,7 +15,7 @@ test:
 race:
 	$(GO) test -race ./internal/par/ ./internal/analysis/ ./internal/tasks/ \
 		./internal/centrality/ ./internal/uds/ ./internal/stream/ \
-		./internal/core/ ./internal/matching/
+		./internal/core/ ./internal/matching/ ./internal/obs/
 
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
@@ -52,6 +52,18 @@ experiments:
 
 claims:
 	$(GO) run ./cmd/checkclaims -in results/full_scale8.txt
+
+# Capture a worked observability example (EXPERIMENTS.md): a CRR reduction
+# of a scale-16 ca-HepPh stand-in with a JSON run manifest, CPU profile and
+# execution trace, then summarize the profile.
+profile:
+	mkdir -p results/profile
+	$(GO) run ./cmd/gengraph -dataset ca-HepPh -scale 16 -seed 1 -out results/profile/hepph.txt
+	$(GO) run ./cmd/shed -in results/profile/hepph.txt -out results/profile/reduced.txt \
+		-method crr -p 0.5 -seed 1 \
+		-metrics results/profile/run.json -stats-json results/profile/stats.json \
+		-profile cpu -profile-out results/profile/cpu.pprof -trace results/profile/trace.out
+	$(GO) tool pprof -top -nodecount 15 results/profile/cpu.pprof
 
 fmt:
 	gofmt -w .

@@ -18,6 +18,7 @@ import (
 	"edgeshed/internal/analysis"
 	"edgeshed/internal/centrality"
 	"edgeshed/internal/graph"
+	"edgeshed/internal/obs"
 )
 
 func main() {
@@ -29,14 +30,24 @@ func main() {
 		seed     = flag.Int64("seed", 1, "sampling seed")
 		workers  = flag.Int("workers", 0, "worker goroutines for parallel kernels (0 = GOMAXPROCS); results are identical at any count")
 	)
+	cli := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(os.Stdout, *in, *taskList, *topPct, *sources, *seed, *workers); err != nil {
+	sess, err := cli.Start("analyze")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+	runErr := run(os.Stdout, *in, *taskList, *topPct, *sources, *seed, *workers, sess)
+	if cerr := sess.Close(); runErr == nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, in, taskList string, topPct float64, sources int, seed int64, workers int) error {
+func run(w io.Writer, in, taskList string, topPct float64, sources int, seed int64, workers int, sess *obs.Session) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -44,6 +55,10 @@ func run(w io.Writer, in, taskList string, topPct float64, sources int, seed int
 	if err != nil {
 		return err
 	}
+	sess.SetGraph(g.NumNodes(), g.NumEdges())
+	sess.SetSeed(seed)
+	sess.SetWorkers(workers)
+	sess.Verbosef("loaded %s: |V|=%d |E|=%d", in, g.NumNodes(), g.NumEdges())
 	fmt.Fprintf(w, "graph: |V|=%d |E|=%d avg degree=%.2f max degree=%d\n",
 		g.NumNodes(), g.NumEdges(), g.AvgDegree(), g.MaxDegree())
 
@@ -53,8 +68,14 @@ func run(w io.Writer, in, taskList string, topPct float64, sources int, seed int
 		}
 		return int64(u)
 	}
+	root := sess.Root()
 	for _, task := range strings.Split(taskList, ",") {
-		switch strings.TrimSpace(task) {
+		name := strings.TrimSpace(task)
+		var tsp *obs.Span
+		if root.Enabled() {
+			tsp = root.Start("task:" + name)
+		}
+		switch name {
 		case "degree":
 			dist := analysis.DegreeDistribution(g, 0)
 			fmt.Fprintln(w, "\nvertex degree distribution (degree: fraction):")
@@ -71,7 +92,7 @@ func run(w io.Writer, in, taskList string, topPct float64, sources int, seed int
 				}
 			}
 		case "sp":
-			prof := analysis.NewDistanceProfile(g, analysis.ProfileOptions{Sources: sources, Seed: seed, Workers: workers})
+			prof := analysis.NewDistanceProfile(g, analysis.ProfileOptions{Sources: sources, Seed: seed, Workers: workers, Obs: tsp})
 			fmt.Fprintf(w, "\nshortest paths: diameter=%d mean distance=%.3f reachable pairs=%.0f\n",
 				prof.Diameter, prof.MeanDistance(), prof.ReachablePairs)
 			for d, f := range prof.Distribution() {
@@ -80,7 +101,7 @@ func run(w io.Writer, in, taskList string, topPct float64, sources int, seed int
 				}
 			}
 		case "hopplot":
-			prof := analysis.NewDistanceProfile(g, analysis.ProfileOptions{Sources: sources, Seed: seed, Workers: workers})
+			prof := analysis.NewDistanceProfile(g, analysis.ProfileOptions{Sources: sources, Seed: seed, Workers: workers, Obs: tsp})
 			fmt.Fprintln(w, "\nhop-plot (k: cumulative fraction):")
 			for k, f := range prof.HopPlot() {
 				fmt.Fprintf(w, "  k=%2d: %.4f\n", k, f)
@@ -89,7 +110,7 @@ func run(w io.Writer, in, taskList string, topPct float64, sources int, seed int
 			fmt.Fprintf(w, "\naverage clustering coefficient: %.4f, triangles: %d\n",
 				analysis.AverageClustering(g, workers), analysis.Triangles(g, workers))
 		case "topk":
-			pr := analysis.PageRank(g, analysis.PageRankOptions{Workers: workers})
+			pr := analysis.PageRank(g, analysis.PageRankOptions{Workers: workers, Obs: tsp})
 			k := int(float64(g.NumNodes()) * topPct / 100)
 			top := analysis.TopK(pr, k)
 			fmt.Fprintf(w, "\ntop-%.0f%%: %d nodes by PageRank; first 10 (label: score):\n", topPct, len(top))
@@ -105,14 +126,14 @@ func run(w io.Writer, in, taskList string, topPct float64, sources int, seed int
 			fmt.Fprintf(w, "\nconnected components: %d; largest: %d nodes (%.1f%%)\n",
 				count, len(lc), 100*float64(len(lc))/float64(g.NumNodes()))
 		case "betweenness":
-			opt := centrality.Options{Samples: sources, Seed: seed, Workers: workers}
+			opt := centrality.Options{Samples: sources, Seed: seed, Workers: workers, Obs: tsp}
 			bc := centrality.NodeBetweenness(g, opt)
 			fmt.Fprintln(w, "\ntop-10 nodes by betweenness centrality (label: score):")
 			for _, u := range analysis.TopK(bc, 10) {
 				fmt.Fprintf(w, "  %d: %.2f\n", label(u), bc[u])
 			}
 		case "closeness":
-			cl := centrality.Closeness(g, centrality.Options{Workers: workers})
+			cl := centrality.Closeness(g, centrality.Options{Workers: workers, Obs: tsp})
 			fmt.Fprintln(w, "\ntop-10 nodes by closeness centrality (label: score):")
 			for _, u := range analysis.TopK(cl, 10) {
 				fmt.Fprintf(w, "  %d: %.4f\n", label(u), cl[u])
@@ -122,8 +143,10 @@ func run(w io.Writer, in, taskList string, topPct float64, sources int, seed int
 				analysis.DegreeAssortativity(g), analysis.ApproxDiameter(g),
 				analysis.MaxCore(g), analysis.GiniDegree(g))
 		default:
+			tsp.End()
 			return fmt.Errorf("unknown task %q", task)
 		}
+		tsp.End()
 	}
 	return nil
 }

@@ -22,7 +22,7 @@ func writeTestGraph(t *testing.T) string {
 func TestRunAllTasks(t *testing.T) {
 	path := writeTestGraph(t)
 	var buf bytes.Buffer
-	err := run(&buf, path, "degree,sp,hopplot,cc,topk,components,betweenness,closeness,structure", 10, 0, 1, 0)
+	err := run(&buf, path, "degree,sp,hopplot,cc,topk,components,betweenness,closeness,structure", 10, 0, 1, 0, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -40,14 +40,14 @@ func TestRunAllTasks(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "", "degree", 10, 0, 1, 0); err == nil {
+	if err := run(&buf, "", "degree", 10, 0, 1, 0, nil); err == nil {
 		t.Error("missing -in accepted")
 	}
-	if err := run(&buf, filepath.Join(t.TempDir(), "nope.txt"), "degree", 10, 0, 1, 0); err == nil {
+	if err := run(&buf, filepath.Join(t.TempDir(), "nope.txt"), "degree", 10, 0, 1, 0, nil); err == nil {
 		t.Error("missing file accepted")
 	}
 	path := writeTestGraph(t)
-	if err := run(&buf, path, "no-such-task", 10, 0, 1, 0); err == nil {
+	if err := run(&buf, path, "no-such-task", 10, 0, 1, 0, nil); err == nil {
 		t.Error("unknown task accepted")
 	}
 }
@@ -58,7 +58,7 @@ func TestRunBinaryInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, path, "degree,components", 10, 0, 1, 0); err != nil {
+	if err := run(&buf, path, "degree,components", 10, 0, 1, 0, nil); err != nil {
 		t.Fatalf("binary input: %v", err)
 	}
 	if !strings.Contains(buf.String(), "|V|=50") {
@@ -69,7 +69,7 @@ func TestRunBinaryInput(t *testing.T) {
 func TestRunSampledSources(t *testing.T) {
 	path := writeTestGraph(t)
 	var buf bytes.Buffer
-	if err := run(&buf, path, "sp,betweenness", 10, 16, 3, 0); err != nil {
+	if err := run(&buf, path, "sp,betweenness", 10, 16, 3, 0, nil); err != nil {
 		t.Fatalf("sampled run: %v", err)
 	}
 	if !strings.Contains(buf.String(), "shortest paths") {

@@ -19,6 +19,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"edgeshed/internal/obs"
 )
 
 // Benchmark is one parsed `go test -bench` result line.
@@ -49,30 +51,45 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "output JSON path (default stdout)")
+	cli := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
-	report, err := parse(os.Stdin)
+	sess, err := cli.Start("benchjson")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	if len(report.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+	runErr := run(os.Stdin, *out, sess)
+	if cerr := sess.Close(); runErr == nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", runErr)
 		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out string, sess *obs.Session) error {
+	report, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	sess.Verbosef("parsed %d benchmark lines", len(report.Benchmarks))
+	if sess.Root().Enabled() {
+		sess.Root().Counter("benchjson.lines").Add(int64(len(report.Benchmarks)))
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
 	data = append(data, '\n')
-	if *out == "" {
-		os.Stdout.Write(data)
-		return
+	if out == "" {
+		_, err := os.Stdout.Write(data)
+		return err
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return os.WriteFile(out, data, 0o644)
 }
 
 // parse scans bench output, ignoring non-result lines (goos/pkg/PASS/ok).

@@ -15,12 +15,22 @@ import (
 	"os"
 
 	"edgeshed/internal/claims"
+	"edgeshed/internal/obs"
 )
 
 func main() {
 	in := flag.String("in", "", "results file from cmd/experiments (required)")
+	cli := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
-	code, err := run(os.Stdout, *in)
+	sess, err := cli.Start("checkclaims")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkclaims:", err)
+		os.Exit(1)
+	}
+	code, err := run(os.Stdout, *in, sess)
+	if cerr := sess.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "checkclaims:", err)
 		os.Exit(1)
@@ -28,7 +38,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(w io.Writer, in string) (int, error) {
+func run(w io.Writer, in string, sess *obs.Session) (int, error) {
 	if in == "" {
 		return 0, fmt.Errorf("-in is required")
 	}
@@ -46,6 +56,10 @@ func run(w io.Writer, in string) (int, error) {
 		if o.Status == claims.Fail {
 			fails++
 		}
+	}
+	if sess.Root().Enabled() {
+		sess.Root().Counter("claims.checked").Add(int64(len(outcomes)))
+		sess.Root().Counter("claims.failed").Add(int64(fails))
 	}
 	fmt.Fprintf(w, "\n%d claims, %d failed\n", len(outcomes), fails)
 	if fails > 0 {

@@ -33,7 +33,7 @@ func write(t *testing.T, content string) string {
 
 func TestRunPassing(t *testing.T) {
 	var buf bytes.Buffer
-	code, err := run(&buf, write(t, passingResults))
+	code, err := run(&buf, write(t, passingResults), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestRunPassing(t *testing.T) {
 
 func TestRunFailing(t *testing.T) {
 	var buf bytes.Buffer
-	code, err := run(&buf, write(t, failingResults))
+	code, err := run(&buf, write(t, failingResults), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,10 +61,10 @@ func TestRunFailing(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := run(&buf, ""); err == nil {
+	if _, err := run(&buf, "", nil); err == nil {
 		t.Error("missing -in accepted")
 	}
-	if _, err := run(&buf, filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+	if _, err := run(&buf, filepath.Join(t.TempDir(), "nope.txt"), nil); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"edgeshed/internal/graph"
+	"edgeshed/internal/obs"
 	"edgeshed/internal/tasks"
 )
 
@@ -30,34 +31,52 @@ func main() {
 		seed     = flag.Int64("seed", 1, "sampling seed")
 		workers  = flag.Int("workers", 0, "worker goroutines for parallel kernels (0 = GOMAXPROCS); results are identical at any count")
 	)
+	cli := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(os.Stdout, *origPath, *redPath, *sources, *maxPairs, *workers, *seed); err != nil {
+	sess, err := cli.Start("evaluate")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+	runErr := run(os.Stdout, *origPath, *redPath, *sources, *maxPairs, *workers, *seed, sess)
+	if cerr := sess.Close(); runErr == nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, origPath, redPath string, sources, maxPairs, workers int, seed int64) error {
+func run(w io.Writer, origPath, redPath string, sources, maxPairs, workers int, seed int64, sess *obs.Session) error {
 	if origPath == "" || redPath == "" {
 		return fmt.Errorf("-orig and -reduced are required")
 	}
+	load := sess.Root().Start("load")
 	orig, origRM, err := graph.LoadFile(origPath)
 	if err != nil {
+		load.End()
 		return fmt.Errorf("reading original: %w", err)
 	}
 	redRaw, redRM, err := graph.LoadFile(redPath)
 	if err != nil {
+		load.End()
 		return fmt.Errorf("reading reduced: %w", err)
 	}
 	red, err := alignNodeIDs(orig, origRM, redRaw, redRM)
+	load.End()
 	if err != nil {
 		return err
 	}
+	sess.SetGraph(orig.NumNodes(), orig.NumEdges())
+	sess.SetSeed(seed)
+	sess.SetWorkers(workers)
+	sess.Verbosef("evaluating %s against %s", redPath, origPath)
 	fmt.Fprintf(w, "original: |V|=%d |E|=%d   reduced: |E|=%d (p ≈ %.3f)\n\n",
 		orig.NumNodes(), orig.NumEdges(), red.NumEdges(),
 		float64(red.NumEdges())/float64(orig.NumEdges()))
 
-	suite := tasks.Suite{Sources: sources, MaxPairs: maxPairs, Seed: seed, Workers: workers}
+	suite := tasks.Suite{Sources: sources, MaxPairs: maxPairs, Seed: seed, Workers: workers, Obs: sess.Root()}
 	fmt.Fprintf(w, "%-28s %10s   %s\n", "task", "value", "meaning")
 	for _, m := range suite.Evaluate(orig, red) {
 		fmt.Fprintf(w, "%-28s %10.4f   %s\n", m.Task, m.Value, m.Meaning)

@@ -33,7 +33,7 @@ func writePair(t *testing.T) (string, string) {
 func TestRunEvaluatesAllTasks(t *testing.T) {
 	origPath, redPath := writePair(t)
 	var buf bytes.Buffer
-	if err := run(&buf, origPath, redPath, 0, 5000, 0, 1); err != nil {
+	if err := run(&buf, origPath, redPath, 0, 5000, 0, 1, nil); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := buf.String()
@@ -55,7 +55,7 @@ func TestRunEvaluatesAllTasks(t *testing.T) {
 func TestRunSelfComparisonIsPerfect(t *testing.T) {
 	origPath, _ := writePair(t)
 	var buf bytes.Buffer
-	if err := run(&buf, origPath, origPath, 0, 5000, 0, 1); err != nil {
+	if err := run(&buf, origPath, origPath, 0, 5000, 0, 1, nil); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := buf.String()
@@ -70,11 +70,11 @@ func TestRunSelfComparisonIsPerfect(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "", "", 0, 0, 0, 1); err == nil {
+	if err := run(&buf, "", "", 0, 0, 0, 1, nil); err == nil {
 		t.Error("missing paths accepted")
 	}
 	origPath, _ := writePair(t)
-	if err := run(&buf, origPath, filepath.Join(t.TempDir(), "nope.txt"), 0, 0, 0, 1); err == nil {
+	if err := run(&buf, origPath, filepath.Join(t.TempDir(), "nope.txt"), 0, 0, 0, 1, nil); err == nil {
 		t.Error("missing reduced file accepted")
 	}
 }
@@ -91,7 +91,7 @@ func TestRunRejectsForeignNodes(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, origPath, redPath, 0, 0, 0, 1); err == nil {
+	if err := run(&buf, origPath, redPath, 0, 0, 0, 1, nil); err == nil {
 		t.Error("reduced graph with foreign nodes accepted")
 	}
 }

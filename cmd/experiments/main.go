@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"edgeshed/internal/experiments"
+	"edgeshed/internal/obs"
 )
 
 func main() {
@@ -32,14 +33,24 @@ func main() {
 		md      = flag.Bool("md", false, "render tables as GitHub-flavored Markdown")
 		workers = flag.Int("workers", 0, "worker goroutines for parallel kernels (0 = GOMAXPROCS); measured values are identical at any count")
 	)
+	cli := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(*runID, *list, *scale, *seed, *psFlag, *out, *skipUDS, *md, *workers); err != nil {
+	sess, err := cli.Start("experiments")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	runErr := run(*runID, *list, *scale, *seed, *psFlag, *out, *skipUDS, *md, *workers, sess)
+	if cerr := sess.Close(); runErr == nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(runID string, list bool, scale int, seed int64, psFlag, out string, skipUDS, md bool, workers int) error {
+func run(runID string, list bool, scale int, seed int64, psFlag, out string, skipUDS, md bool, workers int, sess *obs.Session) error {
 	if list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
@@ -72,10 +83,22 @@ func run(runID string, list bool, scale int, seed int64, psFlag, out string, ski
 	fmt.Fprintf(w, "# edgeshed experiments: run=%s scale=%d seed=%d ps=%v skip-uds=%v (%s)\n\n",
 		runID, scale, seed, cfg.PsOrDefault(), skipUDS, runtime.Version())
 
+	sess.SetSeed(seed)
+	sess.SetWorkers(workers)
+	root := sess.Root()
+	runOne := func(e experiments.Experiment) error {
+		sess.Logf("== running %s: %s", e.ID, e.Title)
+		var esp *obs.Span
+		if root.Enabled() {
+			esp = root.Start("exp:" + e.ID)
+		}
+		err := e.Run(cfg)
+		esp.End()
+		return err
+	}
 	if runID == "all" {
 		for _, e := range experiments.All() {
-			fmt.Fprintf(os.Stderr, "== running %s: %s\n", e.ID, e.Title)
-			if err := e.Run(cfg); err != nil {
+			if err := runOne(e); err != nil {
 				return fmt.Errorf("%s: %w", e.ID, err)
 			}
 		}
@@ -85,5 +108,5 @@ func run(runID string, list bool, scale int, seed int64, psFlag, out string, ski
 	if err != nil {
 		return err
 	}
-	return e.Run(cfg)
+	return runOne(e)
 }

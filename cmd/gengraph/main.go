@@ -15,6 +15,7 @@ import (
 	"edgeshed/internal/dataset"
 	"edgeshed/internal/graph"
 	"edgeshed/internal/graph/gen"
+	"edgeshed/internal/obs"
 )
 
 func main() {
@@ -29,53 +30,33 @@ func main() {
 		seed  = flag.Int64("seed", 1, "random seed")
 		out   = flag.String("out", "", "output file (default: stdout)")
 	)
+	cli := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(*ds, *scale, *model, *n, *m, *prob, *k, *seed, *out); err != nil {
+	sess, err := cli.Start("gengraph")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+	runErr := run(*ds, *scale, *model, *n, *m, *prob, *k, *seed, *out, sess)
+	if cerr := sess.Close(); runErr == nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(ds string, scale int, model string, n, m int, prob float64, k int, seed int64, out string) error {
-	var g *graph.Graph
-	switch {
-	case ds != "":
-		spec, err := dataset.ByName(ds)
-		if err != nil {
-			return err
-		}
-		g, err = spec.Build(scale, seed)
-		if err != nil {
-			return err
-		}
-	case model != "":
-		switch model {
-		case "ba":
-			g = gen.BarabasiAlbert(n, m, seed)
-		case "hk":
-			g = gen.HolmeKim(n, m, prob, seed)
-		case "er":
-			g = gen.ErdosRenyi(n, m, seed)
-		case "ws":
-			g = gen.WattsStrogatz(n, m, prob, seed)
-		case "sbm":
-			g = gen.PlantedPartition(k, n/k, prob, prob/20, seed)
-		case "powerlaw":
-			g = gen.ConfigurationModel(gen.PowerLawDegrees(n, 2.1, 1, n/20, seed), seed+1)
-		case "rmat":
-			// n is rounded up to the next power of two; m edges per node.
-			scale := 1
-			for 1<<scale < n {
-				scale++
-			}
-			g = gen.RMAT(scale, n*m, 0.57, 0.19, 0.19, seed)
-		default:
-			return fmt.Errorf("unknown model %q", model)
-		}
-	default:
-		return fmt.Errorf("one of -dataset or -model is required")
+func run(ds string, scale int, model string, n, m int, prob float64, k int, seed int64, out string, sess *obs.Session) error {
+	gensp := sess.Root().Start("generate")
+	g, err := generate(ds, scale, model, n, m, prob, k, seed)
+	gensp.End()
+	if err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "generated |V|=%d |E|=%d\n", g.NumNodes(), g.NumEdges())
+	sess.SetGraph(g.NumNodes(), g.NumEdges())
+	sess.SetSeed(seed)
+	sess.Logf("generated |V|=%d |E|=%d", g.NumNodes(), g.NumEdges())
 	w := os.Stdout
 	if out != "" {
 		f, err := os.Create(out)
@@ -85,5 +66,45 @@ func run(ds string, scale int, model string, n, m int, prob float64, k int, seed
 		defer f.Close()
 		w = f
 	}
+	write := sess.Root().Start("write")
+	defer write.End()
 	return graph.WriteEdgeList(w, g, nil)
+}
+
+// generate builds the requested graph from the catalog or a raw model.
+func generate(ds string, scale int, model string, n, m int, prob float64, k int, seed int64) (*graph.Graph, error) {
+	switch {
+	case ds != "":
+		spec, err := dataset.ByName(ds)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Build(scale, seed)
+	case model != "":
+		switch model {
+		case "ba":
+			return gen.BarabasiAlbert(n, m, seed), nil
+		case "hk":
+			return gen.HolmeKim(n, m, prob, seed), nil
+		case "er":
+			return gen.ErdosRenyi(n, m, seed), nil
+		case "ws":
+			return gen.WattsStrogatz(n, m, prob, seed), nil
+		case "sbm":
+			return gen.PlantedPartition(k, n/k, prob, prob/20, seed), nil
+		case "powerlaw":
+			return gen.ConfigurationModel(gen.PowerLawDegrees(n, 2.1, 1, n/20, seed), seed+1), nil
+		case "rmat":
+			// n is rounded up to the next power of two; m edges per node.
+			scale := 1
+			for 1<<scale < n {
+				scale++
+			}
+			return gen.RMAT(scale, n*m, 0.57, 0.19, 0.19, seed), nil
+		default:
+			return nil, fmt.Errorf("unknown model %q", model)
+		}
+	default:
+		return nil, fmt.Errorf("one of -dataset or -model is required")
+	}
 }

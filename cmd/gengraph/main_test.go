@@ -9,7 +9,7 @@ import (
 
 func TestRunDatasetMode(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "d.txt")
-	if err := run("ca-GrQc", 64, "", 0, 0, 0, 0, 1, out); err != nil {
+	if err := run("ca-GrQc", 64, "", 0, 0, 0, 0, 1, out, nil); err != nil {
 		t.Fatalf("dataset mode: %v", err)
 	}
 	g, _, err := graph.ReadEdgeListFile(out)
@@ -31,7 +31,7 @@ func TestRunModelModes(t *testing.T) {
 		if model == "ws" {
 			m = 4
 		}
-		if err := run("", 0, model, 100, m, 0.3, 4, 1, out); err != nil {
+		if err := run("", 0, model, 100, m, 0.3, 4, 1, out, nil); err != nil {
 			t.Fatalf("%s: %v", model, err)
 		}
 		g, _, err := graph.ReadEdgeListFile(out)
@@ -46,13 +46,13 @@ func TestRunModelModes(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "x.txt")
-	if err := run("", 0, "", 100, 3, 0.3, 4, 1, out); err == nil {
+	if err := run("", 0, "", 100, 3, 0.3, 4, 1, out, nil); err == nil {
 		t.Error("neither dataset nor model rejected")
 	}
-	if err := run("", 0, "bogus", 100, 3, 0.3, 4, 1, out); err == nil {
+	if err := run("", 0, "bogus", 100, 3, 0.3, 4, 1, out, nil); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if err := run("bogus", 8, "", 0, 0, 0, 0, 1, out); err == nil {
+	if err := run("bogus", 8, "", 0, 0, 0, 0, 1, out, nil); err == nil {
 		t.Error("unknown dataset accepted")
 	}
 }

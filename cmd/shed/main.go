@@ -6,10 +6,14 @@
 //
 // The input is a SNAP-style whitespace edge list ('#' comments allowed); the
 // output preserves the original node labels. Reduction statistics (edge
-// counts, Δ, the theorem bound) are printed to stderr.
+// counts, Δ, the theorem bound) are printed to stderr, and -stats-json
+// writes them machine-readable. The shared observability flags (-metrics,
+// -profile, -trace, -quiet, -v) capture a JSON run manifest, runtime
+// profiles and execution traces; see internal/obs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,63 +25,128 @@ import (
 	"edgeshed/internal/centrality"
 	"edgeshed/internal/core"
 	"edgeshed/internal/graph"
+	"edgeshed/internal/obs"
 	"edgeshed/internal/uds"
 )
 
+// shedOpts carries the command's flag values into run.
+type shedOpts struct {
+	in        string
+	out       string
+	method    string
+	ps        string
+	steps     int
+	samples   int
+	workers   int
+	seed      int64
+	statsJSON string
+}
+
 func main() {
-	var (
-		in      = flag.String("in", "", "input edge-list file (required)")
-		out     = flag.String("out", "", "output edge-list file (default: stdout); with multiple -p values a .pN.NN suffix is inserted")
-		method  = flag.String("method", "crr", "reduction method: crr, bm2, random, uds, forestfire, spanningforest, weighted")
-		pFlag   = flag.String("p", "0.5", "edge preservation ratio(s) in (0,1), comma-separated; CRR sweeps share one betweenness computation")
-		steps   = flag.Int("steps", 0, "CRR rewiring steps (0 = paper default [10*P], <0 = off)")
-		samples = flag.Int("samples", 0, "betweenness source samples (0 = exact)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "worker goroutines for the betweenness kernel and CRR multi-ratio sweeps (0 = GOMAXPROCS); output is identical at any count")
-	)
+	var opt shedOpts
+	flag.StringVar(&opt.in, "in", "", "input edge-list file (required)")
+	flag.StringVar(&opt.out, "out", "", "output edge-list file (default: stdout); with multiple -p values a .pN.NN suffix is inserted")
+	flag.StringVar(&opt.method, "method", "crr", "reduction method: crr, bm2, random, uds, forestfire, spanningforest, weighted")
+	flag.StringVar(&opt.ps, "p", "0.5", "edge preservation ratio(s) in (0,1), comma-separated; CRR sweeps share one betweenness computation")
+	flag.IntVar(&opt.steps, "steps", 0, "CRR rewiring steps (0 = paper default [10*P], <0 = off)")
+	flag.IntVar(&opt.samples, "samples", 0, "betweenness source samples (0 = exact)")
+	flag.Int64Var(&opt.seed, "seed", 1, "random seed")
+	flag.IntVar(&opt.workers, "workers", 0, "worker goroutines for the betweenness kernel and CRR multi-ratio sweeps (0 = GOMAXPROCS); output is identical at any count")
+	flag.StringVar(&opt.statsJSON, "stats-json", "", "write reduction statistics (edge counts, Δ, theorem bounds) as JSON to this file")
+	cli := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(*in, *out, *method, *pFlag, *steps, *samples, *workers, *seed); err != nil {
+	sess, err := cli.Start("shed")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "shed:", err)
+		os.Exit(1)
+	}
+	runErr := run(opt, sess)
+	if cerr := sess.Close(); runErr == nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "shed:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, method, pFlag string, steps, samples, workers int, seed int64) error {
-	if in == "" {
+// shedStats is the -stats-json document: the input graph's shape plus one
+// row per preservation ratio.
+type shedStats struct {
+	// Input is the input edge-list path.
+	Input string `json:"input"`
+	// Method is the reducer's name (e.g. "CRR").
+	Method string `json:"method"`
+	// Nodes and Edges are the input graph's size.
+	Nodes int `json:"nodes"`
+	// Edges is |E| of the input graph.
+	Edges int `json:"edges"`
+	// Seed is the run's random seed.
+	Seed int64 `json:"seed"`
+	// Rows holds one entry per requested ratio, aligned with -p order.
+	Rows []shedStatsRow `json:"rows"`
+}
+
+// shedStatsRow is one ratio's outcome in a shedStats document.
+type shedStatsRow struct {
+	// P is the requested preservation ratio.
+	P float64 `json:"p"`
+	// KeptEdges is |E'| of the reduction.
+	KeptEdges int `json:"kept_edges"`
+	// KeptFraction is |E'| / |E|.
+	KeptFraction float64 `json:"kept_fraction"`
+	// Delta is the total degree discrepancy Δ = Σ_u |dis(u)|.
+	Delta float64 `json:"delta"`
+	// AvgDisPerNode is Δ / |V|.
+	AvgDisPerNode float64 `json:"avg_dis_per_node"`
+	// BoundName names the theorem bound in Bound, when the method has one.
+	BoundName string `json:"bound_name,omitempty"`
+	// Bound is the theorem's bound on avg |dis| (CRR: Theorem 1, BM2:
+	// Theorem 2); 0 and absent for other methods.
+	Bound float64 `json:"bound,omitempty"`
+}
+
+func run(opt shedOpts, sess *obs.Session) error {
+	if opt.in == "" {
 		return fmt.Errorf("-in is required")
 	}
-	ps, err := parsePs(pFlag)
+	ps, err := parsePs(opt.ps)
 	if err != nil {
 		return err
 	}
-	g, rm, err := graph.LoadFile(in)
+	load := sess.Root().Start("load")
+	g, rm, err := graph.LoadFile(opt.in)
+	load.End()
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "loaded %s: |V|=%d |E|=%d\n", in, g.NumNodes(), g.NumEdges())
+	sess.SetGraph(g.NumNodes(), g.NumEdges())
+	sess.SetSeed(opt.seed)
+	sess.SetWorkers(opt.workers)
+	sess.Logf("loaded %s: |V|=%d |E|=%d", opt.in, g.NumNodes(), g.NumEdges())
 
 	var reducer core.Reducer
-	bopt := centrality.Options{Samples: samples, Seed: seed + 1, Workers: workers}
-	switch strings.ToLower(method) {
+	bopt := centrality.Options{Samples: opt.samples, Seed: opt.seed + 1, Workers: opt.workers}
+	switch strings.ToLower(opt.method) {
 	case "crr":
-		reducer = core.CRR{Seed: seed, Steps: steps, Betweenness: bopt, Workers: workers}
+		reducer = core.CRR{Seed: opt.seed, Steps: opt.steps, Betweenness: bopt, Workers: opt.workers, Obs: sess.Root()}
 	case "bm2":
-		reducer = core.BM2{}
+		reducer = core.BM2{Obs: sess.Root()}
 	case "random":
-		reducer = core.Random{Seed: seed}
+		reducer = core.Random{Seed: opt.seed}
 	case "forestfire":
-		reducer = core.ForestFire{Seed: seed}
+		reducer = core.ForestFire{Seed: opt.seed}
 	case "spanningforest":
-		reducer = core.SpanningForest{Seed: seed}
+		reducer = core.SpanningForest{Seed: opt.seed}
 	case "weighted":
-		reducer = core.WeightedSample{Seed: seed}
+		reducer = core.WeightedSample{Seed: opt.seed}
 	case "uds":
 		reducer = uds.Reducer{
-			Summarizer: uds.Summarizer{Betweenness: bopt, Seed: seed},
-			ExpandSeed: seed + 2,
+			Summarizer: uds.Summarizer{Betweenness: bopt, Seed: opt.seed},
+			ExpandSeed: opt.seed + 2,
 		}
 	default:
-		return fmt.Errorf("unknown method %q (want crr, bm2, random, uds, forestfire, spanningforest or weighted)", method)
+		return fmt.Errorf("unknown method %q (want crr, bm2, random, uds, forestfire, spanningforest or weighted)", opt.method)
 	}
 
 	// Reduce at every requested ratio; CRR shares its Phase 1 betweenness
@@ -100,31 +169,62 @@ func run(in, out, method, pFlag string, steps, samples, workers int, seed int64)
 	}
 	dur := time.Since(start)
 
+	stats := &shedStats{
+		Input:  opt.in,
+		Method: reducer.Name(),
+		Nodes:  g.NumNodes(),
+		Edges:  g.NumEdges(),
+		Seed:   opt.seed,
+	}
+	write := sess.Root().Start("write")
 	for i, res := range results {
 		p := ps[i]
-		fmt.Fprintf(os.Stderr, "%s p=%.3f: |E'|=%d (%.1f%% of |E|), Δ=%.3f, avg |dis|=%.4f\n",
-			reducer.Name(), p, res.Reduced.NumEdges(),
-			100*float64(res.Reduced.NumEdges())/float64(g.NumEdges()),
-			res.Delta(), res.AvgDisPerNode())
+		row := shedStatsRow{
+			P:             p,
+			KeptEdges:     res.Reduced.NumEdges(),
+			KeptFraction:  float64(res.Reduced.NumEdges()) / float64(g.NumEdges()),
+			Delta:         res.Delta(),
+			AvgDisPerNode: res.AvgDisPerNode(),
+		}
+		sess.Logf("%s p=%.3f: |E'|=%d (%.1f%% of |E|), Δ=%.3f, avg |dis|=%.4f",
+			reducer.Name(), p, row.KeptEdges, 100*row.KeptFraction, row.Delta, row.AvgDisPerNode)
 		switch reducer.Name() {
 		case "CRR":
-			fmt.Fprintf(os.Stderr, "Theorem 1 bound on avg |dis|: %.4f\n", core.CRRBound(g, p))
+			row.BoundName, row.Bound = "theorem1", core.CRRBound(g, p)
+			sess.Logf("Theorem 1 bound on avg |dis|: %.4f", row.Bound)
 		case "BM2":
-			fmt.Fprintf(os.Stderr, "Theorem 2 bound on avg |dis|: %.4f\n", core.BM2Bound(g, p))
+			row.BoundName, row.Bound = "theorem2", core.BM2Bound(g, p)
+			sess.Logf("Theorem 2 bound on avg |dis|: %.4f", row.Bound)
 		}
+		stats.Rows = append(stats.Rows, row)
 		switch {
-		case out == "":
+		case opt.out == "":
 			if err := graph.WriteEdgeList(os.Stdout, res.Reduced, rm); err != nil {
 				return err
 			}
 		default:
-			if err := graph.SaveFile(outPath(out, p, len(ps) > 1), res.Reduced, rm); err != nil {
+			if err := graph.SaveFile(outPath(opt.out, p, len(ps) > 1), res.Reduced, rm); err != nil {
 				return err
 			}
 		}
 	}
-	fmt.Fprintf(os.Stderr, "total time: %s\n", dur)
+	write.End()
+	if opt.statsJSON != "" {
+		if err := writeStats(opt.statsJSON, stats); err != nil {
+			return err
+		}
+	}
+	sess.Logf("total time: %s", dur)
 	return nil
+}
+
+// writeStats marshals the stats document to path, newline-terminated.
+func writeStats(path string, stats *shedStats) error {
+	data, err := json.MarshalIndent(stats, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshaling -stats-json: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // parsePs parses one or more comma-separated preservation ratios.

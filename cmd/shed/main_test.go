@@ -1,12 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"math"
+	"os"
 	"path/filepath"
 	"testing"
 
 	"edgeshed/internal/graph"
 	"edgeshed/internal/graph/gen"
+	"edgeshed/internal/obs"
 )
 
 func writeTestGraph(t *testing.T) (string, *graph.Graph) {
@@ -23,7 +27,7 @@ func TestRunAllMethods(t *testing.T) {
 	in, g := writeTestGraph(t)
 	for _, method := range []string{"crr", "bm2", "random", "uds", "forestfire", "spanningforest", "weighted"} {
 		out := filepath.Join(t.TempDir(), method+".txt")
-		if err := run(in, out, method, "0.5", 0, 0, 0, 1); err != nil {
+		if err := run(shedOpts{in: in, out: out, method: method, ps: "0.5", seed: 1}, nil); err != nil {
 			t.Fatalf("%s: %v", method, err)
 		}
 		red, _, err := graph.ReadEdgeListFile(out)
@@ -48,11 +52,11 @@ func TestRunMethodOptions(t *testing.T) {
 	in, _ := writeTestGraph(t)
 	out := filepath.Join(t.TempDir(), "r.txt")
 	// Sampled betweenness and explicit steps for CRR.
-	if err := run(in, out, "crr", "0.4", 50, 20, 2, 3); err != nil {
+	if err := run(shedOpts{in: in, out: out, method: "crr", ps: "0.4", steps: 50, samples: 20, workers: 2, seed: 3}, nil); err != nil {
 		t.Fatalf("crr with options: %v", err)
 	}
 	// Method name matching is case-insensitive.
-	if err := run(in, out, "BM2", "0.4", 0, 0, 0, 3); err != nil {
+	if err := run(shedOpts{in: in, out: out, method: "BM2", ps: "0.4", seed: 3}, nil); err != nil {
 		t.Fatalf("case-insensitive method: %v", err)
 	}
 }
@@ -60,7 +64,7 @@ func TestRunMethodOptions(t *testing.T) {
 func TestRunSweep(t *testing.T) {
 	in, g := writeTestGraph(t)
 	out := filepath.Join(t.TempDir(), "sweep.txt")
-	if err := run(in, out, "crr", "0.8,0.4", 0, 0, 3, 1); err != nil {
+	if err := run(shedOpts{in: in, out: out, method: "crr", ps: "0.8,0.4", workers: 3, seed: 1}, nil); err != nil {
 		t.Fatalf("sweep: %v", err)
 	}
 	for _, p := range []string{"0.80", "0.40"} {
@@ -75,9 +79,107 @@ func TestRunSweep(t *testing.T) {
 	}
 }
 
+func TestRunWritesManifest(t *testing.T) {
+	in, g := writeTestGraph(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "r.txt")
+	manifest := filepath.Join(dir, "run.json")
+
+	// Drive the real flag path end to end: a fresh FlagSet with the shared
+	// obs flags, parsed as a user would pass them.
+	fs := flag.NewFlagSet("shed", flag.ContinueOnError)
+	cli := obs.BindFlags(fs)
+	if err := fs.Parse([]string{"-metrics", manifest, "-quiet"}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := cli.Start("shed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := run(shedOpts{in: in, out: out, method: "crr", ps: "0.5", steps: 50, workers: 2, seed: 1}, sess)
+	if cerr := sess.Close(); runErr == nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+
+	m, err := obs.ReadManifest(manifest)
+	if err != nil {
+		t.Fatalf("reading manifest: %v", err)
+	}
+	if m.Command != "shed" {
+		t.Errorf("command = %q, want shed", m.Command)
+	}
+	if m.Graph == nil || m.Graph.Nodes != g.NumNodes() || m.Graph.Edges != g.NumEdges() {
+		t.Errorf("graph info = %+v, want |V|=%d |E|=%d", m.Graph, g.NumNodes(), g.NumEdges())
+	}
+	if m.Seed != 1 || m.Workers != 2 {
+		t.Errorf("seed=%d workers=%d, want 1 and 2", m.Seed, m.Workers)
+	}
+	if m.Spans == nil || len(m.Spans.Children) == 0 {
+		t.Fatalf("manifest has no span tree: %+v", m.Spans)
+	}
+	names := map[string]bool{}
+	for _, c := range m.Spans.Children {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"load", "crr.reduce", "write"} {
+		if !names[want] {
+			t.Errorf("span %q missing from manifest (have %v)", want, names)
+		}
+	}
+	if m.Counters["betweenness.sources_done"] == 0 || m.Counters["crr.rewire.attempts"] == 0 {
+		t.Errorf("kernel counters missing from manifest: %v", m.Counters)
+	}
+	if m.Mem == nil || len(m.RuntimeMetrics) == 0 {
+		t.Errorf("mem/runtime metrics missing: mem=%+v metrics=%v", m.Mem, m.RuntimeMetrics)
+	}
+}
+
+func TestRunStatsJSON(t *testing.T) {
+	in, g := writeTestGraph(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "r.txt")
+	statsPath := filepath.Join(dir, "stats.json")
+	if err := run(shedOpts{in: in, out: out, method: "crr", ps: "0.6,0.3", seed: 1, statsJSON: statsPath}, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats shedStats
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatalf("parsing -stats-json: %v", err)
+	}
+	if stats.Method != "CRR" || stats.Nodes != g.NumNodes() || stats.Edges != g.NumEdges() {
+		t.Errorf("header = %+v, want CRR over |V|=%d |E|=%d", stats, g.NumNodes(), g.NumEdges())
+	}
+	if len(stats.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(stats.Rows))
+	}
+	for i, p := range []float64{0.6, 0.3} {
+		row := stats.Rows[i]
+		if row.P != p {
+			t.Errorf("row %d: p = %v, want %v", i, row.P, p)
+		}
+		want := int(math.Round(p * float64(g.NumEdges())))
+		if row.KeptEdges != want {
+			t.Errorf("p=%v: kept_edges = %d, want %d", p, row.KeptEdges, want)
+		}
+		if row.BoundName != "theorem1" || row.Bound <= 0 {
+			t.Errorf("p=%v: bound %q=%v, want positive theorem1", p, row.BoundName, row.Bound)
+		}
+		if row.AvgDisPerNode > row.Bound {
+			t.Errorf("p=%v: avg |dis| %v exceeds Theorem 1 bound %v", p, row.AvgDisPerNode, row.Bound)
+		}
+	}
+}
+
 func TestRunBadPList(t *testing.T) {
 	in, _ := writeTestGraph(t)
-	if err := run(in, "", "crr", "0.5,abc", 0, 0, 0, 1); err == nil {
+	if err := run(shedOpts{in: in, method: "crr", ps: "0.5,abc", seed: 1}, nil); err == nil {
 		t.Error("malformed -p list accepted")
 	}
 }
@@ -85,16 +187,16 @@ func TestRunBadPList(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	in, _ := writeTestGraph(t)
 	out := filepath.Join(t.TempDir(), "r.txt")
-	if err := run("", out, "crr", "0.5", 0, 0, 0, 1); err == nil {
+	if err := run(shedOpts{out: out, method: "crr", ps: "0.5", seed: 1}, nil); err == nil {
 		t.Error("missing -in accepted")
 	}
-	if err := run(in, out, "bogus", "0.5", 0, 0, 0, 1); err == nil {
+	if err := run(shedOpts{in: in, out: out, method: "bogus", ps: "0.5", seed: 1}, nil); err == nil {
 		t.Error("unknown method accepted")
 	}
-	if err := run(in, out, "crr", "1.5", 0, 0, 0, 1); err == nil {
+	if err := run(shedOpts{in: in, out: out, method: "crr", ps: "1.5", seed: 1}, nil); err == nil {
 		t.Error("p > 1 accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "nope.txt"), out, "crr", "0.5", 0, 0, 0, 1); err == nil {
+	if err := run(shedOpts{in: filepath.Join(t.TempDir(), "nope.txt"), out: out, method: "crr", ps: "0.5", seed: 1}, nil); err == nil {
 		t.Error("missing input file accepted")
 	}
 }

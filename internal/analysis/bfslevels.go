@@ -36,6 +36,12 @@ type levelBFS struct {
 	pairs int64
 	// diameter is the largest distance observed by this worker.
 	diameter int
+	// topDown, bottomUp and switches count, across every source this worker
+	// has processed, the levels expanded in each direction and the flips
+	// between them (each traversal starts top-down). They are plain local
+	// tallies — folded into observability counters only when a caller asks —
+	// so counting them never perturbs the traversal.
+	topDown, bottomUp, switches int64
 }
 
 // newLevelBFS returns scratch sized for an n-node graph.
@@ -81,11 +87,14 @@ func (st *levelBFS) run(c *graph.CSR, src graph.NodeID) {
 		if !bottomUp {
 			if scoutSlots > remSlots/bfsAlpha {
 				bottomUp = true
+				st.switches++
 			}
 		} else if len(frontier) < n/bfsBeta {
 			bottomUp = false
+			st.switches++
 		}
 		if bottomUp {
+			st.bottomUp++
 			// Bottom-up: every unvisited node probes its adjacency for a
 			// parent at distance d-1 and stops at the first hit. Nodes
 			// claimed earlier in this same pass get distance d, which can
@@ -140,6 +149,7 @@ func (st *levelBFS) run(c *graph.CSR, src graph.NodeID) {
 				st.unvisited = live
 			}
 		} else {
+			st.topDown++
 			for _, v := range frontier {
 				for _, w := range targets[offsets[v]:offsets[v+1]] {
 					if dist[w] < 0 {

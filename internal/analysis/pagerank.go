@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"edgeshed/internal/graph"
+	"edgeshed/internal/obs"
 	"edgeshed/internal/par"
 )
 
@@ -26,6 +27,11 @@ type PageRankOptions struct {
 	// fixed order and the dangling mass is summed serially, so the vector
 	// is bit-identical at any worker count.
 	Workers int
+	// Obs is the parent observability span; nil (the zero value) records
+	// nothing at no cost. When set, the kernel reports a "pagerank" span and
+	// a "pagerank.iterations" counter. The vector stays bit-identical with
+	// Obs on or off, at any worker count.
+	Obs *obs.Span
 }
 
 // damping resolves the damping factor; values outside (0, 1) mean 0.85.
@@ -65,6 +71,9 @@ func PageRank(g *graph.Graph, opt PageRankOptions) []float64 {
 	d := opt.damping()
 	iters := opt.iterations()
 	workers := par.Workers(opt.Workers, n)
+	sp := opt.Obs.Start("pagerank")
+	defer sp.End()
+	sp.Counter("pagerank.iterations").Add(int64(iters))
 
 	pr := make([]float64, n)
 	next := make([]float64, n)

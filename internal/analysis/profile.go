@@ -1,7 +1,10 @@
 package analysis
 
 import (
+	"time"
+
 	"edgeshed/internal/graph"
+	"edgeshed/internal/obs"
 	"edgeshed/internal/par"
 )
 
@@ -35,6 +38,12 @@ type ProfileOptions struct {
 	// scaled once at the end — so the profile is bit-identical at any
 	// worker count.
 	Workers int
+	// Obs is the parent observability span; nil (the zero value) records
+	// nothing at no cost. When set, the kernel reports a "distance_profile"
+	// span with per-worker busy time plus counters for sources completed and
+	// the direction-optimizing BFS's level/switch tallies. The profile stays
+	// bit-identical with Obs on or off, at any worker count.
+	Obs *obs.Span
 }
 
 // sources resolves the BFS source set and the pair-count scale factor.
@@ -61,13 +70,32 @@ func NewDistanceProfile(g *graph.Graph, opt ProfileOptions) *DistanceProfile {
 	}
 	c := g.CSR()
 	workers := par.Workers(opt.Workers, len(srcs))
+	sp := opt.Obs.Start("distance_profile")
+	defer sp.End()
+	srcCtr := sp.Counter("bfs.sources_done")
+	tdCtr := sp.Counter("bfs.topdown_levels")
+	buCtr := sp.Counter("bfs.bottomup_levels")
+	swCtr := sp.Counter("bfs.direction_switches")
 	states := make([]*levelBFS, workers)
 	par.Run(workers, func(w int) {
+		var t0 time.Time
+		if sp.Enabled() {
+			t0 = time.Now()
+		}
 		st := newLevelBFS(n)
+		var done int64
 		for i := w; i < len(srcs); i += workers {
 			st.run(c, srcs[i])
+			done++
 		}
 		states[w] = st
+		if sp.Enabled() {
+			srcCtr.AddAt(w, done)
+			tdCtr.AddAt(w, st.topDown)
+			buCtr.AddAt(w, st.bottomUp)
+			swCtr.AddAt(w, st.switches)
+			sp.WorkerBusy(w, time.Since(t0))
+		}
 	})
 	var counts []int64
 	var pairs int64

@@ -17,8 +17,10 @@ package centrality
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"edgeshed/internal/graph"
+	"edgeshed/internal/obs"
 	"edgeshed/internal/par"
 )
 
@@ -39,6 +41,12 @@ type Options struct {
 	Workers int
 	// Seed drives source sampling; ignored when exact.
 	Seed int64
+	// Obs is the parent observability span; nil (the zero value) records
+	// nothing at no cost. When set, the kernel reports a "betweenness" span
+	// with per-worker busy time and a "betweenness.sources_done" counter.
+	// Instrumentation never alters the scores: they stay bit-identical with
+	// Obs on or off, at any worker count.
+	Obs *obs.Span
 }
 
 // samples resolves the sample count; negative means 0 (exact).
@@ -290,11 +298,19 @@ func both(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([]float64, []
 		shards = len(srcs)
 	}
 	workers := par.Workers(opt.Workers, shards)
+	sp := opt.Obs.Start("betweenness")
+	defer sp.End()
+	srcCtr := sp.Counter("betweenness.sources_done")
 	type partial struct {
 		nodes, edges []float64
 	}
 	parts := make([]partial, shards)
 	par.Run(workers, func(w int) {
+		var t0 time.Time
+		if sp.Enabled() {
+			t0 = time.Now()
+		}
+		var done int64
 		st := newBrandesState(c)
 		for s := w; s < shards; s += workers {
 			var nodeAcc, edgeAcc []float64
@@ -306,8 +322,13 @@ func both(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([]float64, []
 			}
 			for i := s; i < len(srcs); i += shards {
 				st.run(c, srcs[i], nodeAcc, edgeAcc)
+				done++
 			}
 			parts[s] = partial{nodes: nodeAcc, edges: edgeAcc}
+		}
+		if sp.Enabled() {
+			srcCtr.AddAt(w, done)
+			sp.WorkerBusy(w, time.Since(t0))
 		}
 	})
 

@@ -1,6 +1,8 @@
 package centrality
 
 import (
+	"time"
+
 	"edgeshed/internal/graph"
 	"edgeshed/internal/par"
 )
@@ -14,7 +16,9 @@ import (
 // computation runs one BFS per node, source-strided across workers; each
 // node's score is written independently, so the result is bit-identical at
 // any worker count. opt's Samples field is ignored (closeness has no
-// per-source decomposition), but Workers applies.
+// per-source decomposition), but Workers applies, and Obs — when set —
+// reports a "closeness" span with per-worker busy time and a
+// "closeness.sources_done" counter.
 func Closeness(g *graph.Graph, opt Options) []float64 {
 	n := g.NumNodes()
 	scores := make([]float64, n)
@@ -22,7 +26,15 @@ func Closeness(g *graph.Graph, opt Options) []float64 {
 		return scores
 	}
 	workers := par.Workers(opt.Workers, n)
+	sp := opt.Obs.Start("closeness")
+	defer sp.End()
+	srcCtr := sp.Counter("closeness.sources_done")
 	par.Run(workers, func(w int) {
+		var t0 time.Time
+		if sp.Enabled() {
+			t0 = time.Now()
+		}
+		var done int64
 		dist := make([]int32, n)
 		for i := range dist {
 			dist[i] = -1
@@ -52,6 +64,11 @@ func Closeness(g *graph.Graph, opt Options) []float64 {
 			for _, v := range queue {
 				dist[v] = -1
 			}
+			done++
+		}
+		if sp.Enabled() {
+			srcCtr.AddAt(w, done)
+			sp.WorkerBusy(w, time.Since(t0))
 		}
 	})
 	return scores

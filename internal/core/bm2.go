@@ -5,6 +5,7 @@ import (
 
 	"edgeshed/internal/graph"
 	"edgeshed/internal/matching"
+	"edgeshed/internal/obs"
 )
 
 // Rounding selects how BM2 turns fractional expected degrees into integer
@@ -58,6 +59,12 @@ type BM2 struct {
 	// Order is the edge scan order for Phase 1's greedy b-matching; the zero
 	// value is the paper's input-order scan.
 	Order matching.EdgeOrder
+	// Obs is the parent observability span; nil (the zero value) records
+	// nothing at no cost. When set, Reduce reports a "bm2.reduce" span with
+	// "bm2.bmatching" and "bm2.bipartite" children plus FlatPQ operation
+	// counters. Instrumentation never touches the heap dynamics, so the
+	// selected edge set stays bit-identical with Obs on or off.
+	Obs *obs.Span
 }
 
 // Name implements Reducer.
@@ -69,14 +76,18 @@ func (b BM2) Reduce(g *graph.Graph, p float64) (*Result, error) {
 		return nil, err
 	}
 	n := g.NumNodes()
+	sp := b.Obs.Start("bm2.reduce")
+	defer sp.End()
 
 	// Phase 1 (Algorithm 2 lines 1-7): rounded capacities, greedy maximal
 	// b-matching.
+	phase1 := sp.Start("bm2.bmatching")
 	caps := make([]int, n)
 	for u := 0; u < n; u++ {
 		caps[u] = b.Rounding.apply(p * float64(g.Degree(graph.NodeID(u))))
 	}
 	bm, err := matching.GreedyBMatching(g, caps, b.Order)
+	phase1.End()
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +113,11 @@ func (b BM2) Reduce(g *graph.Graph, p float64) (*Result, error) {
 	gain := func(a, bb graph.NodeID) float64 {
 		return math.Abs(dis[a]) + 2*math.Abs(dis[bb]) - math.Abs(dis[a]+1) - 1
 	}
+	phase2 := sp.Start("bm2.bipartite")
 	var q matching.FlatPQ
+	if phase2.Enabled() {
+		q.Stats = new(matching.PQStats)
+	}
 	bpA := make([]graph.NodeID, g.NumEdges())
 	bpB := make([]graph.NodeID, g.NumEdges())
 	adjA := make([][]int32, n)
@@ -177,5 +192,12 @@ func (b BM2) Reduce(g *graph.Graph, p float64) (*Result, error) {
 			adjA[a] = nil
 		}
 	}
+	if q.Stats != nil {
+		phase2.Counter("flatpq.pushes").Add(q.Stats.Pushes)
+		phase2.Counter("flatpq.pops").Add(q.Stats.Pops)
+		phase2.Counter("flatpq.updates").Add(q.Stats.Updates)
+		phase2.Counter("flatpq.removes").Add(q.Stats.Removes)
+	}
+	phase2.End()
 	return newResultIDs(g, p, selected)
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"edgeshed/internal/centrality"
 	"edgeshed/internal/graph"
+	"edgeshed/internal/obs"
 	"edgeshed/internal/par"
 )
 
@@ -78,6 +80,14 @@ type CRR struct {
 	// bit-identical at any worker count: each ratio's rng stream is derived
 	// independently via sweepSeed, so the points never share mutable state.
 	Workers int
+	// Obs is the parent observability span; nil (the zero value) records
+	// nothing at no cost. When set, Reduce reports a "crr.reduce" span with
+	// "crr.phase1.rank" and "crr.phase2.rewire" children plus rewiring
+	// attempt/accept counters, and Sweep wraps the points in a "crr.sweep"
+	// span with per-worker busy time. Instrumentation never feeds back into
+	// the rng streams or the swap decisions, so results stay bit-identical
+	// with Obs on or off, at any worker count.
+	Obs *obs.Span
 }
 
 // adaptiveWindow is the trailing-attempt window for AdaptiveStop.
@@ -103,7 +113,7 @@ func (c CRR) steps(tgt int) int {
 
 // Reduce implements Reducer.
 func (c CRR) Reduce(g *graph.Graph, p float64) (*Result, error) {
-	return c.reduce(g, p, nil, c.Seed)
+	return c.reduce(g, p, nil, c.Seed, c.Obs)
 }
 
 // Sweep reduces g at every ratio in ps, computing the Phase 1 edge
@@ -124,7 +134,9 @@ func (c CRR) Sweep(g *graph.Graph, ps []float64) ([]*Result, error) {
 			return nil, err
 		}
 	}
-	scores := c.edgeImportance(g)
+	sp := c.Obs.Start("crr.sweep")
+	defer sp.End()
+	scores := c.edgeImportance(g, sp)
 	// Build the shared read-only views before the fan-out: CSR construction
 	// is cached behind a sync.Once, but forcing it here keeps the workers'
 	// critical path free of the one-time build.
@@ -133,8 +145,15 @@ func (c CRR) Sweep(g *graph.Graph, ps []float64) ([]*Result, error) {
 	errs := make([]error, len(ps))
 	workers := par.Workers(c.Workers, len(ps))
 	par.Run(workers, func(w int) {
+		var t0 time.Time
+		if sp.Enabled() {
+			t0 = time.Now()
+		}
 		for i := w; i < len(ps); i += workers {
-			out[i], errs[i] = c.reduce(g, ps[i], scores, sweepSeed(c.Seed, i))
+			out[i], errs[i] = c.reduce(g, ps[i], scores, sweepSeed(c.Seed, i), sp)
+		}
+		if sp.Enabled() {
+			sp.WorkerBusy(w, time.Since(t0))
 		}
 	})
 	for _, err := range errs {
@@ -155,17 +174,21 @@ func sweepSeed(seed int64, i int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
-// reduce runs CRR with optionally precomputed Phase 1 scores and an explicit
-// rng seed (c.Seed for single runs, a per-ratio derivation for sweeps).
+// reduce runs CRR with optionally precomputed Phase 1 scores, an explicit
+// rng seed (c.Seed for single runs, a per-ratio derivation for sweeps), and
+// an explicit parent span (c.Obs for single runs, the sweep span for sweeps;
+// nil is free).
 //
 // The whole pipeline is edge-id native: Phase 1 ranks int32 edge ids, Phase 2
 // swaps ids across the kept boundary and reads endpoints from the CSR view's
 // EdgeU/EdgeV arrays, and edges materialize as graph.Edge values only when
 // the Result is assembled. No step hashes an edge or touches a map.
-func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64) (*Result, error) {
+func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64, parent *obs.Span) (*Result, error) {
 	if err := checkP(p); err != nil {
 		return nil, err
 	}
+	sp := parent.Start("crr.reduce")
+	defer sp.End()
 	tgt := targetEdges(g, p)
 	m := g.NumEdges()
 	if tgt >= m {
@@ -176,13 +199,15 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64) (*R
 	// [P]. The splitmix64 tiebreak inside rankEdges realizes the paper's
 	// random selection among equal-importance edges without consuming the
 	// Phase 2 rng stream.
+	rank := sp.Start("crr.phase1.rank")
 	if scores == nil {
-		scores = c.edgeImportance(g)
+		scores = c.edgeImportance(g, rank)
 	}
 	// kept[:tgt] is E', kept[tgt:] is E \ E'. Swaps exchange positions
 	// across the boundary, keeping |E'| = [P] invariant (the paper's
 	// expected-average-degree guarantee).
 	kept := rankEdges(scores, seed)
+	rank.End()
 
 	csr := g.CSR()
 	eu, ev := csr.EdgeU, csr.EdgeV
@@ -208,10 +233,16 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64) (*R
 	// share an endpoint it evaluates the true Δ change, which the paper's
 	// independent formulas slightly misstate.
 	if tgt > 0 && tgt < m {
+		rw := sp.Start("crr.phase2.rewire")
 		rng := rand.New(rand.NewSource(seed))
 		steps := c.steps(tgt)
 		accepted, window := 0, 0
+		// attempts/acceptedTotal are plain local tallies (accepted resets per
+		// AdaptiveStop window, so it cannot serve as the run total); they fold
+		// into observability counters only after the loop, when enabled.
+		attempts, acceptedTotal := 0, 0
 		for i := 0; i < steps; i++ {
+			attempts++
 			ki := rng.Intn(tgt)         // e1 ∈ E'
 			si := tgt + rng.Intn(m-tgt) // e2 ∈ E \ E'
 			e1, e2 := kept[ki], kept[si]
@@ -241,6 +272,7 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64) (*R
 				degKept[eu[e2]]++
 				degKept[ev[e2]]++
 				accepted++
+				acceptedTotal++
 			}
 			if c.AdaptiveStop > 0 {
 				window++
@@ -252,13 +284,19 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64) (*R
 				}
 			}
 		}
+		if rw.Enabled() {
+			rw.Counter("crr.rewire.attempts").Add(int64(attempts))
+			rw.Counter("crr.rewire.accepted").Add(int64(acceptedTotal))
+		}
+		rw.End()
 	}
 	return newResultIDs(g, p, kept[:tgt])
 }
 
 // edgeImportance computes the Phase 1 ranking scores, aligned with
-// g.Edges().
-func (c CRR) edgeImportance(g *graph.Graph) []float64 {
+// g.Edges(). The betweenness path nests its kernel span under sp (nil is
+// free).
+func (c CRR) edgeImportance(g *graph.Graph, sp *obs.Span) []float64 {
 	switch c.Importance {
 	case ImportanceDegreeProduct:
 		scores := make([]float64, g.NumEdges())
@@ -274,6 +312,7 @@ func (c CRR) edgeImportance(g *graph.Graph) []float64 {
 		if bopt.Seed == 0 {
 			bopt.Seed = c.Seed + 1
 		}
+		bopt.Obs = sp
 		return centrality.EdgeBetweennessScores(g, bopt)
 	}
 }

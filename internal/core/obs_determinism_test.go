@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+	"edgeshed/internal/obs"
+)
+
+// sameEdges reports whether two graphs hold exactly the same edge set, the
+// bit-identity criterion for a reducer's output.
+func sameEdges(t *testing.T, label string, a, b *graph.Graph) {
+	t.Helper()
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		t.Fatalf("%s: %d edges with obs, %d without", label, len(be), len(ae))
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("%s: edge %d differs: %v with obs, %v without", label, i, be[i], ae[i])
+		}
+	}
+}
+
+// TestCRRSweepBitIdenticalWithObs pins the instrumentation non-perturbation
+// guarantee for the CRR sweep: attaching a live recorder must not change a
+// single kept edge, at serial and parallel worker counts.
+func TestCRRSweepBitIdenticalWithObs(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 7)
+	ps := []float64{0.3, 0.5, 0.7}
+	for _, workers := range []int{1, 4} {
+		base := CRR{Seed: 3, Steps: 200, Workers: workers}
+		want, err := base.Sweep(g, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := obs.New("test")
+		c := base
+		c.Obs = rec.Root()
+		got, err := c.Sweep(g, ps)
+		rec.Root().End()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			sameEdges(t, "crr.sweep", want[i].Reduced, got[i].Reduced)
+		}
+		// The recorder must actually have observed the run: one crr.sweep
+		// span with a reduce child per ratio, plus rewiring counters.
+		tree := rec.SpanTree()
+		if len(tree.Children) != 1 || tree.Children[0].Name != "crr.sweep" {
+			t.Fatalf("workers=%d: span tree shape %+v", workers, tree)
+		}
+		reduces := 0
+		for _, c := range tree.Children[0].Children {
+			if c.Name == "crr.reduce" {
+				reduces++
+			}
+		}
+		if reduces != len(ps) {
+			t.Fatalf("workers=%d: %d crr.reduce spans, want %d", workers, reduces, len(ps))
+		}
+		vals := rec.CounterValues()
+		if vals["crr.rewire.attempts"] == 0 {
+			t.Fatalf("workers=%d: rewiring counters missing: %v", workers, vals)
+		}
+	}
+}
+
+// TestBM2BitIdenticalWithObs pins the same guarantee for BM2.Reduce: the
+// FlatPQ operation counters must not disturb the heap dynamics that pick the
+// kept edge set.
+func TestBM2BitIdenticalWithObs(t *testing.T) {
+	g := gen.PlantedPartition(4, 50, 0.2, 0.02, 9)
+	for _, p := range []float64{0.3, 0.6} {
+		want, err := BM2{}.Reduce(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := obs.New("test")
+		got, err := BM2{Obs: rec.Root()}.Reduce(g, p)
+		rec.Root().End()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameEdges(t, "bm2.reduce", want.Reduced, got.Reduced)
+		vals := rec.CounterValues()
+		if vals["flatpq.pushes"] == 0 || vals["flatpq.pops"] == 0 {
+			t.Fatalf("p=%v: FlatPQ counters missing: %v", p, vals)
+		}
+	}
+}

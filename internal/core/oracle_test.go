@@ -38,7 +38,7 @@ func seedCRRPhase2(c CRR, g *graph.Graph, p float64, seed int64) (*Result, error
 	if tgt >= m {
 		return newResult(g, p, g.Edges())
 	}
-	scores := c.edgeImportance(g)
+	scores := c.edgeImportance(g, nil)
 	order := rankEdges(scores, seed)
 	all := g.Edges()
 	kept := make([]graph.Edge, m)
@@ -98,7 +98,7 @@ func seedCRRReduce(c CRR, g *graph.Graph, p float64) (*Result, error) {
 	if tgt >= m {
 		return newResult(g, p, g.Edges())
 	}
-	scores := c.edgeImportance(g)
+	scores := c.edgeImportance(g, nil)
 	order := rng.Perm(m)
 	sort.SliceStable(order, func(i, j int) bool {
 		return scores[order[i]] > scores[order[j]]

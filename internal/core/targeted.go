@@ -5,6 +5,7 @@ import (
 
 	"edgeshed/internal/centrality"
 	"edgeshed/internal/graph"
+	"edgeshed/internal/obs"
 )
 
 // TargetedCRR is an extension of CRR that replaces Phase 2's random swap
@@ -27,6 +28,11 @@ type TargetedCRR struct {
 	Betweenness centrality.Options
 	// Seed drives Phase 1 tie-breaking.
 	Seed int64
+	// Obs is the parent observability span; nil (the zero value) records
+	// nothing at no cost. When set, Reduce reports a "targeted.reduce" span
+	// and a "targeted.repair.rounds" counter; results stay bit-identical
+	// with Obs on or off.
+	Obs *obs.Span
 }
 
 // Name implements Reducer.
@@ -37,13 +43,15 @@ func (c TargetedCRR) Reduce(g *graph.Graph, p float64) (*Result, error) {
 	if err := checkP(p); err != nil {
 		return nil, err
 	}
+	sp := c.Obs.Start("targeted.reduce")
+	defer sp.End()
 	tgt := targetEdges(g, p)
 	m := g.NumEdges()
 	if tgt >= m {
 		return newResult(g, p, g.Edges())
 	}
 	// Phase 1: identical ranking to CRR.
-	scores := (CRR{Seed: c.Seed, Importance: c.Importance, Betweenness: c.Betweenness}).edgeImportance(g)
+	scores := (CRR{Seed: c.Seed, Importance: c.Importance, Betweenness: c.Betweenness}).edgeImportance(g, sp)
 	order := rankEdges(scores, c.Seed)
 	st := newTargetedState(g, p)
 	for i, id := range order {
@@ -55,10 +63,15 @@ func (c TargetedCRR) Reduce(g *graph.Graph, p float64) (*Result, error) {
 	if rounds <= 0 {
 		rounds = 4 * g.NumNodes()
 	}
+	done := 0
 	for i := 0; i < rounds; i++ {
 		if !st.repairOnce() {
 			break
 		}
+		done++
+	}
+	if sp.Enabled() {
+		sp.Counter("targeted.repair.rounds").Add(int64(done))
 	}
 	return newResultIDs(g, p, st.keptIDs())
 }

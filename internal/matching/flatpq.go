@@ -23,6 +23,25 @@ type FlatPQ struct {
 	heap []int32   // item ids in heap order
 	pos  []int32   // id -> heap position, -1 once detached
 	pri  []float64 // id -> current priority
+
+	// Stats, when non-nil, tallies the queue's operations. It never affects
+	// the heap dynamics — the popped-id order is identical with Stats set or
+	// nil — and the nil default costs one predictable branch per operation.
+	Stats *PQStats
+}
+
+// PQStats counts FlatPQ operations for observability. Attach one via the
+// Stats field before use; read the totals after the algorithm finishes.
+type PQStats struct {
+	// Pushes counts Push calls.
+	Pushes int64
+	// Pops counts successful Pop calls (an empty-queue Pop is not counted).
+	Pops int64
+	// Updates counts Update calls.
+	Updates int64
+	// Removes counts Remove calls that detached a queued id (no-op removes
+	// of already-detached ids are not counted).
+	Removes int64
 }
 
 // Len returns the number of queued items.
@@ -57,6 +76,9 @@ func (q *FlatPQ) Push(id int32, priority float64) {
 	q.pos[id] = int32(len(q.heap))
 	q.heap = append(q.heap, id)
 	q.up(len(q.heap) - 1)
+	if q.Stats != nil {
+		q.Stats.Pushes++
+	}
 }
 
 // Pop removes and returns the highest-priority id. ok is false when the
@@ -67,6 +89,9 @@ func (q *FlatPQ) Pop() (id int32, priority float64, ok bool) {
 	}
 	id = q.heap[0]
 	q.detach(0)
+	if q.Stats != nil {
+		q.Stats.Pops++
+	}
 	return id, q.pri[id], true
 }
 
@@ -83,6 +108,9 @@ func (q *FlatPQ) Update(id int32, priority float64) {
 	} else if priority < old {
 		q.down(int(q.pos[id]))
 	}
+	if q.Stats != nil {
+		q.Stats.Updates++
+	}
 }
 
 // Remove deletes a queued id. Removing an already-detached id is a no-op so
@@ -92,6 +120,9 @@ func (q *FlatPQ) Remove(id int32) {
 		return
 	}
 	q.detach(int(q.pos[id]))
+	if q.Stats != nil {
+		q.Stats.Removes++
+	}
 }
 
 // detach removes the item at heap position i and restores heap order,

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+	"time"
+)
+
+// CLI holds the shared observability flags every cmd binary registers
+// through BindFlags: capture hooks (-profile, -profile-out, -trace,
+// -metrics) and the stderr progress logger's verbosity (-quiet, -v).
+// After flag parsing, Start turns the requested captures on and returns
+// the run's Session.
+type CLI struct {
+	// Profile selects a runtime profile to capture: "cpu", "mem" or
+	// "block"; empty captures none.
+	Profile string
+	// ProfileOut is the profile output path; empty means "<mode>.pprof".
+	ProfileOut string
+	// TracePath, when non-empty, captures a runtime execution trace there.
+	TracePath string
+	// MetricsPath, when non-empty, writes the JSON run manifest there and
+	// enables the Recorder the kernels report spans and counters into.
+	MetricsPath string
+	// Quiet suppresses progress output on stderr.
+	Quiet bool
+	// Verbose enables extra progress output on stderr.
+	Verbose bool
+
+	fs *flag.FlagSet
+}
+
+// BindFlags registers the shared observability flags on fs and returns the
+// CLI that will receive their values. Call before fs is parsed.
+func BindFlags(fs *flag.FlagSet) *CLI {
+	c := &CLI{fs: fs}
+	fs.StringVar(&c.Profile, "profile", "", "capture a runtime profile: cpu, mem or block")
+	fs.StringVar(&c.ProfileOut, "profile-out", "", "profile output path (default <mode>.pprof)")
+	fs.StringVar(&c.TracePath, "trace", "", "capture a runtime execution trace to this file")
+	fs.StringVar(&c.MetricsPath, "metrics", "", "write a JSON run manifest to this file")
+	fs.BoolVar(&c.Quiet, "quiet", false, "suppress progress output on stderr")
+	fs.BoolVar(&c.Verbose, "v", false, "verbose progress output on stderr")
+	return c
+}
+
+// profilePath resolves the profile output path.
+func (c *CLI) profilePath() string {
+	if c.ProfileOut != "" {
+		return c.ProfileOut
+	}
+	return c.Profile + ".pprof"
+}
+
+// Start begins the run's observability session for the named command:
+// starts the CPU profile and execution trace if requested, arms block
+// profiling, snapshots memory, and — when a manifest was requested —
+// creates the Recorder whose root span times the whole run. Call exactly
+// once, after flag parsing; pair with Session.Close.
+func (c *CLI) Start(command string) (*Session, error) {
+	s := &Session{cli: c, command: command, startWall: time.Now()}
+	runtime.ReadMemStats(&s.memBefore)
+	switch c.Profile {
+	case "":
+	case "cpu":
+		f, err := os.Create(c.profilePath())
+		if err != nil {
+			return nil, fmt.Errorf("creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("starting cpu profile: %w", err)
+		}
+		s.cpuFile = f
+	case "mem":
+		// Heap profiling is always on; the profile is written at Close.
+	case "block":
+		runtime.SetBlockProfileRate(1)
+	default:
+		return nil, fmt.Errorf("unknown -profile mode %q (want cpu, mem or block)", c.Profile)
+	}
+	if c.TracePath != "" {
+		f, err := os.Create(c.TracePath)
+		if err != nil {
+			s.stopCaptures()
+			return nil, fmt.Errorf("creating trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			s.stopCaptures()
+			return nil, fmt.Errorf("starting trace: %w", err)
+		}
+		s.traceFile = f
+	}
+	if c.MetricsPath != "" {
+		s.rec = New(command)
+	}
+	return s, nil
+}
+
+// Session is one observed run of a cmd binary: the live Recorder (nil
+// unless -metrics asked for one — the zero-overhead-when-off switch), the
+// in-flight captures, and the manifest fields the command fills in as it
+// learns them (graph size, seed, workers). All methods are nil-safe so
+// helper functions can be exercised without a session.
+type Session struct {
+	cli       *CLI
+	command   string
+	rec       *Recorder
+	startWall time.Time
+	memBefore runtime.MemStats
+
+	cpuFile   *os.File
+	traceFile *os.File
+
+	graph   *GraphInfo
+	seed    int64
+	workers int
+}
+
+// Recorder returns the session's recorder — nil unless -metrics enabled
+// it, which is exactly the nil kernels should receive so disabled runs pay
+// nothing.
+func (s *Session) Recorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.rec
+}
+
+// Root returns the session's root span (nil when recording is off), the
+// parent to thread into kernels.
+func (s *Session) Root() *Span {
+	if s == nil {
+		return nil
+	}
+	return s.rec.Root()
+}
+
+// SetGraph records the input graph's size for the manifest.
+func (s *Session) SetGraph(nodes, edges int) {
+	if s == nil {
+		return
+	}
+	s.graph = &GraphInfo{Nodes: nodes, Edges: edges}
+}
+
+// SetSeed records the run's random seed for the manifest.
+func (s *Session) SetSeed(seed int64) {
+	if s == nil {
+		return
+	}
+	s.seed = seed
+}
+
+// SetWorkers records the run's requested worker count for the manifest.
+func (s *Session) SetWorkers(workers int) {
+	if s == nil {
+		return
+	}
+	s.workers = workers
+}
+
+// Logf prints one progress line to stderr unless -quiet. Progress always
+// goes to stderr, never stdout, so machine output and human progress never
+// interleave. A nil Session prints (a session-less helper still wants its
+// progress seen).
+func (s *Session) Logf(format string, args ...any) {
+	if s != nil && s.cli != nil && s.cli.Quiet {
+		return
+	}
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// Verbosef prints one progress line to stderr only when -v was given.
+func (s *Session) Verbosef(format string, args ...any) {
+	if s == nil || s.cli == nil || !s.cli.Verbose || s.cli.Quiet {
+		return
+	}
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// stopCaptures halts the CPU profile and trace if running; safe to call
+// more than once.
+func (s *Session) stopCaptures() {
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		s.cpuFile.Close()
+		s.cpuFile = nil
+	}
+	if s.traceFile != nil {
+		trace.Stop()
+		s.traceFile.Close()
+		s.traceFile = nil
+	}
+}
+
+// Close ends the session: stops the CPU profile and trace, writes the heap
+// or block profile if one was requested, and — when -metrics asked for a
+// manifest — ends the root span and writes the manifest (verifying it
+// parses back). Call once, after the command's work finished; its error is
+// the command's to report. Nil-safe.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.stopCaptures()
+	var firstErr error
+	switch {
+	case s.cli == nil:
+	case s.cli.Profile == "mem":
+		if err := writeProfile("allocs", s.cli.profilePath()); err != nil {
+			firstErr = err
+		}
+	case s.cli.Profile == "block":
+		runtime.SetBlockProfileRate(0)
+		if err := writeProfile("block", s.cli.profilePath()); err != nil {
+			firstErr = err
+		}
+	}
+	if s.rec != nil {
+		s.rec.Root().End()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		m := &Manifest{
+			Command:        s.command,
+			GoVersion:      runtime.Version(),
+			GOOS:           runtime.GOOS,
+			GOARCH:         runtime.GOARCH,
+			CPUs:           runtime.NumCPU(),
+			GoMaxProcs:     runtime.GOMAXPROCS(0),
+			StartUTC:       s.startWall.UTC().Format(time.RFC3339),
+			WallNs:         time.Since(s.startWall).Nanoseconds(),
+			Seed:           s.seed,
+			Workers:        s.workers,
+			Graph:          s.graph,
+			Options:        flagValues(s.cli.fs),
+			Spans:          s.rec.SpanTree(),
+			Counters:       s.rec.CounterValues(),
+			Gauges:         s.rec.GaugeValues(),
+			Mem:            memDelta(&s.memBefore, &after),
+			RuntimeMetrics: captureRuntimeMetrics(),
+		}
+		if err := m.WriteFile(s.cli.MetricsPath); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// writeProfile writes the named pprof profile to path.
+func writeProfile(name, path string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("obs: no %s profile", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s profile: %w", name, err)
+	}
+	defer f.Close()
+	if err := p.WriteTo(f, 0); err != nil {
+		return fmt.Errorf("writing %s profile: %w", name, err)
+	}
+	return nil
+}
+
+// flagValues snapshots every flag's final value, so the manifest records
+// the run's full option set (defaults included).
+func flagValues(fs *flag.FlagSet) map[string]string {
+	if fs == nil {
+		return nil
+	}
+	out := make(map[string]string)
+	fs.VisitAll(func(f *flag.Flag) {
+		out[f.Name] = f.Value.String()
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package obs
+
+import "sync/atomic"
+
+// CounterShards is the fixed number of accumulation cells per counter —
+// the same power-of-two shard discipline as internal/par's Shards
+// (DESIGN.md §7): worker w adds into cell w mod CounterShards, so any
+// worker count up to the shard count runs contention-free, and reads merge
+// the cells. obs does not import par (the dependency points the other way
+// in spirit: kernels use both), so the constant is restated here; a unit
+// test pins the two equal.
+const CounterShards = 16
+
+// counterCell is one shard of a Counter, padded out to 128 bytes — two
+// 64-byte cache lines, so adjacent cells never share a line even under the
+// adjacent-line prefetcher — to keep concurrent workers from false
+// sharing.
+type counterCell struct {
+	n atomic.Int64
+	_ [120]byte
+}
+
+// Counter is a monotonic (well-behaved callers only add non-negative
+// deltas, though negative deltas are not rejected) event counter sharded
+// across CounterShards padded atomic cells. A nil Counter is the disabled
+// state: Add and AddAt no-op; Value reports 0.
+//
+// Kernels running under par.Run should use AddAt with their worker index,
+// which lands each worker on a stable cell; single-goroutine callers use
+// Add, which is AddAt(0, n).
+type Counter struct {
+	cells [CounterShards]counterCell
+}
+
+// Add accumulates n into shard 0. Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.cells[0].n.Add(n)
+}
+
+// AddAt accumulates n into worker w's shard (w mod CounterShards; negative
+// w is treated as 0). Nil-safe.
+func (c *Counter) AddAt(w int, n int64) {
+	if c == nil {
+		return
+	}
+	if w < 0 {
+		w = 0
+	}
+	c.cells[w&(CounterShards-1)].n.Add(n)
+}
+
+// Value merges the shards. It is safe to call concurrently with writers;
+// the result is a consistent sum of everything that completed before the
+// call and an arbitrary subset of concurrent adds. A nil Counter reads 0.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var sum int64
+	for i := range c.cells {
+		sum += c.cells[i].n.Load()
+	}
+	return sum
+}
+
+// Gauge is an atomically-updated level: last write wins (Set), or a
+// running maximum (SetMax). Gauges are for values observed occasionally —
+// peak heap, resolved worker counts — so they are a single cell, not
+// sharded. A nil Gauge is the disabled state.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Set stores v. Nil-safe.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.n.Store(v)
+}
+
+// SetMax raises the gauge to v if v is larger. Nil-safe.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.n.Load()
+		if v <= cur || g.n.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge; a nil Gauge reads 0.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.n.Load()
+}

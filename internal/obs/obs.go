@@ -1,0 +1,171 @@
+// Package obs is the repository's observability layer: phase spans with
+// monotonic timings, sharded counters and gauges, runtime profile/trace
+// capture, and JSON run manifests — stdlib only, threaded through every
+// kernel and cmd binary.
+//
+// The package is built around one hard rule, the one that lets
+// instrumentation live inside hot kernels: **disabled instrumentation is
+// free**. A nil *Recorder, nil *Span and nil *Counter are all valid
+// receivers whose methods no-op without allocating (pinned by
+// TestDisabledPathAllocatesNothing), so kernels carry instrumentation
+// unconditionally and pay only a nil check when nothing is recording.
+// Instrumentation never feeds back into algorithm state — no rng draws, no
+// data-dependent branches — so kernel outputs are bit-identical with
+// observation on or off, at any worker count (pinned per kernel by the
+// obs on/off determinism regressions in core, tasks and stream).
+//
+// The vocabulary, and when to use which (DESIGN.md §8):
+//
+//   - A Span times a phase — something that happens once or a few times per
+//     run (CRR Phase 1 vs Phase 2, a BFS sweep, one evaluation task). Spans
+//     nest, carry per-worker busy time for parallel regions, and serialize
+//     as a tree.
+//   - A Counter counts events — something that happens per item (sources
+//     completed, rewiring attempts accepted, queue operations). Counters
+//     are sharded so parallel workers never contend.
+//   - A Gauge records a level — a value observed, not accumulated (peak
+//     heap bytes, resolved worker count).
+//
+// A Recorder owns one run's root span, counters and gauges, and snapshots
+// into a Manifest — the diffable JSON document every cmd binary can emit
+// via its -metrics flag (see CLI).
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder owns the instrumentation state of one run: the root span, the
+// counter and gauge registries, and the start time every span offset is
+// relative to. A nil Recorder is the disabled state: every method no-ops
+// (or returns a nil handle whose methods no-op) without allocating.
+type Recorder struct {
+	start time.Time
+	root  *Span
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// New returns an enabled Recorder whose root span, named after the command
+// or operation being observed, starts now.
+func New(name string) *Recorder {
+	r := &Recorder{
+		start:    time.Now(),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+	r.root = &Span{rec: r, name: name, start: r.start}
+	return r
+}
+
+// Root returns the run's root span, the parent every top-level phase span
+// should be started from. Nil-safe: a nil Recorder returns a nil Span.
+func (r *Recorder) Root() *Span {
+	if r == nil {
+		return nil
+	}
+	return r.root
+}
+
+// Counter returns the named counter, creating it on first use. The same
+// name always returns the same counter, so concurrent callers accumulate
+// into shared cells. Nil-safe: a nil Recorder returns a nil Counter, whose
+// Add methods no-op.
+//
+// The lookup takes a mutex: fetch the handle once before a hot loop and
+// Add through the handle, never per item.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe like
+// Counter.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// CounterValues snapshots every registered counter as a name → merged-value
+// map. A nil or counter-less Recorder returns nil.
+func (r *Recorder) CounterValues() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// GaugeValues snapshots every registered gauge as a name → value map. A nil
+// or gauge-less Recorder returns nil.
+func (r *Recorder) GaugeValues() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.gauges) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// SpanTree snapshots the span tree as serializable nodes with start offsets
+// relative to the Recorder's start. Spans still running are reported with
+// their duration so far. A nil Recorder returns nil.
+func (r *Recorder) SpanTree() *SpanNode {
+	if r == nil {
+		return nil
+	}
+	return r.root.node(r.start, time.Now())
+}
+
+// counterNames returns the registered counter names in sorted order; used
+// by tests and debug output that want stable iteration.
+func (r *Recorder) counterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

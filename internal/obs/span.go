@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span times one phase of a run: a monotonic start, a duration fixed by
+// End, optional child spans, and — for parallel regions — per-worker busy
+// time. Spans are created from a Recorder's Root or from a parent Span; a
+// nil Span is the disabled state, whose methods no-op (Start returns nil)
+// without allocating, so kernels thread a possibly-nil parent span through
+// unconditionally.
+//
+// Start/End use time.Now, whose monotonic clock component makes durations
+// immune to wall-clock adjustments. Concurrent children (a parallel sweep
+// starting one child per ratio) are safe: the child list is mutex-guarded.
+type Span struct {
+	rec   *Recorder
+	name  string
+	start time.Time
+
+	mu         sync.Mutex
+	dur        time.Duration
+	ended      bool
+	children   []*Span
+	workerBusy []time.Duration
+}
+
+// Enabled reports whether the span is recording. Use it to guard work that
+// exists only to feed instrumentation (time.Now calls, stats scratch), so
+// the disabled path stays free of even cheap side work.
+func (s *Span) Enabled() bool { return s != nil }
+
+// Start begins a child span. Nil-safe: on a nil Span it returns nil
+// without allocating.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	child := &Span{rec: s.rec, name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+	return child
+}
+
+// End fixes the span's duration. Multiple Ends keep the first; a span never
+// ended reports its duration as of snapshot time. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// WorkerBusy adds busy time observed by worker w inside this span, so a
+// parallel region reports how evenly its work spread. Negative worker
+// indices are ignored; the per-worker table grows to the largest index
+// seen. Nil-safe.
+func (s *Span) WorkerBusy(w int, d time.Duration) {
+	if s == nil || w < 0 {
+		return
+	}
+	s.mu.Lock()
+	for w >= len(s.workerBusy) {
+		s.workerBusy = append(s.workerBusy, 0)
+	}
+	s.workerBusy[w] += d
+	s.mu.Unlock()
+}
+
+// Counter returns the named counter of the span's Recorder, the handle
+// kernels use for item-granularity telemetry. Nil-safe: a nil Span returns
+// a nil Counter.
+func (s *Span) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.rec.Counter(name)
+}
+
+// Gauge returns the named gauge of the span's Recorder. Nil-safe.
+func (s *Span) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.rec.Gauge(name)
+}
+
+// SpanNode is the serializable form of one span: offsets and durations in
+// nanoseconds, per-worker busy time for parallel regions, and children in
+// start order. The JSON encoding round-trips losslessly, so manifests can
+// be re-read and diffed programmatically.
+type SpanNode struct {
+	// Name is the span's phase name.
+	Name string `json:"name"`
+	// StartNs is the span's start offset from the run's start.
+	StartNs int64 `json:"start_ns"`
+	// DurNs is the span's duration (or its duration so far, for spans still
+	// open at snapshot time).
+	DurNs int64 `json:"dur_ns"`
+	// WorkerBusyNs is per-worker busy time inside the span, indexed by
+	// worker; empty for serial spans.
+	WorkerBusyNs []int64 `json:"worker_busy_ns,omitempty"`
+	// Children are the nested spans in creation order.
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// node snapshots the span (and recursively its children) relative to the
+// run start origin; now supplies the duration of still-open spans.
+func (s *Span) node(origin, now time.Time) *SpanNode {
+	s.mu.Lock()
+	n := &SpanNode{
+		Name:    s.name,
+		StartNs: s.start.Sub(origin).Nanoseconds(),
+	}
+	if s.ended {
+		n.DurNs = s.dur.Nanoseconds()
+	} else {
+		n.DurNs = now.Sub(s.start).Nanoseconds()
+	}
+	if len(s.workerBusy) > 0 {
+		n.WorkerBusyNs = make([]int64, len(s.workerBusy))
+		for i, d := range s.workerBusy {
+			n.WorkerBusyNs[i] = d.Nanoseconds()
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		n.Children = append(n.Children, c.node(origin, now))
+	}
+	return n
+}

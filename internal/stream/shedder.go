@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"edgeshed/internal/graph"
+	"edgeshed/internal/obs"
 )
 
 // Shedder incrementally sheds a stream of edge insertions.
@@ -40,6 +41,14 @@ type Shedder struct {
 	base    *graph.CSR
 	basePos []int32
 	index   map[graph.Edge]int32 // novel kept edge -> position in kept
+
+	// Counter handles, resolved once at construction. All nil when
+	// Options.Obs is nil: every Add through a nil handle is a free no-op,
+	// so unobserved streams pay one predictable branch per event.
+	insCtr   *obs.Counter
+	novelCtr *obs.Counter
+	swapCtr  *obs.Counter
+	delCtr   *obs.Counter
 }
 
 // Options configures a Shedder.
@@ -61,6 +70,12 @@ type Options struct {
 	// still contain arbitrary novel edges, which use the map as before.
 	// Setting Base never changes the shedder's output, only its speed.
 	Base *graph.Graph
+	// Obs is the parent observability span; nil (the zero value) records
+	// nothing at no cost. When set, the shedder tallies "stream.inserts",
+	// "stream.novel_kept" (kept edges the base graph never saw),
+	// "stream.swaps_accepted" and "stream.deletes". The kept edge set stays
+	// bit-identical with Obs on or off: counting never touches the rng.
+	Obs *obs.Span
 }
 
 // NewShedder returns a shedder maintaining a [p·m]-edge reduction.
@@ -93,6 +108,12 @@ func NewShedder(opt Options) (*Shedder, error) {
 		for i := range s.basePos {
 			s.basePos[i] = -1
 		}
+	}
+	if opt.Obs.Enabled() {
+		s.insCtr = opt.Obs.Counter("stream.inserts")
+		s.novelCtr = opt.Obs.Counter("stream.novel_kept")
+		s.swapCtr = opt.Obs.Counter("stream.swaps_accepted")
+		s.delCtr = opt.Obs.Counter("stream.deletes")
 	}
 	return s, nil
 }
@@ -179,6 +200,7 @@ func (s *Shedder) Insert(u, v graph.NodeID) error {
 	s.seen++
 	s.origDeg[u]++
 	s.origDeg[v]++
+	s.insCtr.Add(1)
 	_, alreadyKept := s.lookup(e)
 
 	// Phase 1: grow toward the budget.
@@ -194,8 +216,12 @@ func (s *Shedder) Insert(u, v graph.NodeID) error {
 	return nil
 }
 
-// keep stores edge e.
+// keep stores edge e. The novel-edge tally lives here — not in setPos, which
+// evict also calls while repositioning — so each kept edge counts once.
 func (s *Shedder) keep(e graph.Edge) {
+	if s.novelCtr != nil && (s.base == nil || s.base.EdgeIDOf(e.U, e.V) < 0) {
+		s.novelCtr.Add(1)
+	}
 	s.setPos(e, int32(len(s.kept)))
 	s.kept = append(s.kept, e)
 	s.keptDeg[e.U]++
@@ -237,6 +263,7 @@ func (s *Shedder) maybeSwap(e graph.Edge) {
 	if bestIdx >= 0 {
 		s.evict(bestIdx)
 		s.keep(e)
+		s.swapCtr.Add(1)
 	}
 }
 
@@ -290,6 +317,7 @@ func (s *Shedder) Delete(u, v graph.NodeID) error {
 	s.seen--
 	s.origDeg[u]--
 	s.origDeg[v]--
+	s.delCtr.Add(1)
 	if i, ok := s.lookup(e); ok {
 		s.evict(i)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"edgeshed/internal/graph"
 	"edgeshed/internal/graph/gen"
+	"edgeshed/internal/obs"
 )
 
 // dropEveryThird builds a "reduced" graph by shedding every third edge of g,
@@ -55,6 +56,42 @@ func TestSuiteBitIdenticalAcrossWorkerCounts(t *testing.T) {
 						tg.name, workers, got[i].Task, got[i].Value, want[i].Value)
 				}
 			}
+		}
+	}
+}
+
+// TestSuiteBitIdenticalWithObs pins the instrumentation non-perturbation
+// guarantee for the evaluation suite: turning a live recorder on must not
+// change a single measurement bit, at serial and parallel worker counts.
+func TestSuiteBitIdenticalWithObs(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 11)
+	red := dropEveryThird(g)
+	for _, workers := range []int{1, 4} {
+		s := Suite{Sources: 64, MaxPairs: 2000, Seed: 5, SkipEmbedding: true, Workers: workers}
+		want := s.Evaluate(g, red)
+		rec := obs.New("test")
+		s.Obs = rec.Root()
+		got := s.Evaluate(g, red)
+		rec.Root().End()
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d measurements with obs, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Value != want[i].Value {
+				t.Fatalf("workers=%d task %q: value %v with obs != %v without",
+					workers, want[i].Task, got[i].Value, want[i].Value)
+			}
+		}
+		// The recorder must actually have observed the run: the span tree
+		// carries one task child per measurement and the kernels' counters
+		// merged to non-zero totals.
+		tree := rec.SpanTree()
+		if len(tree.Children) != 1 || len(tree.Children[0].Children) != len(want) {
+			t.Fatalf("workers=%d: span tree shape %+v", workers, tree)
+		}
+		vals := rec.CounterValues()
+		if vals["bfs.sources_done"] == 0 || vals["betweenness.sources_done"] == 0 || vals["pagerank.iterations"] == 0 {
+			t.Fatalf("workers=%d: kernel counters missing: %v", workers, vals)
 		}
 	}
 }

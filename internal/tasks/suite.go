@@ -6,6 +6,7 @@ import (
 	"edgeshed/internal/community"
 	"edgeshed/internal/embed"
 	"edgeshed/internal/graph"
+	"edgeshed/internal/obs"
 )
 
 // Suite bundles the paper's seven evaluation tasks (plus the
@@ -26,6 +27,12 @@ type Suite struct {
 	// Every kernel follows the internal/par determinism discipline, so the
 	// measurements are bit-identical at any worker count.
 	Workers int
+	// Obs is the parent observability span; nil (the zero value) records
+	// nothing at no cost. When set, Evaluate reports a "suite.evaluate" span
+	// with one "task:<name>" child per row, and threads the span into every
+	// instrumented task kernel. Measurements stay bit-identical with Obs on
+	// or off, at any worker count.
+	Obs *obs.Span
 }
 
 // Measurement is one task's outcome.
@@ -45,36 +52,65 @@ type Measurement struct {
 // graphs (same node-id space) and returns the measurements in the paper's
 // task order.
 func (s Suite) Evaluate(orig, red *graph.Graph) []Measurement {
-	bopt := centrality.Options{Samples: s.Sources, Seed: s.Seed, Workers: s.Workers}
-	propt := analysis.PageRankOptions{Workers: s.Workers}
+	sp := s.Obs.Start("suite.evaluate")
+	defer sp.End()
+	// task wraps one row in a "task:<name>" child span. The name concat runs
+	// only when recording, so disabled evaluation allocates nothing here.
+	task := func(name string, f func(p *obs.Span) Measurement) Measurement {
+		var tsp *obs.Span
+		if sp.Enabled() {
+			tsp = sp.Start("task:" + name)
+		}
+		m := f(tsp)
+		tsp.End()
+		return m
+	}
 	out := []Measurement{
-		{"vertex degree", (DegreeTask{Cap: 300}).Error(orig, red), false, "TVD, lower is better"},
-		{"shortest-path distance", (SPDistanceTask{Sources: s.Sources, Seed: s.Seed, Workers: s.Workers}).Error(orig, red), false, "TVD, lower is better"},
-		{"betweenness centrality", (BetweennessTask{Options: bopt}).Error(orig, red), false, "relative L1, lower is better"},
-		{"clustering coefficient", (ClusteringTask{Workers: s.Workers}).Error(orig, red), false, "mean |gap|, lower is better"},
-		{"hop-plot", (HopPlotTask{Sources: s.Sources, Seed: s.Seed, Workers: s.Workers}).Error(orig, red), false, "mean |gap|, lower is better"},
-		{"top-10% query", (TopKTask{PageRank: propt}).Utility(orig, red), true, "utility, higher is better"},
+		task("vertex degree", func(p *obs.Span) Measurement {
+			return Measurement{"vertex degree", (DegreeTask{Cap: 300}).Error(orig, red), false, "TVD, lower is better"}
+		}),
+		task("shortest-path distance", func(p *obs.Span) Measurement {
+			return Measurement{"shortest-path distance", (SPDistanceTask{Sources: s.Sources, Seed: s.Seed, Workers: s.Workers, Obs: p}).Error(orig, red), false, "TVD, lower is better"}
+		}),
+		task("betweenness centrality", func(p *obs.Span) Measurement {
+			bopt := centrality.Options{Samples: s.Sources, Seed: s.Seed, Workers: s.Workers, Obs: p}
+			return Measurement{"betweenness centrality", (BetweennessTask{Options: bopt}).Error(orig, red), false, "relative L1, lower is better"}
+		}),
+		task("clustering coefficient", func(p *obs.Span) Measurement {
+			return Measurement{"clustering coefficient", (ClusteringTask{Workers: s.Workers}).Error(orig, red), false, "mean |gap|, lower is better"}
+		}),
+		task("hop-plot", func(p *obs.Span) Measurement {
+			return Measurement{"hop-plot", (HopPlotTask{Sources: s.Sources, Seed: s.Seed, Workers: s.Workers, Obs: p}).Error(orig, red), false, "mean |gap|, lower is better"}
+		}),
+		task("top-10% query", func(p *obs.Span) Measurement {
+			propt := analysis.PageRankOptions{Workers: s.Workers, Obs: p}
+			return Measurement{"top-10% query", (TopKTask{PageRank: propt}).Utility(orig, red), true, "utility, higher is better"}
+		}),
 	}
 	if !s.SkipEmbedding {
-		out = append(out, Measurement{
-			"link prediction (node2vec)",
-			(LinkPredictionTask{
-				Walk:     embed.WalkConfig{WalksPerNode: 5, WalkLength: 20, Seed: s.Seed},
-				SGNS:     embed.SGNSConfig{Dim: 32, Epochs: 1, Seed: s.Seed + 1},
-				MaxPairs: s.MaxPairs,
-				Seed:     s.Seed + 2,
+		out = append(out, task("link prediction (node2vec)", func(p *obs.Span) Measurement {
+			return Measurement{
+				"link prediction (node2vec)",
+				(LinkPredictionTask{
+					Walk:     embed.WalkConfig{WalksPerNode: 5, WalkLength: 20, Seed: s.Seed},
+					SGNS:     embed.SGNSConfig{Dim: 32, Epochs: 1, Seed: s.Seed + 1},
+					MaxPairs: s.MaxPairs,
+					Seed:     s.Seed + 2,
+				}).Utility(orig, red),
+				true, "utility, higher is better",
+			}
+		}))
+	}
+	out = append(out, task("link prediction (label prop)", func(p *obs.Span) Measurement {
+		return Measurement{
+			"link prediction (label prop)",
+			(LabelPropagationLinkTask{
+				Propagation: community.LabelPropagationOptions{Seed: s.Seed + 3},
+				MaxPairs:    s.MaxPairs,
+				Seed:        s.Seed + 4,
 			}).Utility(orig, red),
 			true, "utility, higher is better",
-		})
-	}
-	out = append(out, Measurement{
-		"link prediction (label prop)",
-		(LabelPropagationLinkTask{
-			Propagation: community.LabelPropagationOptions{Seed: s.Seed + 3},
-			MaxPairs:    s.MaxPairs,
-			Seed:        s.Seed + 4,
-		}).Utility(orig, red),
-		true, "utility, higher is better",
-	})
+		}
+	}))
 	return out
 }

@@ -8,6 +8,7 @@ import (
 	"edgeshed/internal/community"
 	"edgeshed/internal/embed"
 	"edgeshed/internal/graph"
+	"edgeshed/internal/obs"
 )
 
 // DegreeTask compares vertex degree distributions (task 1, Figures 5(c)-(d)
@@ -39,11 +40,14 @@ type SPDistanceTask struct {
 	// Workers is the BFS parallelism; 0 means GOMAXPROCS. Results are
 	// bit-identical at any worker count.
 	Workers int
+	// Obs is the parent observability span for the two profile kernels; nil
+	// records nothing at no cost.
+	Obs *obs.Span
 }
 
 // Distributions returns the distance distributions of both graphs.
 func (t SPDistanceTask) Distributions(orig, red *graph.Graph) (o, r []float64) {
-	opt := analysis.ProfileOptions{Sources: t.Sources, Seed: t.Seed, Workers: t.Workers}
+	opt := analysis.ProfileOptions{Sources: t.Sources, Seed: t.Seed, Workers: t.Workers, Obs: t.Obs}
 	return analysis.NewDistanceProfile(orig, opt).Distribution(),
 		analysis.NewDistanceProfile(red, opt).Distribution()
 }
@@ -62,11 +66,14 @@ type HopPlotTask struct {
 	Seed int64
 	// Workers is the BFS parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Obs is the parent observability span for the two profile kernels; nil
+	// records nothing at no cost.
+	Obs *obs.Span
 }
 
 // Series returns the cumulative reachable-pair fractions per hop.
 func (t HopPlotTask) Series(orig, red *graph.Graph) (o, r []float64) {
-	opt := analysis.ProfileOptions{Sources: t.Sources, Seed: t.Seed, Workers: t.Workers}
+	opt := analysis.ProfileOptions{Sources: t.Sources, Seed: t.Seed, Workers: t.Workers, Obs: t.Obs}
 	return analysis.NewDistanceProfile(orig, opt).HopPlot(),
 		analysis.NewDistanceProfile(red, opt).HopPlot()
 }
