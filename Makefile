@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-centrality bench-tasks bench-shedding experiments claims profile fmt vet clean
+.PHONY: all build test race bench bench-centrality bench-tasks bench-shedding bench-gate experiments claims profile fmt vet clean
 
 all: build test
 
@@ -44,6 +44,20 @@ bench-shedding:
 		./internal/core/ ./internal/matching/ ./internal/stream/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_shedding.json
 	cat BENCH_shedding.json
+
+# Gate a fresh benchmark run against a baseline with cmd/obsdiff: exits
+# non-zero when any ns/op or allocs/op regressed beyond MAX_REGRESS, and
+# refuses cross-machine comparisons (baselines embed the measuring
+# machine's identity). Works on run manifests too.
+#
+#	make bench-shedding && cp BENCH_shedding.json base.json
+#	... hack ...
+#	make bench-shedding && make bench-gate BASE=base.json CUR=BENCH_shedding.json
+BASE ?= BENCH_shedding.json
+CUR ?= BENCH_shedding.json
+MAX_REGRESS ?= 25%
+bench-gate:
+	$(GO) run ./cmd/obsdiff -max-regress $(MAX_REGRESS) $(BASE) $(CUR)
 
 # Reproduce every paper artifact at laptop scale and self-audit the shapes.
 experiments:

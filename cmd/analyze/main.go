@@ -6,6 +6,9 @@
 // Usage:
 //
 //	analyze -in graph.txt -tasks degree,sp,cc,topk
+//
+// The shared observability flags apply (-metrics, -profile, -trace,
+// -debug-addr for a live HTTP debug plane); see internal/obs.
 package main
 
 import (

@@ -1,53 +1,28 @@
 // Command benchjson converts `go test -bench` text output into a JSON
 // baseline file, so benchmark numbers can be committed and diffed across
-// PRs:
+// PRs (the parsing model lives in internal/benchfmt; cmd/obsdiff is the
+// consumer that gates regressions):
 //
 //	go test -run xxx -bench Betweenness -benchtime 1x -benchmem ./internal/centrality/ | benchjson -out BENCH_betweenness.json
 //
 // Beyond the raw per-benchmark rows it derives speedup ratios for every
-// old/new benchmark pair following a known naming convention:
-// XxxMapIndexed / XxxCSRIndexed (the Brandes CSR migration) and
-// XxxSerial / XxxParallel (the parallel analysis kernels).
+// old/new benchmark pair following a known naming convention
+// (XxxMapIndexed / XxxCSRIndexed, XxxSerial / XxxParallel), and stamps the
+// measuring machine's identity (go version, GOOS/GOARCH, CPU count, git
+// commit) so obsdiff can refuse cross-machine comparisons instead of
+// reporting phantom regressions.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
+	"edgeshed/internal/benchfmt"
 	"edgeshed/internal/obs"
 )
-
-// Benchmark is one parsed `go test -bench` result line.
-type Benchmark struct {
-	// Name is the benchmark name without the "Benchmark" prefix and the
-	// -GOMAXPROCS suffix.
-	Name string `json:"name"`
-	// Procs is the GOMAXPROCS suffix, 1 if absent.
-	Procs int `json:"procs"`
-	// Iterations is the b.N the reported averages were taken over.
-	Iterations int64 `json:"iterations"`
-	// NsPerOp is the reported ns/op.
-	NsPerOp float64 `json:"ns_per_op"`
-	// BytesPerOp and AllocsPerOp are present with -benchmem, else 0.
-	BytesPerOp  int64 `json:"bytes_per_op"`
-	AllocsPerOp int64 `json:"allocs_per_op"`
-}
-
-// Report is the emitted JSON document.
-type Report struct {
-	// Benchmarks holds every parsed result line in input order.
-	Benchmarks []Benchmark `json:"benchmarks"`
-	// Speedups maps a benchmark stem to old-ns / new-ns for every stem that
-	// has both variants of a recognized pair (MapIndexed/CSRIndexed,
-	// Serial/Parallel).
-	Speedups map[string]float64 `json:"speedups,omitempty"`
-}
 
 func main() {
 	out := flag.String("out", "", "output JSON path (default stdout)")
@@ -69,13 +44,14 @@ func main() {
 }
 
 func run(in io.Reader, out string, sess *obs.Session) error {
-	report, err := parse(in)
+	report, err := benchfmt.Parse(in)
 	if err != nil {
 		return err
 	}
 	if len(report.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines on stdin")
 	}
+	report.Env = obs.CaptureEnv()
 	sess.Verbosef("parsed %d benchmark lines", len(report.Benchmarks))
 	if sess.Root().Enabled() {
 		sess.Root().Counter("benchjson.lines").Add(int64(len(report.Benchmarks)))
@@ -90,100 +66,4 @@ func run(in io.Reader, out string, sess *obs.Session) error {
 		return err
 	}
 	return os.WriteFile(out, data, 0o644)
-}
-
-// parse scans bench output, ignoring non-result lines (goos/pkg/PASS/ok).
-func parse(r io.Reader) (*Report, error) {
-	rep := &Report{Speedups: map[string]float64{}}
-	sc := bufio.NewScanner(r)
-	for sc.Scan() {
-		line := sc.Text()
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		b, ok := parseLine(line)
-		if ok {
-			rep.Benchmarks = append(rep.Benchmarks, b)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	deriveSpeedups(rep)
-	return rep, nil
-}
-
-// parseLine parses one result line of the form
-//
-//	BenchmarkName-8  10  123 ns/op  45 B/op  6 allocs/op
-//
-// reporting ok=false for lines that only look like results.
-func parseLine(line string) (Benchmark, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || fields[3] != "ns/op" {
-		return Benchmark{}, false
-	}
-	name := strings.TrimPrefix(fields[0], "Benchmark")
-	procs := 1
-	if i := strings.LastIndex(name, "-"); i >= 0 {
-		if p, err := strconv.Atoi(name[i+1:]); err == nil {
-			procs = p
-			name = name[:i]
-		}
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Benchmark{}, false
-	}
-	ns, err := strconv.ParseFloat(fields[2], 64)
-	if err != nil {
-		return Benchmark{}, false
-	}
-	b := Benchmark{Name: name, Procs: procs, Iterations: iters, NsPerOp: ns}
-	for i := 4; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseInt(fields[i], 10, 64)
-		if err != nil {
-			continue
-		}
-		switch fields[i+1] {
-		case "B/op":
-			b.BytesPerOp = v
-		case "allocs/op":
-			b.AllocsPerOp = v
-		}
-	}
-	return b, true
-}
-
-// speedupPairs are the recognized old/new benchmark suffix conventions:
-// the old variant's ns/op divided by the new variant's becomes the stem's
-// speedup.
-var speedupPairs = [][2]string{
-	{"MapIndexed", "CSRIndexed"},
-	{"Serial", "Parallel"},
-}
-
-// deriveSpeedups fills Speedups from every benchmark pair matching a
-// recognized suffix convention.
-func deriveSpeedups(rep *Report) {
-	byName := make(map[string]Benchmark, len(rep.Benchmarks))
-	for _, b := range rep.Benchmarks {
-		byName[b.Name] = b
-	}
-	for name, oldB := range byName {
-		for _, pair := range speedupPairs {
-			stem, ok := strings.CutSuffix(name, pair[0])
-			if !ok {
-				continue
-			}
-			newB, ok := byName[stem+pair[1]]
-			if !ok || newB.NsPerOp == 0 {
-				continue
-			}
-			rep.Speedups[stem] = oldB.NsPerOp / newB.NsPerOp
-		}
-	}
-	if len(rep.Speedups) == 0 {
-		rep.Speedups = nil
-	}
 }

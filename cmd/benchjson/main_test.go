@@ -1,91 +1,67 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+
+	"edgeshed/internal/benchfmt"
 )
 
 const sample = `goos: linux
-goarch: amd64
-pkg: edgeshed/internal/centrality
-cpu: some cpu
-BenchmarkEdgeBetweennessMapIndexed-8   	       2	  60000000 ns/op	  500000 B/op	    1200 allocs/op
-BenchmarkEdgeBetweennessCSRIndexed-8   	       6	  20000000 ns/op	  100000 B/op	      40 allocs/op
-BenchmarkCloseness-8                   	       3	   1000000 ns/op
+BenchmarkCRRReduceMapIndexed-4   	      10	  60000000 ns/op	  500000 B/op	    1200 allocs/op
+BenchmarkCRRReduceCSRIndexed-4   	      10	  30000000 ns/op	  100000 B/op	      40 allocs/op
 PASS
-ok  	edgeshed/internal/centrality	1.234s
 `
 
-func TestParseBenchOutput(t *testing.T) {
-	rep, err := parse(strings.NewReader(sample))
+// TestRunEmbedsEnvMetadata pins the satellite contract: every emitted
+// BENCH_*.json carries the measuring machine's identity, so obsdiff can
+// refuse cross-machine comparisons.
+func TestRunEmbedsEnvMetadata(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := run(strings.NewReader(sample), out, nil); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := benchfmt.ReadFile(out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	if rep.Env == nil {
+		t.Fatal("emitted report has no env block")
 	}
-	b := rep.Benchmarks[0]
-	if b.Name != "EdgeBetweennessMapIndexed" || b.Procs != 8 || b.Iterations != 2 {
-		t.Errorf("first benchmark parsed as %+v", b)
+	if rep.Env.GoVersion != runtime.Version() || rep.Env.GOOS != runtime.GOOS ||
+		rep.Env.GOARCH != runtime.GOARCH || rep.Env.CPUs != runtime.NumCPU() {
+		t.Errorf("env = %+v does not describe this machine", rep.Env)
 	}
-	if b.NsPerOp != 60000000 || b.BytesPerOp != 500000 || b.AllocsPerOp != 1200 {
-		t.Errorf("metrics parsed as %+v", b)
+	if len(rep.Benchmarks) != 2 {
+		t.Errorf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
 	}
-	if rep.Benchmarks[2].BytesPerOp != 0 || rep.Benchmarks[2].AllocsPerOp != 0 {
-		t.Errorf("benchmark without -benchmem columns parsed as %+v", rep.Benchmarks[2])
-	}
-	got, ok := rep.Speedups["EdgeBetweenness"]
-	if !ok {
-		t.Fatal("no EdgeBetweenness speedup derived")
-	}
-	if got < 2.99 || got > 3.01 {
-		t.Errorf("speedup = %v, want 3.0", got)
+	if s := rep.Speedups["CRRReduce"]; s < 1.99 || s > 2.01 {
+		t.Errorf("speedup = %v, want 2.0", s)
 	}
 }
 
-func TestParseIgnoresNonResultLines(t *testing.T) {
-	rep, err := parse(strings.NewReader("BenchmarkBroken garbage\nBenchmarkAlso-bad\nnothing\n"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rep.Benchmarks) != 0 {
-		t.Errorf("parsed %d benchmarks from garbage, want 0", len(rep.Benchmarks))
-	}
-	if rep.Speedups != nil {
-		t.Errorf("speedups = %v, want none", rep.Speedups)
+// TestRunRejectsEmptyInput pins the no-benchmarks error.
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(strings.NewReader("nothing here\n"), "", nil); err == nil {
+		t.Fatal("benchmark-less input accepted")
 	}
 }
 
-func TestParseNameWithoutProcsSuffix(t *testing.T) {
-	rep, err := parse(strings.NewReader("BenchmarkThing 	 5 	 100 ns/op\n"))
+// TestRunWritesNewlineTerminatedJSON pins the file shape committed
+// baselines rely on.
+func TestRunWritesNewlineTerminatedJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "b.json")
+	if err := run(strings.NewReader(sample), out, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Benchmarks) != 1 {
-		t.Fatalf("parsed %d benchmarks, want 1", len(rep.Benchmarks))
-	}
-	if b := rep.Benchmarks[0]; b.Name != "Thing" || b.Procs != 1 || b.NsPerOp != 100 {
-		t.Errorf("parsed as %+v", b)
-	}
-}
-
-func TestSerialParallelSpeedupPair(t *testing.T) {
-	input := `BenchmarkDistanceProfileSerial-4   	       1	  80000000 ns/op
-BenchmarkDistanceProfileParallel-4 	       4	  20000000 ns/op
-BenchmarkClusteringSerial          	       2	  30000000 ns/op
-`
-	rep, err := parse(strings.NewReader(input))
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, ok := rep.Speedups["DistanceProfile"]
-	if !ok {
-		t.Fatal("no DistanceProfile speedup derived from Serial/Parallel pair")
-	}
-	if got < 3.99 || got > 4.01 {
-		t.Errorf("speedup = %v, want 4.0", got)
-	}
-	if _, ok := rep.Speedups["Clustering"]; ok {
-		t.Error("unpaired ClusteringSerial produced a speedup")
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		t.Error("output is not newline-terminated")
 	}
 }

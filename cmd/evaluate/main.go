@@ -8,7 +8,9 @@
 //	evaluate -orig graph.txt -reduced reduced.txt
 //
 // The reduced file must use the same node labels as the original (as
-// written by cmd/shed).
+// written by cmd/shed). The shared observability flags apply (-metrics,
+// -profile, -trace, -debug-addr for a live HTTP debug plane); see
+// internal/obs.
 package main
 
 import (

@@ -6,6 +6,10 @@
 //	experiments -list
 //	experiments -run t3 -scale 16
 //	experiments -run all -scale 32 -out results.txt
+//
+// Long sweeps report per-cell progress lines under -v, and -run all
+// carries span-level done/total counts, so a run with -debug-addr set can
+// be watched live over HTTP (/progress, /metrics); see internal/obs.
 package main
 
 import (
@@ -79,7 +83,10 @@ func run(runID string, list bool, scale int, seed int64, psFlag, out string, ski
 		defer f.Close()
 		w = f
 	}
-	cfg := experiments.Config{Out: w, Scale: scale, Seed: seed, Ps: ps, SkipUDS: skipUDS, Markdown: md, Workers: workers}
+	cfg := experiments.Config{Out: w, Scale: scale, Seed: seed, Ps: ps, SkipUDS: skipUDS, Markdown: md, Workers: workers,
+		// Long sweeps print nothing until a table completes; under -v each
+		// finished (dataset, p, method) cell logs a line instead.
+		Progress: sess.Verbosef}
 	fmt.Fprintf(w, "# edgeshed experiments: run=%s scale=%d seed=%d ps=%v skip-uds=%v (%s)\n\n",
 		runID, scale, seed, cfg.PsOrDefault(), skipUDS, runtime.Version())
 
@@ -97,10 +104,13 @@ func run(runID string, list bool, scale int, seed int64, psFlag, out string, ski
 		return err
 	}
 	if runID == "all" {
-		for _, e := range experiments.All() {
+		all := experiments.All()
+		root.SetTotal(int64(len(all)))
+		for _, e := range all {
 			if err := runOne(e); err != nil {
 				return fmt.Errorf("%s: %w", e.ID, err)
 			}
+			root.Done(1)
 		}
 		return nil
 	}

@@ -1,0 +1,361 @@
+// Command obsdiff compares two observability artifacts of the same kind —
+// two run manifests (-metrics output) or two BENCH_*.json baselines
+// (cmd/benchjson output) — and reports what moved: counter and gauge
+// deltas and per-span wall-time ratios for manifests, ns/op and allocs/op
+// ratios for benchmark baselines.
+//
+//	obsdiff BENCH_shedding.json BENCH_new.json
+//	obsdiff -max-regress 25% BENCH_shedding.json BENCH_new.json
+//	obsdiff run_before.json run_after.json
+//
+// With -max-regress set (a percentage like "25%" or a fraction like
+// "0.25"), obsdiff becomes a regression gate: any gated metric of the
+// second (current) file that is worse than the first (baseline) by more
+// than the threshold makes it exit 1, so CI can fail the build. Without
+// it, obsdiff only reports. Exit codes: 0 no breach, 1 threshold breached,
+// 2 unusable input (missing file, malformed JSON, mixed kinds, or
+// baseline and current measured on different machines — see below).
+//
+// Benchmark baselines carry the measuring machine's identity (see
+// internal/obs.Env); obsdiff refuses to compare baselines from different
+// machines, because a hardware delta masquerades as a perf delta.
+// -allow-env-mismatch downgrades that refusal to a warning for the rare
+// deliberate cross-machine look.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"edgeshed/internal/benchfmt"
+	"edgeshed/internal/obs"
+)
+
+func main() {
+	maxRegress := flag.String("max-regress", "", "gate threshold, e.g. 25% or 0.25 (empty = report only)")
+	allowEnv := flag.Bool("allow-env-mismatch", false, "compare baselines from different machines anyway (warning instead of refusal)")
+	cli := obs.BindFlags(flag.CommandLine)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: obsdiff [flags] baseline.json current.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sess, err := cli.Start("obsdiff")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsdiff:", err)
+		os.Exit(2)
+	}
+	code, runErr := run(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress, *allowEnv, sess)
+	if cerr := sess.Close(); runErr == nil && cerr != nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "obsdiff:", runErr)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// gateFloorNs is the baseline span duration below which wall-time ratios
+// are reported but never gated: a 0.3ms span doubling is scheduler noise,
+// not a regression.
+const gateFloorNs = 1_000_000
+
+// run diffs baseline against current and returns the process exit code
+// (0 ok, 1 breach). Errors mean the inputs were unusable (exit 2).
+func run(w io.Writer, basePath, curPath, maxRegressStr string, allowEnv bool, sess *obs.Session) (int, error) {
+	gate, err := parseMaxRegress(maxRegressStr)
+	if err != nil {
+		return 0, err
+	}
+	baseKind, err := detectKind(basePath)
+	if err != nil {
+		return 0, err
+	}
+	curKind, err := detectKind(curPath)
+	if err != nil {
+		return 0, err
+	}
+	if baseKind != curKind {
+		return 0, fmt.Errorf("cannot diff a %s against a %s (%s vs %s)", baseKind, curKind, basePath, curPath)
+	}
+	sess.Verbosef("diffing %s files, gate=%v", baseKind, gate)
+	var breaches []string
+	switch baseKind {
+	case kindBench:
+		breaches, err = diffBench(w, basePath, curPath, gate, allowEnv)
+	case kindManifest:
+		breaches, err = diffManifest(w, basePath, curPath, gate, allowEnv)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if len(breaches) > 0 {
+		fmt.Fprintf(w, "\nBREACH: %d metric(s) regressed beyond %s:\n", len(breaches), maxRegressStr)
+		for _, b := range breaches {
+			fmt.Fprintf(w, "  %s\n", b)
+		}
+		return 1, nil
+	}
+	if gate >= 0 {
+		fmt.Fprintf(w, "\nok: no gated metric regressed beyond %s\n", maxRegressStr)
+	}
+	return 0, nil
+}
+
+// parseMaxRegress turns "25%" or "0.25" into the fraction 0.25; an empty
+// string disables gating (returned as -1).
+func parseMaxRegress(s string) (float64, error) {
+	if s == "" {
+		return -1, nil
+	}
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad -max-regress %q: %w", s, err)
+	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("bad -max-regress %q: negative threshold", s)
+	}
+	return v, nil
+}
+
+type fileKind string
+
+const (
+	kindBench    fileKind = "benchmark baseline"
+	kindManifest fileKind = "run manifest"
+)
+
+// detectKind sniffs whether path is a BENCH_*.json baseline (has a
+// "benchmarks" array) or a run manifest (has a "command"), without
+// committing to either schema yet.
+func detectKind(path string) (fileKind, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if _, ok := probe["benchmarks"]; ok {
+		return kindBench, nil
+	}
+	if _, ok := probe["command"]; ok {
+		return kindManifest, nil
+	}
+	return "", fmt.Errorf("%s is neither a benchmark baseline nor a run manifest", path)
+}
+
+// checkEnv enforces the same-machine rule: an env error is fatal unless
+// -allow-env-mismatch downgrades it, and warnings are always printed.
+func checkEnv(w io.Writer, base, cur *obs.Env, allowEnv bool) error {
+	warning, err := base.Comparable(cur)
+	if err != nil {
+		if !allowEnv {
+			return fmt.Errorf("%w (rerun with -allow-env-mismatch to compare anyway)", err)
+		}
+		fmt.Fprintf(w, "warning: %v (continuing: -allow-env-mismatch)\n", err)
+	}
+	if warning != "" {
+		fmt.Fprintf(w, "warning: %s\n", warning)
+	}
+	return nil
+}
+
+// diffBench compares two benchmark baselines: per-benchmark ns/op and
+// allocs/op ratios, both gated, plus notes for benchmarks present on only
+// one side.
+func diffBench(w io.Writer, basePath, curPath string, gate float64, allowEnv bool) ([]string, error) {
+	base, err := benchfmt.ReadFile(basePath)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := benchfmt.ReadFile(curPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkEnv(w, base.Env, cur.Env, allowEnv); err != nil {
+		return nil, err
+	}
+	baseBy, curBy := base.ByName(), cur.ByName()
+	var breaches []string
+	for _, name := range sortedKeys(baseBy) {
+		b := baseBy[name]
+		c, inCur := curBy[name]
+		if !inCur {
+			fmt.Fprintf(w, "%-40s only in baseline\n", name)
+			continue
+		}
+		line, breach := ratioLine(name+" ns/op", b.NsPerOp, c.NsPerOp, gate)
+		fmt.Fprintln(w, line)
+		if breach != "" {
+			breaches = append(breaches, breach)
+		}
+		if b.AllocsPerOp > 0 || c.AllocsPerOp > 0 {
+			line, breach = ratioLine(name+" allocs/op", float64(b.AllocsPerOp), float64(c.AllocsPerOp), gate)
+			fmt.Fprintln(w, line)
+			if breach != "" {
+				breaches = append(breaches, breach)
+			}
+		}
+	}
+	for _, name := range sortedKeys(curBy) {
+		if _, ok := baseBy[name]; !ok {
+			fmt.Fprintf(w, "%-40s only in current\n", name)
+		}
+	}
+	return breaches, nil
+}
+
+// diffManifest compares two run manifests: counter and gauge deltas
+// (report-only — counts are semantic, a delta has no regression
+// percentage) and per-span wall-time ratios (gated, above the noise
+// floor).
+func diffManifest(w io.Writer, basePath, curPath string, gate float64, allowEnv bool) ([]string, error) {
+	base, err := obs.ReadManifest(basePath)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := obs.ReadManifest(curPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkEnv(w, manifestEnv(base), manifestEnv(cur), allowEnv); err != nil {
+		return nil, err
+	}
+	if base.Command != cur.Command {
+		fmt.Fprintf(w, "warning: comparing different commands: %s vs %s\n", base.Command, cur.Command)
+	}
+	diffCountMaps(w, "counter", base.Counters, cur.Counters)
+	diffCountMaps(w, "gauge", base.Gauges, cur.Gauges)
+
+	baseSpans := map[string]int64{}
+	curSpans := map[string]int64{}
+	flattenSpans(base.Spans, "", baseSpans)
+	flattenSpans(cur.Spans, "", curSpans)
+	var breaches []string
+	for _, path := range sortedKeys(baseSpans) {
+		bNs := baseSpans[path]
+		cNs, ok := curSpans[path]
+		if !ok {
+			fmt.Fprintf(w, "span %-40s only in baseline\n", path)
+			continue
+		}
+		spanGate := gate
+		if bNs < gateFloorNs {
+			spanGate = -1 // below the noise floor: report, never gate
+		}
+		line, breach := ratioLine("span "+path+" wall", float64(bNs), float64(cNs), spanGate)
+		fmt.Fprintln(w, line)
+		if breach != "" {
+			breaches = append(breaches, breach)
+		}
+	}
+	for _, path := range sortedKeys(curSpans) {
+		if _, ok := baseSpans[path]; !ok {
+			fmt.Fprintf(w, "span %-40s only in current\n", path)
+		}
+	}
+	line, breach := ratioLine("total wall", float64(base.WallNs), float64(cur.WallNs), gate)
+	fmt.Fprintln(w, line)
+	if breach != "" {
+		breaches = append(breaches, breach)
+	}
+	return breaches, nil
+}
+
+// manifestEnv lifts a manifest's identity fields into an Env so manifests
+// and baselines share one comparability rule.
+func manifestEnv(m *obs.Manifest) *obs.Env {
+	if m.GoVersion == "" && m.GOOS == "" {
+		return nil
+	}
+	return &obs.Env{GoVersion: m.GoVersion, GOOS: m.GOOS, GOARCH: m.GOARCH, CPUs: m.CPUs}
+}
+
+// diffCountMaps prints old → new (delta) for the union of two counter or
+// gauge maps, flagging keys present on only one side.
+func diffCountMaps(w io.Writer, kind string, base, cur map[string]int64) {
+	keys := map[string]bool{}
+	for k := range base {
+		keys[k] = true
+	}
+	for k := range cur {
+		keys[k] = true
+	}
+	for _, k := range sortedKeys(keys) {
+		b, inBase := base[k]
+		c, inCur := cur[k]
+		switch {
+		case !inBase:
+			fmt.Fprintf(w, "%s %-40s only in current (%d)\n", kind, k, c)
+		case !inCur:
+			fmt.Fprintf(w, "%s %-40s only in baseline (%d)\n", kind, k, b)
+		default:
+			fmt.Fprintf(w, "%s %-40s %d -> %d (%+d)\n", kind, k, b, c, c-b)
+		}
+	}
+}
+
+// flattenSpans accumulates every span's DurNs into out keyed by its
+// slash-joined path from the root; repeated sibling names (e.g. one span
+// per experiment cell) merge into one total.
+func flattenSpans(n *obs.SpanNode, prefix string, out map[string]int64) {
+	if n == nil {
+		return
+	}
+	path := n.Name
+	if prefix != "" {
+		path = prefix + "/" + n.Name
+	}
+	out[path] += n.DurNs
+	for _, c := range n.Children {
+		flattenSpans(c, path, out)
+	}
+}
+
+// ratioLine formats one gated metric comparison and, when the current
+// value exceeds the baseline by more than gate, also returns a breach
+// description. A zero baseline cannot yield a ratio: a zero→nonzero move
+// breaches any configured gate (infinitely worse), zero→zero is a no-op.
+func ratioLine(label string, base, cur, gate float64) (line, breach string) {
+	if base == 0 {
+		line = fmt.Sprintf("%-48s 0 -> %g", label, cur)
+		if cur > 0 && gate >= 0 {
+			breach = fmt.Sprintf("%s: 0 -> %g (no baseline to regress from)", label, cur)
+		}
+		return line, breach
+	}
+	ratio := cur / base
+	pct := (ratio - 1) * 100
+	line = fmt.Sprintf("%-48s %g -> %g (%+.1f%%)", label, base, cur, pct)
+	if gate >= 0 && ratio > 1+gate {
+		breach = fmt.Sprintf("%s: %+.1f%% (limit %+.1f%%)", label, pct, gate*100)
+	}
+	return line, breach
+}
+
+// sortedKeys returns m's keys in sorted order, for deterministic output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edgeshed/internal/benchfmt"
+	"edgeshed/internal/obs"
+)
+
+func writeJSON(t *testing.T, dir, name string, v any) string {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func benchReport(nsPerOp float64, allocs int64) *benchfmt.Report {
+	return &benchfmt.Report{
+		Env: &obs.Env{GoVersion: "go1.99", GOOS: "linux", GOARCH: "amd64", CPUs: 8},
+		Benchmarks: []benchfmt.Benchmark{
+			{Name: "CRRSweep", Procs: 8, Iterations: 10, NsPerOp: nsPerOp, AllocsPerOp: allocs},
+		},
+	}
+}
+
+// TestSyntheticRegressionGate is the issue's acceptance check end to end:
+// a ≥25% ns/op regression under -max-regress 25% exits 1, a smaller one
+// and an identical pair exit 0.
+func TestSyntheticRegressionGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", benchReport(100_000_000, 40))
+	for _, tc := range []struct {
+		name string
+		cur  *benchfmt.Report
+		want int
+	}{
+		{"regressed-30pct", benchReport(130_000_000, 40), 1},
+		{"regressed-10pct", benchReport(110_000_000, 40), 0},
+		{"identical", benchReport(100_000_000, 40), 0},
+		{"improved", benchReport(70_000_000, 40), 0},
+		{"allocs-regressed", benchReport(100_000_000, 60), 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := writeJSON(t, t.TempDir(), "cur.json", tc.cur)
+			var out bytes.Buffer
+			code, err := run(&out, base, cur, "25%", false, nil)
+			if err != nil {
+				t.Fatalf("unexpected error: %v\n%s", err, out.String())
+			}
+			if code != tc.want {
+				t.Errorf("exit code = %d, want %d\n%s", code, tc.want, out.String())
+			}
+		})
+	}
+}
+
+// TestReportOnlyWithoutGate pins that an empty -max-regress never breaches,
+// even on a huge regression.
+func TestReportOnlyWithoutGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", benchReport(100, 0))
+	cur := writeJSON(t, dir, "cur.json", benchReport(1000, 0))
+	var out bytes.Buffer
+	code, err := run(&out, base, cur, "", false, nil)
+	if err != nil || code != 0 {
+		t.Fatalf("report-only run = (%d, %v), want (0, nil)", code, err)
+	}
+	if !strings.Contains(out.String(), "+900.0%") {
+		t.Errorf("report does not show the ratio:\n%s", out.String())
+	}
+}
+
+// TestEnvRefusal pins the cross-machine rule: differing platforms are an
+// error unless -allow-env-mismatch, and an unrecorded env is a warning.
+func TestEnvRefusal(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", benchReport(100, 0))
+	other := benchReport(100, 0)
+	other.Env.GOARCH = "arm64"
+	cur := writeJSON(t, dir, "cur.json", other)
+
+	var out bytes.Buffer
+	if _, err := run(&out, base, cur, "25%", false, nil); err == nil {
+		t.Error("cross-machine comparison accepted without -allow-env-mismatch")
+	}
+	out.Reset()
+	code, err := run(&out, base, cur, "25%", true, nil)
+	if err != nil || code != 0 {
+		t.Fatalf("-allow-env-mismatch run = (%d, %v), want (0, nil)", code, err)
+	}
+	if !strings.Contains(out.String(), "warning:") {
+		t.Errorf("downgraded mismatch not surfaced as warning:\n%s", out.String())
+	}
+
+	noEnv := benchReport(100, 0)
+	noEnv.Env = nil
+	curNoEnv := writeJSON(t, dir, "noenv.json", noEnv)
+	out.Reset()
+	code, err = run(&out, base, curNoEnv, "", false, nil)
+	if err != nil || code != 0 {
+		t.Fatalf("unrecorded-env run = (%d, %v), want (0, nil)", code, err)
+	}
+	if !strings.Contains(out.String(), "machine match unverified") {
+		t.Errorf("unrecorded env not warned about:\n%s", out.String())
+	}
+}
+
+func manifest(sweepNs int64, attempts int64) *obs.Manifest {
+	return &obs.Manifest{
+		Command: "shed", GoVersion: "go1.99", GOOS: "linux", GOARCH: "amd64", CPUs: 8,
+		WallNs:   sweepNs + 5_000_000,
+		Counters: map[string]int64{"crr.rewire.attempts": attempts},
+		Spans: &obs.SpanNode{
+			Name: "shed", DurNs: sweepNs + 5_000_000, Ended: true,
+			Children: []*obs.SpanNode{
+				{Name: "crr.sweep", DurNs: sweepNs, Ended: true},
+				{Name: "load", DurNs: 200_000, Ended: true}, // below the gate floor
+			},
+		},
+	}
+}
+
+// TestManifestDiff pins the manifest side: counter deltas are reported,
+// span wall ratios are gated, and sub-floor spans never breach.
+func TestManifestDiff(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", manifest(80_000_000, 1000))
+	var out bytes.Buffer
+	code, err := run(&out, base, writeJSON(t, dir, "same.json", manifest(80_000_000, 1000)), "25%", false, nil)
+	if err != nil || code != 0 {
+		t.Fatalf("identical manifests = (%d, %v), want (0, nil)\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "crr.rewire.attempts") {
+		t.Errorf("counter delta missing from report:\n%s", out.String())
+	}
+
+	out.Reset()
+	code, err = run(&out, base, writeJSON(t, dir, "slow.json", manifest(120_000_000, 1000)), "25%", false, nil)
+	if err != nil || code != 1 {
+		t.Fatalf("regressed sweep span = (%d, %v), want (1, nil)\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "shed/crr.sweep") {
+		t.Errorf("breach does not name the regressed span path:\n%s", out.String())
+	}
+
+	// A 10x blowup of a sub-floor span is noise, not a breach.
+	noisy := manifest(80_000_000, 1000)
+	noisy.Spans.Children[1].DurNs = 2_000_000
+	out.Reset()
+	code, err = run(&out, base, writeJSON(t, dir, "noisy.json", noisy), "25%", false, nil)
+	if err != nil || code != 0 {
+		t.Fatalf("sub-floor span blowup = (%d, %v), want (0, nil)\n%s", code, err, out.String())
+	}
+}
+
+// TestMixedKindsRefused pins that a manifest cannot be diffed against a
+// benchmark baseline.
+func TestMixedKindsRefused(t *testing.T) {
+	dir := t.TempDir()
+	b := writeJSON(t, dir, "bench.json", benchReport(100, 0))
+	m := writeJSON(t, dir, "manifest.json", manifest(1_000_000, 1))
+	var out bytes.Buffer
+	if _, err := run(&out, b, m, "", false, nil); err == nil {
+		t.Error("mixed kinds accepted")
+	}
+}
+
+func TestParseMaxRegress(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+		bad  bool
+	}{
+		{"", -1, false},
+		{"25%", 0.25, false},
+		{"0.25", 0.25, false},
+		{"100%", 1, false},
+		{"-5%", 0, true},
+		{"nope", 0, true},
+	} {
+		got, err := parseMaxRegress(tc.in)
+		if tc.bad != (err != nil) {
+			t.Errorf("parseMaxRegress(%q) err = %v, want bad=%v", tc.in, err, tc.bad)
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("parseMaxRegress(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDetectKindErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := detectKind(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("absent file accepted")
+	}
+	other := filepath.Join(dir, "other.json")
+	os.WriteFile(other, []byte(`{"hello": 1}`), 0o644)
+	if _, err := detectKind(other); err == nil {
+		t.Error("unrecognized document accepted")
+	}
+}

@@ -8,8 +8,11 @@
 // output preserves the original node labels. Reduction statistics (edge
 // counts, Δ, the theorem bound) are printed to stderr, and -stats-json
 // writes them machine-readable. The shared observability flags (-metrics,
-// -profile, -trace, -quiet, -v) capture a JSON run manifest, runtime
-// profiles and execution traces; see internal/obs.
+// -profile, -trace, -quiet, -v, -log-json) capture a JSON run manifest,
+// runtime profiles and execution traces; -debug-addr additionally serves
+// the run's live counters, span progress and pprof handlers over HTTP for
+// the run's duration, and -sample-interval records a runtime timeline
+// into the manifest. See internal/obs and DESIGN.md §8.
 package main
 
 import (

@@ -1,0 +1,169 @@
+// Package benchfmt is the shared model of the repository's committed
+// benchmark baselines (BENCH_*.json): the parser that turns `go test
+// -bench` text output into a Report (the producer side, cmd/benchjson) and
+// the reader that loads a committed baseline back (the consumer side,
+// cmd/obsdiff). Keeping both halves on one set of types is what lets the
+// regression gate trust the files it diffs.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"edgeshed/internal/obs"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix and the
+	// -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix, 1 if absent.
+	Procs int `json:"procs"`
+	// Iterations is the b.N the reported averages were taken over.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem, else 0.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Report is the BENCH_*.json document.
+type Report struct {
+	// Env identifies the machine and toolchain the numbers were measured
+	// on, so consumers can refuse cross-machine comparisons; absent in
+	// baselines recorded before it existed.
+	Env *obs.Env `json:"env,omitempty"`
+	// Benchmarks holds every parsed result line in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Speedups maps a benchmark stem to old-ns / new-ns for every stem that
+	// has both variants of a recognized pair (MapIndexed/CSRIndexed,
+	// Serial/Parallel).
+	Speedups map[string]float64 `json:"speedups,omitempty"`
+}
+
+// ByName indexes the report's benchmarks by name (last entry wins for
+// duplicates, which well-formed bench output does not produce).
+func (r *Report) ByName() map[string]Benchmark {
+	out := make(map[string]Benchmark, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		out[b.Name] = b
+	}
+	return out
+}
+
+// Parse scans `go test -bench` output, ignoring non-result lines
+// (goos/pkg/PASS/ok), and derives the recognized speedup pairs.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Speedups: map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseLine(line)
+		if ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	deriveSpeedups(rep)
+	return rep, nil
+}
+
+// ReadFile loads a committed BENCH_*.json baseline.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("benchfmt: parsing %s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchfmt: %s holds no benchmarks", path)
+	}
+	return &rep, nil
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8  10  123 ns/op  45 B/op  6 allocs/op
+//
+// reporting ok=false for lines that only look like results.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, true
+}
+
+// speedupPairs are the recognized old/new benchmark suffix conventions:
+// the old variant's ns/op divided by the new variant's becomes the stem's
+// speedup.
+var speedupPairs = [][2]string{
+	{"MapIndexed", "CSRIndexed"},
+	{"Serial", "Parallel"},
+}
+
+// deriveSpeedups fills Speedups from every benchmark pair matching a
+// recognized suffix convention.
+func deriveSpeedups(rep *Report) {
+	byName := rep.ByName()
+	for name, oldB := range byName {
+		for _, pair := range speedupPairs {
+			stem, ok := strings.CutSuffix(name, pair[0])
+			if !ok {
+				continue
+			}
+			newB, ok := byName[stem+pair[1]]
+			if !ok || newB.NsPerOp == 0 {
+				continue
+			}
+			rep.Speedups[stem] = oldB.NsPerOp / newB.NsPerOp
+		}
+	}
+	if len(rep.Speedups) == 0 {
+		rep.Speedups = nil
+	}
+}

@@ -1,0 +1,146 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edgeshed/internal/obs"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: edgeshed/internal/centrality
+cpu: some cpu
+BenchmarkEdgeBetweennessMapIndexed-8   	       2	  60000000 ns/op	  500000 B/op	    1200 allocs/op
+BenchmarkEdgeBetweennessCSRIndexed-8   	       6	  20000000 ns/op	  100000 B/op	      40 allocs/op
+BenchmarkCloseness-8                   	       3	   1000000 ns/op
+PASS
+ok  	edgeshed/internal/centrality	1.234s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "EdgeBetweennessMapIndexed" || b.Procs != 8 || b.Iterations != 2 {
+		t.Errorf("first benchmark parsed as %+v", b)
+	}
+	if b.NsPerOp != 60000000 || b.BytesPerOp != 500000 || b.AllocsPerOp != 1200 {
+		t.Errorf("metrics parsed as %+v", b)
+	}
+	if rep.Benchmarks[2].BytesPerOp != 0 || rep.Benchmarks[2].AllocsPerOp != 0 {
+		t.Errorf("benchmark without -benchmem columns parsed as %+v", rep.Benchmarks[2])
+	}
+	got, ok := rep.Speedups["EdgeBetweenness"]
+	if !ok {
+		t.Fatal("no EdgeBetweenness speedup derived")
+	}
+	if got < 2.99 || got > 3.01 {
+		t.Errorf("speedup = %v, want 3.0", got)
+	}
+}
+
+func TestParseIgnoresNonResultLines(t *testing.T) {
+	rep, err := Parse(strings.NewReader("BenchmarkBroken garbage\nBenchmarkAlso-bad\nnothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from garbage, want 0", len(rep.Benchmarks))
+	}
+	if rep.Speedups != nil {
+		t.Errorf("speedups = %v, want none", rep.Speedups)
+	}
+}
+
+func TestParseNameWithoutProcsSuffix(t *testing.T) {
+	rep, err := Parse(strings.NewReader("BenchmarkThing 	 5 	 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(rep.Benchmarks))
+	}
+	if b := rep.Benchmarks[0]; b.Name != "Thing" || b.Procs != 1 || b.NsPerOp != 100 {
+		t.Errorf("parsed as %+v", b)
+	}
+}
+
+func TestSerialParallelSpeedupPair(t *testing.T) {
+	input := `BenchmarkDistanceProfileSerial-4   	       1	  80000000 ns/op
+BenchmarkDistanceProfileParallel-4 	       4	  20000000 ns/op
+BenchmarkClusteringSerial          	       2	  30000000 ns/op
+`
+	rep, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rep.Speedups["DistanceProfile"]
+	if !ok {
+		t.Fatal("no DistanceProfile speedup derived from Serial/Parallel pair")
+	}
+	if got < 3.99 || got > 4.01 {
+		t.Errorf("speedup = %v, want 4.0", got)
+	}
+	if _, ok := rep.Speedups["Clustering"]; ok {
+		t.Error("unpaired ClusteringSerial produced a speedup")
+	}
+}
+
+// TestReadFileRoundTrip pins the consumer half: a marshaled Report (with
+// env) loads back through ReadFile bit-compatibly, and ByName indexes it.
+func TestReadFileRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Env = obs.CaptureEnv()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != len(rep.Benchmarks) {
+		t.Fatalf("round-trip lost benchmarks: %d != %d", len(back.Benchmarks), len(rep.Benchmarks))
+	}
+	if back.Env == nil || back.Env.GOOS != rep.Env.GOOS || back.Env.CPUs != rep.Env.CPUs {
+		t.Fatalf("env did not round-trip: %+v", back.Env)
+	}
+	if b, ok := back.ByName()["Closeness"]; !ok || b.NsPerOp != 1000000 {
+		t.Fatalf("ByName lookup = %+v, %v", b, ok)
+	}
+}
+
+// TestReadFileRejectsBadBaselines pins the error paths the gate depends on:
+// a missing file, malformed JSON, and a benchmark-less document all fail.
+func TestReadFileRejectsBadBaselines(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadFile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("absent baseline accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if _, err := ReadFile(bad); err == nil {
+		t.Error("malformed baseline accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"benchmarks":[]}`), 0o644)
+	if _, err := ReadFile(empty); err == nil {
+		t.Error("benchmark-less baseline accepted")
+	}
+}

@@ -300,6 +300,7 @@ func both(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([]float64, []
 	workers := par.Workers(opt.Workers, shards)
 	sp := opt.Obs.Start("betweenness")
 	defer sp.End()
+	sp.SetTotal(int64(len(srcs)))
 	srcCtr := sp.Counter("betweenness.sources_done")
 	type partial struct {
 		nodes, edges []float64
@@ -323,6 +324,7 @@ func both(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([]float64, []
 			for i := s; i < len(srcs); i += shards {
 				st.run(c, srcs[i], nodeAcc, edgeAcc)
 				done++
+				sp.Done(1)
 			}
 			parts[s] = partial{nodes: nodeAcc, edges: edgeAcc}
 		}

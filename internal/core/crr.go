@@ -93,6 +93,12 @@ type CRR struct {
 // adaptiveWindow is the trailing-attempt window for AdaptiveStop.
 const adaptiveWindow = 256
 
+// rewireFlush is how many Phase 2 attempts pass between live flushes of
+// the rewire counters and span progress. Large enough that the flush is
+// invisible next to the per-attempt work, small enough that a debug-plane
+// scrape of a multi-second rewire sees fresh numbers.
+const rewireFlush = 1 << 20
+
 // Name implements Reducer.
 func (CRR) Name() string { return "CRR" }
 
@@ -136,6 +142,7 @@ func (c CRR) Sweep(g *graph.Graph, ps []float64) ([]*Result, error) {
 	}
 	sp := c.Obs.Start("crr.sweep")
 	defer sp.End()
+	sp.SetTotal(int64(len(ps)))
 	scores := c.edgeImportance(g, sp)
 	// Build the shared read-only views before the fan-out: CSR construction
 	// is cached behind a sync.Once, but forcing it here keeps the workers'
@@ -151,6 +158,7 @@ func (c CRR) Sweep(g *graph.Graph, ps []float64) ([]*Result, error) {
 		}
 		for i := w; i < len(ps); i += workers {
 			out[i], errs[i] = c.reduce(g, ps[i], scores, sweepSeed(c.Seed, i), sp)
+			sp.Done(1)
 		}
 		if sp.Enabled() {
 			sp.WorkerBusy(w, time.Since(t0))
@@ -236,13 +244,29 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64, par
 		rw := sp.Start("crr.phase2.rewire")
 		rng := rand.New(rand.NewSource(seed))
 		steps := c.steps(tgt)
+		rw.SetTotal(int64(steps))
+		// Live counters flush every rewireFlush attempts so a /metrics or
+		// /progress scrape mid-run sees Phase 2 advancing; the loop itself only
+		// pays a nil check per step when observability is off. The tallies stay
+		// plain locals (accepted resets per AdaptiveStop window, so it cannot
+		// serve as the run total) and the remainder folds in after the loop,
+		// making the final counter values independent of scrape timing.
+		var attCtr, accCtr *obs.Counter
+		if rw.Enabled() {
+			attCtr = rw.Counter("crr.rewire.attempts")
+			accCtr = rw.Counter("crr.rewire.accepted")
+		}
 		accepted, window := 0, 0
-		// attempts/acceptedTotal are plain local tallies (accepted resets per
-		// AdaptiveStop window, so it cannot serve as the run total); they fold
-		// into observability counters only after the loop, when enabled.
 		attempts, acceptedTotal := 0, 0
+		flushedAtt, flushedAcc := 0, 0
 		for i := 0; i < steps; i++ {
 			attempts++
+			if attCtr != nil && attempts%rewireFlush == 0 {
+				attCtr.Add(int64(attempts - flushedAtt))
+				accCtr.Add(int64(acceptedTotal - flushedAcc))
+				rw.Done(int64(attempts - flushedAtt))
+				flushedAtt, flushedAcc = attempts, acceptedTotal
+			}
 			ki := rng.Intn(tgt)         // e1 ∈ E'
 			si := tgt + rng.Intn(m-tgt) // e2 ∈ E \ E'
 			e1, e2 := kept[ki], kept[si]
@@ -285,8 +309,9 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64, par
 			}
 		}
 		if rw.Enabled() {
-			rw.Counter("crr.rewire.attempts").Add(int64(attempts))
-			rw.Counter("crr.rewire.accepted").Add(int64(acceptedTotal))
+			attCtr.Add(int64(attempts - flushedAtt))
+			accCtr.Add(int64(acceptedTotal - flushedAcc))
+			rw.Done(int64(attempts - flushedAtt))
 		}
 		rw.End()
 	}

@@ -45,6 +45,19 @@ type Config struct {
 	// discipline, so measured values are identical at any worker count
 	// (timings, of course, are not).
 	Workers int
+	// Progress, when non-nil, receives one printf-style line per completed
+	// unit of experiment work — a (dataset, p, method) cell, a figure
+	// series, a sweep point — so long sweeps show signs of life instead of
+	// printing nothing until the final table. cmd/experiments wires it to
+	// the -v logger; nil drops the lines at no cost.
+	Progress func(format string, args ...any)
+}
+
+// progress reports one completed unit of work to the configured sink.
+func (c Config) progress(format string, args ...any) {
+	if c.Progress != nil {
+		c.Progress(format, args...)
+	}
 }
 
 // PsOrDefault exposes the effective preservation ratios (the default sweep

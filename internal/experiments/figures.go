@@ -38,6 +38,7 @@ func runFig4(cfg Config) error {
 				return err
 			}
 			tbl.addRow(fmt.Sprintf("%.0f", x), f4(res.AvgDelta()), fsec(dur))
+			cfg.progress("fig4 %s: x=%.0f in %s", name, x, fsec(dur))
 		}
 		if err := cfg.render(tbl); err != nil {
 			return err
@@ -68,6 +69,7 @@ func runFig5ab(cfg Config) error {
 		tbl.addRow(f3(p),
 			f4(crrRes.AvgDisPerNode()), f4(core.CRRBound(g, p)),
 			f4(bm2Res.AvgDisPerNode()), f4(core.BM2Bound(g, p)))
+		cfg.progress("fig5ab: p=%s done", f3(p))
 	}
 	return cfg.render(tbl)
 }
@@ -90,6 +92,7 @@ func (c Config) reduceAll(g *graph.Graph, p float64) ([]reduction, error) {
 			return nil, fmt.Errorf("%s at p=%v: %w", r.Name(), p, err)
 		}
 		out = append(out, reduction{name: r.Name(), g: res.Reduced})
+		c.progress("reduced with %s p=%s: |E| %d -> %d", r.Name(), f3(p), g.NumEdges(), res.Reduced.NumEdges())
 	}
 	return out, nil
 }

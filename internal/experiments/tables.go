@@ -39,6 +39,7 @@ func runT3(cfg Config) error {
 					return err
 				}
 				row = append(row, fsec(dur))
+				cfg.progress("t3 %s: %s p=%s in %s", name, r.Name(), f3(p), fsec(dur))
 			}
 			tbl.addRow(row...)
 		}
@@ -147,6 +148,7 @@ func totalTimeTable(cfg Config, caption, datasetName string, specs []taskSpec, p
 					return err
 				}
 				row = append(row, fsec(dur))
+				cfg.progress("%s %s/%s: %s p=%s in %s", caption, datasetName, spec.name, r.Name(), f3(p), fsec(dur))
 			}
 			tbl.addRow(row...)
 		}
@@ -182,6 +184,7 @@ func analysisTimeTable(cfg Config, caption, datasetName string, specs []taskSpec
 				return err
 			}
 			reduced[key{r.Name(), p}] = res.Reduced
+			cfg.progress("%s %s: reduced with %s p=%s", caption, datasetName, r.Name(), f3(p))
 		}
 	}
 	for _, spec := range specs {
@@ -206,6 +209,7 @@ func analysisTimeTable(cfg Config, caption, datasetName string, specs []taskSpec
 					return err
 				}
 				row = append(row, fsec(dur))
+				cfg.progress("%s %s/%s: %s p=%s in %s", caption, datasetName, spec.name, r.Name(), f3(p), fsec(dur))
 			}
 			tbl.addRow(row...)
 		}
@@ -269,6 +273,7 @@ func topKTable(cfg Config, caption string, datasets []string, skipUDSFor map[str
 					util = task.Utility(g, res.Reduced)
 				}
 				row = append(row, f3(util))
+				cfg.progress("%s %s: %s p=%s utility=%s", caption, name, r.Name(), f3(p), f3(util))
 			}
 			tbl.addRow(row...)
 		}
@@ -313,6 +318,7 @@ func runT10(cfg Config) error {
 					return err
 				}
 				row = append(row, f3(task.Utility(g, res.Reduced)))
+				cfg.progress("t10 %s: %s p=%s", name, r.Name(), f3(p))
 			}
 			tbl.addRow(row...)
 		}

@@ -1,20 +1,23 @@
 package obs
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"strings"
 	"time"
 )
 
 // CLI holds the shared observability flags every cmd binary registers
 // through BindFlags: capture hooks (-profile, -profile-out, -trace,
-// -metrics) and the stderr progress logger's verbosity (-quiet, -v).
-// After flag parsing, Start turns the requested captures on and returns
-// the run's Session.
+// -metrics), the live debug plane (-debug-addr), the background runtime
+// sampler (-sample-interval) and the stderr progress logger's verbosity and
+// format (-quiet, -v, -log-json). After flag parsing, Start turns the
+// requested captures on and returns the run's Session.
 type CLI struct {
 	// Profile selects a runtime profile to capture: "cpu", "mem" or
 	// "block"; empty captures none.
@@ -26,10 +29,24 @@ type CLI struct {
 	// MetricsPath, when non-empty, writes the JSON run manifest there and
 	// enables the Recorder the kernels report spans and counters into.
 	MetricsPath string
+	// DebugAddr, when non-empty, serves the live debug plane there for the
+	// run's duration: /metrics (Prometheus text exposition), /progress
+	// (live span tree with ETAs), /healthz and /debug/pprof/*. Setting it
+	// enables the Recorder even without -metrics, so live scrapes have
+	// counters and spans to read.
+	DebugAddr string
+	// SampleInterval, when positive, runs the background runtime sampler:
+	// a timestamped timeline of heap, GC and goroutine observations
+	// recorded into the manifest's runtime_timeline.
+	SampleInterval time.Duration
 	// Quiet suppresses progress output on stderr.
 	Quiet bool
-	// Verbose enables extra progress output on stderr.
+	// Verbose enables extra progress output on stderr, including the
+	// periodic span-progress heartbeat when a Recorder is live.
 	Verbose bool
+	// LogJSON emits every log line as a JSON object {ts, level, msg} for
+	// machine consumption instead of plain text.
+	LogJSON bool
 
 	fs *flag.FlagSet
 }
@@ -42,8 +59,11 @@ func BindFlags(fs *flag.FlagSet) *CLI {
 	fs.StringVar(&c.ProfileOut, "profile-out", "", "profile output path (default <mode>.pprof)")
 	fs.StringVar(&c.TracePath, "trace", "", "capture a runtime execution trace to this file")
 	fs.StringVar(&c.MetricsPath, "metrics", "", "write a JSON run manifest to this file")
+	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve the live debug plane (/metrics, /progress, /healthz, /debug/pprof) on this address for the run's duration")
+	fs.DurationVar(&c.SampleInterval, "sample-interval", 0, "sample heap/GC/goroutine stats on this interval into the manifest's runtime timeline (0 = off)")
 	fs.BoolVar(&c.Quiet, "quiet", false, "suppress progress output on stderr")
 	fs.BoolVar(&c.Verbose, "v", false, "verbose progress output on stderr")
+	fs.BoolVar(&c.LogJSON, "log-json", false, "emit log lines as JSON objects (ts, level, msg)")
 	return c
 }
 
@@ -57,9 +77,11 @@ func (c *CLI) profilePath() string {
 
 // Start begins the run's observability session for the named command:
 // starts the CPU profile and execution trace if requested, arms block
-// profiling, snapshots memory, and — when a manifest was requested —
-// creates the Recorder whose root span times the whole run. Call exactly
-// once, after flag parsing; pair with Session.Close.
+// profiling, snapshots memory, creates the Recorder whose root span times
+// the whole run when -metrics or -debug-addr asked for one, binds the live
+// debug plane, and launches the background runtime sampler and the -v
+// progress heartbeat. Call exactly once, after flag parsing; pair with
+// Session.Close.
 func (c *CLI) Start(command string) (*Session, error) {
 	s := &Session{cli: c, command: command, startWall: time.Now()}
 	runtime.ReadMemStats(&s.memBefore)
@@ -95,8 +117,23 @@ func (c *CLI) Start(command string) (*Session, error) {
 		}
 		s.traceFile = f
 	}
-	if c.MetricsPath != "" {
+	if c.MetricsPath != "" || c.DebugAddr != "" {
 		s.rec = New(command)
+	}
+	if c.DebugAddr != "" {
+		d, err := startDebugServer(c.DebugAddr, s.rec)
+		if err != nil {
+			s.stopCaptures()
+			return nil, err
+		}
+		s.debug = d
+		s.Verbosef("debug plane listening on %s", d.Addr())
+	}
+	if c.SampleInterval > 0 {
+		s.smp = startSampler(c.SampleInterval, s.startWall)
+	}
+	if c.Verbose && !c.Quiet && s.rec != nil {
+		s.startHeartbeat(heartbeatInterval)
 	}
 	return s, nil
 }
@@ -116,14 +153,29 @@ type Session struct {
 	cpuFile   *os.File
 	traceFile *os.File
 
+	debug         *debugServer
+	smp           *sampler
+	heartbeatStop chan struct{}
+	heartbeatDone chan struct{}
+
 	graph   *GraphInfo
 	seed    int64
 	workers int
 }
 
-// Recorder returns the session's recorder — nil unless -metrics enabled
-// it, which is exactly the nil kernels should receive so disabled runs pay
-// nothing.
+// DebugServerAddr returns the live debug plane's bound address ("" when
+// -debug-addr is off). With "-debug-addr :0" this is how callers and tests
+// learn the kernel-assigned port.
+func (s *Session) DebugServerAddr() string {
+	if s == nil {
+		return ""
+	}
+	return s.debug.Addr()
+}
+
+// Recorder returns the session's recorder — nil unless -metrics or
+// -debug-addr enabled it, which is exactly the nil kernels should receive
+// so disabled runs pay nothing.
 func (s *Session) Recorder() *Recorder {
 	if s == nil {
 		return nil
@@ -172,7 +224,7 @@ func (s *Session) Logf(format string, args ...any) {
 	if s != nil && s.cli != nil && s.cli.Quiet {
 		return
 	}
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	s.emitLog("info", format, args...)
 }
 
 // Verbosef prints one progress line to stderr only when -v was given.
@@ -180,7 +232,116 @@ func (s *Session) Verbosef(format string, args ...any) {
 	if s == nil || s.cli == nil || !s.cli.Verbose || s.cli.Quiet {
 		return
 	}
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	s.emitLog("debug", format, args...)
+}
+
+// emitLog writes one log line: plain text by default, or a JSON object
+// {ts, level, msg} under -log-json. JSON lines are built with the encoder
+// (not string concatenation), so messages with quotes or newlines stay
+// valid JSON.
+func (s *Session) emitLog(level, format string, args ...any) {
+	if s == nil || s.cli == nil || !s.cli.LogJSON {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		return
+	}
+	line, err := json.Marshal(struct {
+		TS    string `json:"ts"`
+		Level string `json:"level"`
+		Msg   string `json:"msg"`
+	}{
+		TS:    time.Now().UTC().Format(time.RFC3339Nano),
+		Level: level,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s\n", line)
+}
+
+// heartbeatInterval paces the -v progress heartbeat; a variable so tests
+// can tighten it.
+var heartbeatInterval = 10 * time.Second
+
+// startHeartbeat launches the periodic span-progress logger: every interval
+// it snapshots the live span tree and prints one line summarizing every
+// open span with unit progress (done/total, percent, ETA). Stopped by
+// Close before the manifest is written.
+func (s *Session) startHeartbeat(interval time.Duration) {
+	s.heartbeatStop = make(chan struct{})
+	s.heartbeatDone = make(chan struct{})
+	go func() {
+		defer close(s.heartbeatDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.heartbeatStop:
+				return
+			case <-t.C:
+				if line := heartbeatLine(s.rec.SpanTree()); line != "" {
+					s.Verbosef("heartbeat: %s", line)
+				}
+			}
+		}
+	}()
+}
+
+// stopHeartbeat halts the heartbeat goroutine and waits for it, so no log
+// line can race the session teardown.
+func (s *Session) stopHeartbeat() {
+	if s.heartbeatStop == nil {
+		return
+	}
+	close(s.heartbeatStop)
+	<-s.heartbeatDone
+	s.heartbeatStop = nil
+}
+
+// heartbeatLine renders one progress summary from a span-tree snapshot:
+// every open span with unit progress as "name done/total (pp%) eta d",
+// joined with "; ". With no progress-carrying span open it falls back to
+// the deepest open span's name and elapsed time, so heartbeats never go
+// silent mid-run; an all-ended tree yields "".
+func heartbeatLine(t *SpanNode) string {
+	if t == nil {
+		return ""
+	}
+	var parts []string
+	var walk func(n *SpanNode)
+	var deepest *SpanNode
+	var walkOpen func(n *SpanNode)
+	walk = func(n *SpanNode) {
+		if !n.Ended && n.Total > 0 {
+			p := fmt.Sprintf("%s %d/%d (%.0f%%)", n.Name, n.Done, n.Total, 100*float64(n.Done)/float64(n.Total))
+			if n.EtaNs > 0 {
+				p += fmt.Sprintf(" eta %s", time.Duration(n.EtaNs).Round(time.Second))
+			}
+			parts = append(parts, p)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walkOpen = func(n *SpanNode) {
+		if n.Ended {
+			return
+		}
+		deepest = n
+		for _, c := range n.Children {
+			walkOpen(c)
+		}
+	}
+	walk(t)
+	if len(parts) > 0 {
+		return strings.Join(parts, "; ")
+	}
+	walkOpen(t)
+	if deepest == nil {
+		return ""
+	}
+	return fmt.Sprintf("in %s for %s", deepest.Name, time.Duration(deepest.DurNs).Round(time.Second))
 }
 
 // stopCaptures halts the CPU profile and trace if running; safe to call
@@ -198,15 +359,21 @@ func (s *Session) stopCaptures() {
 	}
 }
 
-// Close ends the session: stops the CPU profile and trace, writes the heap
-// or block profile if one was requested, and — when -metrics asked for a
-// manifest — ends the root span and writes the manifest (verifying it
-// parses back). Call once, after the command's work finished; its error is
-// the command's to report. Nil-safe.
+// Close ends the session: stops the heartbeat, the runtime sampler and the
+// debug plane, then the CPU profile and trace, writes the heap or block
+// profile if one was requested, and — when -metrics asked for a manifest —
+// ends the root span and writes the manifest (verifying it parses back),
+// with the sampler's timeline embedded. Call once, after the command's
+// work finished; its error is the command's to report. Nil-safe.
 func (s *Session) Close() error {
 	if s == nil {
 		return nil
 	}
+	s.stopHeartbeat()
+	timeline := s.smp.Stop()
+	s.smp = nil
+	s.debug.stop()
+	s.debug = nil
 	s.stopCaptures()
 	var firstErr error
 	switch {
@@ -221,7 +388,7 @@ func (s *Session) Close() error {
 			firstErr = err
 		}
 	}
-	if s.rec != nil {
+	if s.rec != nil && s.cli != nil && s.cli.MetricsPath != "" {
 		s.rec.Root().End()
 		var after runtime.MemStats
 		runtime.ReadMemStats(&after)
@@ -243,6 +410,7 @@ func (s *Session) Close() error {
 			Gauges:         s.rec.GaugeValues(),
 			Mem:            memDelta(&s.memBefore, &after),
 			RuntimeMetrics: captureRuntimeMetrics(),
+			Timeline:       timeline,
 		}
 		if err := m.WriteFile(s.cli.MetricsPath); err != nil && firstErr == nil {
 			firstErr = err

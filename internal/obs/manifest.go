@@ -53,6 +53,11 @@ type Manifest struct {
 	// RuntimeMetrics holds a curated set of runtime/metrics samples taken
 	// at the end of the run, keyed by metric name.
 	RuntimeMetrics map[string]float64 `json:"runtime_metrics,omitempty"`
+	// Timeline is the background runtime sampler's timestamped series of
+	// heap/GC/goroutine observations (-sample-interval); absent when the
+	// sampler was off. Where Mem says how much a run allocated, the timeline
+	// says when.
+	Timeline []RuntimeSample `json:"runtime_timeline,omitempty"`
 }
 
 // GraphInfo is the input graph's size as recorded in a Manifest.

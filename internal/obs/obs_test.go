@@ -60,11 +60,16 @@ func TestNilReceiversNoOp(t *testing.T) {
 // record worker busy time, end.
 func disabledKernelPath(parent *Span) {
 	sp := parent.Start("phase")
+	sp.SetTotal(100)
 	ctr := sp.Counter("events")
 	for i := 0; i < 8; i++ {
 		ctr.AddAt(i, 1)
+		sp.Done(1)
 	}
 	ctr.Add(1)
+	if d, tot := sp.Progress(); d != 0 || tot != 0 {
+		panic("nil span reported progress")
+	}
 	sp.Gauge("level").SetMax(42)
 	sp.WorkerBusy(0, time.Millisecond)
 	sp.End()
@@ -205,6 +210,37 @@ func TestSpanDurations(t *testing.T) {
 	// The never-ended root keeps growing until ended.
 	if after.DurNs <= before.DurNs {
 		t.Errorf("open root span did not advance: %d then %d", before.DurNs, after.DurNs)
+	}
+}
+
+// TestSpanProgressAndETA pins the unit-progress contract: SetTotal/Done
+// surface as done/total on the snapshot node, an open span with partial
+// progress extrapolates a positive ETA, and ending the span freezes the
+// numbers with no ETA.
+func TestSpanProgressAndETA(t *testing.T) {
+	r := New("root")
+	sp := r.Root().Start("sweep")
+	sp.SetTotal(4)
+	sp.Done(1)
+	time.Sleep(2 * time.Millisecond)
+	sp.Done(1)
+	n := r.SpanTree().Children[0]
+	if n.Done != 2 || n.Total != 4 {
+		t.Fatalf("progress = %d/%d, want 2/4", n.Done, n.Total)
+	}
+	if n.Ended {
+		t.Fatal("open span snapshot marked ended")
+	}
+	if n.EtaNs <= 0 {
+		t.Fatalf("open span at 2/4 has eta %d, want > 0", n.EtaNs)
+	}
+	if d, tot := sp.Progress(); d != 2 || tot != 4 {
+		t.Fatalf("Progress() = %d/%d, want 2/4", d, tot)
+	}
+	sp.End()
+	n = r.SpanTree().Children[0]
+	if !n.Ended || n.EtaNs != 0 {
+		t.Fatalf("ended span: ended=%v eta=%d, want true/0", n.Ended, n.EtaNs)
 	}
 }
 

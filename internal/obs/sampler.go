@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RuntimeSample is one point of the run's runtime timeline: a timestamped
+// observation of heap size, GC effort and scheduler width. A timeline of
+// these (manifest field "runtime_timeline", captured by the -sample-interval
+// background sampler) shows *when* a run's memory peaked or its GC churned —
+// the before/after MemSnapshot only shows that it did.
+type RuntimeSample struct {
+	// OffsetNs is the sample's offset from the session start.
+	OffsetNs int64 `json:"offset_ns"`
+	// HeapAllocBytes is the live heap at sample time.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	// HeapSysBytes is the heap memory obtained from the OS at sample time.
+	HeapSysBytes uint64 `json:"heap_sys_bytes"`
+	// GCPauseTotalNs is the cumulative stop-the-world pause time since
+	// process start.
+	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
+	// NumGC is the completed GC cycle count since process start.
+	NumGC uint32 `json:"num_gc"`
+	// Goroutines is the live goroutine count.
+	Goroutines int `json:"goroutines"`
+}
+
+// sampler is the background runtime-timeline collector: one goroutine
+// sampling on a fixed interval until stopped. Samples accumulate under a
+// mutex so a live /progress consumer or the closing session can read them
+// while the goroutine still runs.
+type sampler struct {
+	origin time.Time
+
+	mu      sync.Mutex
+	samples []RuntimeSample
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// startSampler begins sampling every interval, with offsets relative to
+// origin. One sample is taken immediately so even sessions shorter than the
+// interval record a point.
+func startSampler(interval time.Duration, origin time.Time) *sampler {
+	s := &sampler{origin: origin, stop: make(chan struct{}), done: make(chan struct{})}
+	s.sample()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.sample()
+			}
+		}
+	}()
+	return s
+}
+
+// sample appends one observation. runtime.ReadMemStats briefly stops the
+// world, which is why the sampler is opt-in and interval-driven rather than
+// always on.
+func (s *sampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p := RuntimeSample{
+		OffsetNs:       time.Since(s.origin).Nanoseconds(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		GCPauseTotalNs: ms.PauseTotalNs,
+		NumGC:          ms.NumGC,
+		Goroutines:     runtime.NumGoroutine(),
+	}
+	s.mu.Lock()
+	s.samples = append(s.samples, p)
+	s.mu.Unlock()
+}
+
+// Samples snapshots the timeline collected so far.
+func (s *sampler) Samples() []RuntimeSample {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RuntimeSample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// Stop takes one final sample, halts the goroutine and returns the full
+// timeline. Nil-safe; safe to call once.
+func (s *sampler) Stop() []RuntimeSample {
+	if s == nil {
+		return nil
+	}
+	close(s.stop)
+	<-s.done
+	s.sample()
+	return s.Samples()
+}

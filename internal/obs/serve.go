@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The live debug plane: an opt-in stdlib HTTP server (bound via the
+// -debug-addr flag, see CLI) that exposes the run's Recorder while it is
+// still running — the counterpart of the post-mortem manifest. Endpoints:
+//
+//	/metrics        live counters, gauges and runtime/metrics in Prometheus
+//	                text exposition format
+//	/progress       the live span tree as JSON, with elapsed times, unit
+//	                progress and ETAs
+//	/healthz        liveness probe, always "ok"
+//	/debug/pprof/   the standard net/http/pprof profile handlers
+//
+// The server holds no state of its own: every scrape snapshots the Recorder
+// (counters merge shards, the span tree copies under the span mutexes), so
+// scraping is safe at any moment of a parallel kernel and never perturbs
+// results — pinned by the concurrent-scrape race test.
+
+// NewDebugHandler returns the debug plane's HTTP handler over rec. A nil
+// Recorder is served gracefully (empty metric set, null span tree), so the
+// handler can be constructed before recording starts.
+func NewDebugHandler(rec *Recorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, rec)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(progressSnapshot(rec))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ProgressSnapshot is the /progress response: one consistent view of the
+// run's live span tree.
+type ProgressSnapshot struct {
+	// Command is the root span's name, identifying the observed binary.
+	Command string `json:"command"`
+	// ElapsedNs is the wall time since the Recorder started.
+	ElapsedNs int64 `json:"elapsed_ns"`
+	// Spans is the live span tree; open spans report their duration so far,
+	// and spans with unit progress carry done/total/eta_ns.
+	Spans *SpanNode `json:"spans"`
+}
+
+// progressSnapshot builds the /progress document; a nil Recorder yields an
+// empty snapshot.
+func progressSnapshot(rec *Recorder) *ProgressSnapshot {
+	if rec == nil {
+		return &ProgressSnapshot{}
+	}
+	tree := rec.SpanTree()
+	return &ProgressSnapshot{
+		Command:   tree.Name,
+		ElapsedNs: time.Since(rec.start).Nanoseconds(),
+		Spans:     tree,
+	}
+}
+
+// writeMetrics renders the Prometheus text exposition: every Recorder
+// counter as an edgeshed_*_total counter, every gauge as an edgeshed_*
+// gauge, and the curated runtime/metrics set as go_* gauges. Families are
+// emitted in sorted name order so consecutive scrapes diff cleanly.
+func writeMetrics(w http.ResponseWriter, rec *Recorder) {
+	if rec != nil {
+		fmt.Fprintf(w, "# TYPE edgeshed_run_info gauge\nedgeshed_run_info{command=%q} 1\n", rec.root.name)
+		counters := rec.CounterValues()
+		for _, name := range sortedKeys(counters) {
+			m := "edgeshed_" + sanitizeMetricName(name) + "_total"
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, counters[name])
+		}
+		gauges := rec.GaugeValues()
+		for _, name := range sortedKeys(gauges) {
+			m := "edgeshed_" + sanitizeMetricName(name)
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m, m, gauges[name])
+		}
+	}
+	rm := captureRuntimeMetrics()
+	for _, name := range sortedFloatKeys(rm) {
+		m := "go_" + sanitizeMetricName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", m, m, rm[name])
+	}
+}
+
+// sanitizeMetricName maps an internal dotted or runtime/metrics-style name
+// onto the Prometheus charset [a-zA-Z0-9_]: every other rune becomes '_',
+// runs collapse, and edges are trimmed ("crr.rewire.attempts" →
+// "crr_rewire_attempts", "/memory/classes/heap/objects:bytes" →
+// "memory_classes_heap_objects_bytes").
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	lastUnderscore := true // trims a leading separator
+	for _, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		if r == '_' {
+			if lastUnderscore {
+				continue
+			}
+			lastUnderscore = true
+		} else {
+			lastUnderscore = false
+		}
+		b.WriteRune(r)
+	}
+	return strings.TrimSuffix(b.String(), "_")
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedFloatKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// debugServer is one live debug plane: the listener and the goroutine
+// serving it, owned by a Session.
+type debugServer struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// startDebugServer binds addr and serves the debug plane for rec in a
+// background goroutine until stopped.
+func startDebugServer(addr string, rec *Recorder) (*debugServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: binding -debug-addr %s: %w", addr, err)
+	}
+	d := &debugServer{l: l, srv: &http.Server{Handler: NewDebugHandler(rec)}}
+	go d.srv.Serve(l)
+	return d, nil
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (d *debugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.l.Addr().String()
+}
+
+// stop closes the listener and the server; in-flight scrapes are cut off —
+// the plane exists for the duration of the run only.
+func (d *debugServer) stop() {
+	if d == nil {
+		return
+	}
+	d.srv.Close()
+}

@@ -1,0 +1,178 @@
+package obs_test
+
+// External test package: the concurrent-scrape test drives a real kernel
+// (core.CRR) under the debug plane, and core already imports obs.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"edgeshed/internal/core"
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+	"edgeshed/internal/obs"
+)
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp
+}
+
+// TestDebugHandlerEndpoints pins the debug plane's surface: /healthz
+// liveness, /metrics in Prometheus text exposition with sanitized names,
+// /progress as a span-tree JSON document, and the pprof index.
+func TestDebugHandlerEndpoints(t *testing.T) {
+	rec := obs.New("shed")
+	rec.Counter("crr.rewire.attempts").Add(123)
+	rec.Gauge("graph.edges").Set(500)
+	sp := rec.Root().Start("crr.sweep")
+	sp.SetTotal(10)
+	sp.Done(4)
+
+	srv := httptest.NewServer(obs.NewDebugHandler(rec))
+	defer srv.Close()
+
+	body, resp := get(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+
+	body, resp = get(t, srv.URL+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q, want Prometheus text exposition", ct)
+	}
+	for _, want := range []string{
+		"# TYPE edgeshed_crr_rewire_attempts_total counter",
+		"edgeshed_crr_rewire_attempts_total 123",
+		"# TYPE edgeshed_graph_edges gauge",
+		"edgeshed_graph_edges 500",
+		`edgeshed_run_info{command="shed"} 1`,
+		"go_sched_gomaxprocs_threads",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	body, _ = get(t, srv.URL+"/progress")
+	var snap obs.ProgressSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/progress is not JSON: %v\n%s", err, body)
+	}
+	if snap.Command != "shed" || snap.ElapsedNs <= 0 {
+		t.Errorf("/progress header = %+v", snap)
+	}
+	if snap.Spans == nil || len(snap.Spans.Children) != 1 {
+		t.Fatalf("/progress span tree = %+v", snap.Spans)
+	}
+	sweep := snap.Spans.Children[0]
+	if sweep.Name != "crr.sweep" || sweep.Done != 4 || sweep.Total != 10 || sweep.EtaNs <= 0 {
+		t.Errorf("open sweep span = %+v, want 4/10 with positive eta", sweep)
+	}
+
+	body, resp = get(t, srv.URL+"/debug/pprof/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", resp.StatusCode)
+	}
+}
+
+// TestDebugHandlerNilRecorder pins that the plane degrades gracefully with
+// no recorder: runtime metrics still flow, progress is an empty document.
+func TestDebugHandlerNilRecorder(t *testing.T) {
+	srv := httptest.NewServer(obs.NewDebugHandler(nil))
+	defer srv.Close()
+	body, resp := get(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "go_") {
+		t.Errorf("/metrics without recorder = %d:\n%s", resp.StatusCode, body)
+	}
+	if strings.Contains(body, "edgeshed_") {
+		t.Errorf("/metrics without recorder emits app metrics:\n%s", body)
+	}
+	body, resp = get(t, srv.URL+"/progress")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/progress without recorder = %d", resp.StatusCode)
+	}
+	var snap obs.ProgressSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/progress is not JSON: %v", err)
+	}
+}
+
+// TestConcurrentScrapeDuringSweep is the issue's race check: /metrics and
+// /progress are hammered from a goroutine while CRR.Sweep runs at
+// Workers=4, under -race in CI (make race), and the swept edge sets must
+// be bit-identical to an unobserved, unscraped run.
+func TestConcurrentScrapeDuringSweep(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 7)
+	ps := []float64{0.7, 0.5, 0.3}
+	base := core.CRR{Seed: 11, Steps: 4000, Workers: 4}
+	want, err := base.Sweep(g, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := obs.New("scrape-test")
+	srv := httptest.NewServer(obs.NewDebugHandler(rec))
+	defer srv.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, path := range []string{"/metrics", "/progress"} {
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}()
+
+	observed := base
+	observed.Obs = rec.Root()
+	got, err := observed.Sweep(g, ps)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		assertSameEdges(t, want[i].Reduced, got[i].Reduced)
+	}
+}
+
+// assertSameEdges is the bit-identity criterion: the exact same edge list.
+func assertSameEdges(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		t.Fatalf("edge counts differ under scraping: %d vs %d", len(ae), len(be))
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs under scraping: %v vs %v", i, ae[i], be[i])
+		}
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,6 +20,13 @@ type Span struct {
 	rec   *Recorder
 	name  string
 	start time.Time
+
+	// total and done are the span's optional unit-progress counts (BFS
+	// sources completed, sweep ratios finished, suite tasks done). They are
+	// plain atomics, not mutex-guarded: Done is called per completed work
+	// unit, possibly from parallel workers, and must stay wait-free.
+	total atomic.Int64
+	done  atomic.Int64
 
 	mu         sync.Mutex
 	dur        time.Duration
@@ -75,6 +83,37 @@ func (s *Span) WorkerBusy(w int, d time.Duration) {
 	s.mu.Unlock()
 }
 
+// SetTotal declares how many work units the span expects to complete, the
+// denominator for /progress percentages, ETAs and -v heartbeat lines.
+// Nil-safe; 0 (never set) means the span has no unit notion.
+func (s *Span) SetTotal(n int64) {
+	if s == nil {
+		return
+	}
+	s.total.Store(n)
+}
+
+// Done records n more completed work units. Callers report progress from
+// parallel workers directly (an atomic add per unit, not per item of inner
+// loops), so live scrapes see the count move while the span runs. Progress
+// never feeds back into algorithm state, preserving the bit-identity
+// guarantee. Nil-safe.
+func (s *Span) Done(n int64) {
+	if s == nil {
+		return
+	}
+	s.done.Add(n)
+}
+
+// Progress reports the span's completed and expected unit counts; both are
+// 0 on a nil span or a span without unit progress.
+func (s *Span) Progress() (done, total int64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.done.Load(), s.total.Load()
+}
+
 // Counter returns the named counter of the span's Recorder, the handle
 // kernels use for item-granularity telemetry. Nil-safe: a nil Span returns
 // a nil Counter.
@@ -108,6 +147,18 @@ type SpanNode struct {
 	// WorkerBusyNs is per-worker busy time inside the span, indexed by
 	// worker; empty for serial spans.
 	WorkerBusyNs []int64 `json:"worker_busy_ns,omitempty"`
+	// Done and Total are the span's unit-progress counts (see Span.SetTotal);
+	// both 0 when the span carries no unit notion.
+	Done  int64 `json:"done,omitempty"`
+	Total int64 `json:"total,omitempty"`
+	// EtaNs linearly extrapolates the remaining wall time of a still-open
+	// span from its progress so far (dur · (total−done)/done); 0 for ended
+	// spans, spans without progress, or spans that have completed no units
+	// yet.
+	EtaNs int64 `json:"eta_ns,omitempty"`
+	// Ended reports whether the span's duration is final (End was called) or
+	// still growing at snapshot time.
+	Ended bool `json:"ended,omitempty"`
 	// Children are the nested spans in creation order.
 	Children []*SpanNode `json:"children,omitempty"`
 }
@@ -119,11 +170,16 @@ func (s *Span) node(origin, now time.Time) *SpanNode {
 	n := &SpanNode{
 		Name:    s.name,
 		StartNs: s.start.Sub(origin).Nanoseconds(),
+		Ended:   s.ended,
 	}
 	if s.ended {
 		n.DurNs = s.dur.Nanoseconds()
 	} else {
 		n.DurNs = now.Sub(s.start).Nanoseconds()
+	}
+	n.Done, n.Total = s.done.Load(), s.total.Load()
+	if !s.ended && n.Done > 0 && n.Total > n.Done {
+		n.EtaNs = int64(float64(n.DurNs) * float64(n.Total-n.Done) / float64(n.Done))
 	}
 	if len(s.workerBusy) > 0 {
 		n.WorkerBusyNs = make([]int64, len(s.workerBusy))

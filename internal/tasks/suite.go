@@ -54,8 +54,14 @@ type Measurement struct {
 func (s Suite) Evaluate(orig, red *graph.Graph) []Measurement {
 	sp := s.Obs.Start("suite.evaluate")
 	defer sp.End()
-	// task wraps one row in a "task:<name>" child span. The name concat runs
-	// only when recording, so disabled evaluation allocates nothing here.
+	total := int64(8) // 6 fixed rows + node2vec + label-prop
+	if s.SkipEmbedding {
+		total--
+	}
+	sp.SetTotal(total)
+	// task wraps one row in a "task:<name>" child span and advances the
+	// suite's unit progress. The name concat runs only when recording, so
+	// disabled evaluation allocates nothing here.
 	task := func(name string, f func(p *obs.Span) Measurement) Measurement {
 		var tsp *obs.Span
 		if sp.Enabled() {
@@ -63,6 +69,7 @@ func (s Suite) Evaluate(orig, red *graph.Graph) []Measurement {
 		}
 		m := f(tsp)
 		tsp.End()
+		sp.Done(1)
 		return m
 	}
 	out := []Measurement{
