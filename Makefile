@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-centrality bench-tasks bench-shedding bench-gate experiments claims profile fmt vet clean
+.PHONY: all build test race bench bench-centrality bench-tasks bench-shedding bench-ingest bench-gate experiments claims profile fmt vet clean
 
 all: build test
 
@@ -44,6 +44,15 @@ bench-shedding:
 		./internal/core/ ./internal/matching/ ./internal/stream/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_shedding.json
 	cat BENCH_shedding.json
+
+# Refresh the ingestion perf baseline: parsing the text edge list from
+# scratch vs mmap-loading the packed-CSR (.esc) file, plus the out-of-core
+# external-sort packer, recorded as JSON. The derived Ingest speedup is the
+# parse-once-load-forever payoff of the packed format.
+bench-ingest:
+	$(GO) test -run xxx -bench 'Ingest(TextLoad|PackedLoad|ExtsortPack)' -benchtime 5x -benchmem ./internal/graph/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_ingest.json
+	cat BENCH_ingest.json
 
 # Gate a fresh benchmark run against a baseline with cmd/obsdiff: exits
 # non-zero when any ns/op or allocs/op regressed beyond MAX_REGRESS, and

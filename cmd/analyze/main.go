@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input edge-list file (required)")
+		in       = flag.String("in", "", "input graph file: edge list, .esg binary, or .esc packed CSR (required)")
 		taskList = flag.String("tasks", "degree,sp,cc,topk,components", "comma-separated: degree, sp, hopplot, cc, topk, components, betweenness, closeness, structure")
 		topPct   = flag.Float64("top", 10, "top-t%% for the topk task")
 		sources  = flag.Int("sources", 0, "BFS/betweenness source samples (0 = exact)")
@@ -54,7 +54,9 @@ func run(w io.Writer, in, taskList string, topPct float64, sources int, seed int
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
-	g, rm, err := graph.LoadFile(in)
+	load := sess.Root().Start("load")
+	g, rm, err := graph.LoadFileObs(in, load)
+	load.End()
 	if err != nil {
 		return err
 	}

@@ -55,12 +55,12 @@ func run(w io.Writer, origPath, redPath string, sources, maxPairs, workers int, 
 		return fmt.Errorf("-orig and -reduced are required")
 	}
 	load := sess.Root().Start("load")
-	orig, origRM, err := graph.LoadFile(origPath)
+	orig, origRM, err := graph.LoadFileObs(origPath, load)
 	if err != nil {
 		load.End()
 		return fmt.Errorf("reading original: %w", err)
 	}
-	redRaw, redRM, err := graph.LoadFile(redPath)
+	redRaw, redRM, err := graph.LoadFileObs(redPath, load)
 	if err != nil {
 		load.End()
 		return fmt.Errorf("reading reduced: %w", err)

@@ -28,7 +28,7 @@ func main() {
 		prob  = flag.Float64("prob", 0.3, "model probability (hk triad closure, ws rewire, sbm p_in)")
 		k     = flag.Int("k", 4, "communities (sbm)")
 		seed  = flag.Int64("seed", 1, "random seed")
-		out   = flag.String("out", "", "output file (default: stdout)")
+		out   = flag.String("out", "", "output file; extension picks the format (.esc packed, .esg binary, else edge list; default: stdout text)")
 	)
 	cli := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
@@ -57,18 +57,14 @@ func run(ds string, scale int, model string, n, m int, prob float64, k int, seed
 	sess.SetGraph(g.NumNodes(), g.NumEdges())
 	sess.SetSeed(seed)
 	sess.Logf("generated |V|=%d |E|=%d", g.NumNodes(), g.NumEdges())
-	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
 	write := sess.Root().Start("write")
 	defer write.End()
-	return graph.WriteEdgeList(w, g, nil)
+	if out != "" {
+		// SaveFile dispatches on the extension, so -out graph.esc packs
+		// directly to the mmap-able CSR format.
+		return graph.SaveFile(out, g, nil)
+	}
+	return graph.WriteEdgeList(os.Stdout, g, nil)
 }
 
 // generate builds the requested graph from the catalog or a raw model.

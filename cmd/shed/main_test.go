@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"edgeshed/internal/graph"
@@ -198,5 +200,77 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(shedOpts{in: filepath.Join(t.TempDir(), "nope.txt"), out: out, method: "crr", ps: "0.5", seed: 1}, nil); err == nil {
 		t.Error("missing input file accepted")
+	}
+}
+
+// TestRunPackedInputBitIdentical pins the acceptance contract of the .esc
+// format: shedding a packed graph must produce byte-identical outputs and
+// stats to shedding the text edge list it was packed from — same dense
+// ids, same edge ids, same seeded tie-breaks.
+func TestRunPackedInputBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.BarabasiAlbert(120, 3, 11)
+	// Sparse external labels force a real (non-identity) remapper through
+	// the whole pipeline.
+	rm := graph.NewRemapper()
+	for u := 0; u < g.NumNodes(); u++ {
+		rm.ID(int64(u)*7 + 100)
+	}
+	txt := filepath.Join(dir, "g.txt")
+	if err := graph.WriteEdgeListFile(txt, g, rm); err != nil {
+		t.Fatal(err)
+	}
+	lg, lrm, err := graph.LoadFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	esc := filepath.Join(dir, "g.esc")
+	if err := graph.WritePackedFile(esc, lg, lrm, graph.PackWriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	outTxt := filepath.Join(dir, "red_txt.txt")
+	outEsc := filepath.Join(dir, "red_esc.txt")
+	statsTxt := filepath.Join(dir, "s_txt.json")
+	statsEsc := filepath.Join(dir, "s_esc.json")
+	if err := run(shedOpts{in: txt, out: outTxt, method: "crr", ps: "0.6,0.3", seed: 5, statsJSON: statsTxt}, nil); err != nil {
+		t.Fatalf("shed from text: %v", err)
+	}
+	if err := run(shedOpts{in: esc, out: outEsc, method: "crr", ps: "0.6,0.3", seed: 5, statsJSON: statsEsc}, nil); err != nil {
+		t.Fatalf("shed from packed: %v", err)
+	}
+
+	for _, p := range []string{"0.60", "0.30"} {
+		a, err := os.ReadFile(filepath.Join(dir, "red_txt.p"+p+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, "red_esc.p"+p+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("p=%s: reduced outputs differ between text and packed input", p)
+		}
+	}
+
+	var sa, sb shedStats
+	da, err := os.ReadFile(statsTxt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(statsEsc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(da, &sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(db, &sb); err != nil {
+		t.Fatal(err)
+	}
+	sa.Input, sb.Input = "", ""
+	if !reflect.DeepEqual(sa, sb) {
+		t.Errorf("stats differ beyond the input path:\ntext:   %+v\npacked: %+v", sa, sb)
 	}
 }

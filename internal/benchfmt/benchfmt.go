@@ -44,7 +44,7 @@ type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 	// Speedups maps a benchmark stem to old-ns / new-ns for every stem that
 	// has both variants of a recognized pair (MapIndexed/CSRIndexed,
-	// Serial/Parallel).
+	// Serial/Parallel, TextLoad/PackedLoad).
 	Speedups map[string]float64 `json:"speedups,omitempty"`
 }
 
@@ -144,6 +144,7 @@ func parseLine(line string) (Benchmark, bool) {
 var speedupPairs = [][2]string{
 	{"MapIndexed", "CSRIndexed"},
 	{"Serial", "Parallel"},
+	{"TextLoad", "PackedLoad"},
 }
 
 // deriveSpeedups fills Speedups from every benchmark pair matching a

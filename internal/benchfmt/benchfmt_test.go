@@ -144,3 +144,20 @@ func TestReadFileRejectsBadBaselines(t *testing.T) {
 		t.Error("benchmark-less baseline accepted")
 	}
 }
+
+func TestTextPackedSpeedupPair(t *testing.T) {
+	input := `BenchmarkIngestTextLoad-8   	       5	  50000000 ns/op
+BenchmarkIngestPackedLoad-8 	     100	   2000000 ns/op
+`
+	rep, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rep.Speedups["Ingest"]
+	if !ok {
+		t.Fatal("no Ingest speedup derived from TextLoad/PackedLoad pair")
+	}
+	if got < 24.99 || got > 25.01 {
+		t.Errorf("speedup = %v, want 25.0", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
@@ -17,8 +18,26 @@ import (
 
 var binaryMagic = [4]byte{'E', 'S', 'G', '1'}
 
-// WriteBinary writes g in the edgeshed binary format.
+// binaryBounds reports whether n nodes and m edges fit the format's uint32
+// header fields. Without it, counts one past 2^32−1 would silently truncate
+// and write a structurally plausible but wrong file.
+func binaryBounds(n, m int) error {
+	if int64(n) > math.MaxUint32 {
+		return fmt.Errorf("graph: %d nodes overflow the binary format's uint32 node count", n)
+	}
+	if int64(m) > math.MaxUint32 {
+		return fmt.Errorf("graph: %d edges overflow the binary format's uint32 edge count", m)
+	}
+	return nil
+}
+
+// WriteBinary writes g in the edgeshed binary format. Graphs whose node or
+// edge count exceeds the format's uint32 header fields are rejected with an
+// error rather than silently truncated.
 func WriteBinary(w io.Writer, g *Graph) error {
+	if err := binaryBounds(g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(binaryMagic[:]); err != nil {
 		return err
@@ -77,17 +96,8 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 }
 
 // WriteBinaryFile writes g to path in the binary format.
-func WriteBinaryFile(path string, g *Graph) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	return WriteBinary(f, g)
+func WriteBinaryFile(path string, g *Graph) error {
+	return writeFileWith(path, func(w io.Writer) error { return WriteBinary(w, g) })
 }
 
 // ReadBinaryFile reads a binary-format graph from path.

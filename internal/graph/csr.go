@@ -1,5 +1,10 @@
 package graph
 
+import (
+	"fmt"
+	"math"
+)
+
 // CSR is a compressed-sparse-row view of a Graph: the adjacency structure
 // flattened into contiguous arrays so that traversal kernels (Brandes, BFS
 // profiles, PageRank) index with integers instead of chasing per-node slices
@@ -88,6 +93,23 @@ func (g *Graph) CSR() *CSR {
 	return g.csr
 }
 
+// csrBounds reports whether a graph with n nodes and m edges fits the CSR's
+// int32 index space: node ids must fit NodeID, and the 2m half-edge slots
+// must be addressable by int32 (Offsets, EdgeID and Mate are all int32).
+// Without this check a graph just over the limit would silently wrap slot
+// indices and corrupt the view; with it, oversized graphs fail loudly here
+// and in the writers that reuse the check (WriteBinary, WritePacked).
+func csrBounds(n, m int) error {
+	if int64(n) > math.MaxInt32 {
+		return fmt.Errorf("graph: %d nodes overflow int32 node ids (max %d)", n, math.MaxInt32)
+	}
+	if int64(m) > math.MaxInt32/2 {
+		return fmt.Errorf("graph: %d edges need %d CSR slots, overflowing int32 slot indices (max %d edges)",
+			m, 2*int64(m), math.MaxInt32/2)
+	}
+	return nil
+}
+
 // buildCSR flattens g's adjacency in one pass over the sorted edge list.
 //
 // Because Edges() is sorted by (U, V) with U < V, scanning it in order
@@ -99,6 +121,12 @@ func (g *Graph) CSR() *CSR {
 func buildCSR(g *Graph) *CSR {
 	n := g.NumNodes()
 	m := g.NumEdges()
+	if err := csrBounds(n, m); err != nil {
+		// CSR() has no error path (the view is built lazily inside cached
+		// accessors); corrupting indices silently is the one unacceptable
+		// outcome, so overflow is a loud stop.
+		panic(err)
+	}
 	c := &CSR{
 		Offsets: make([]int32, n+1),
 		Targets: make([]NodeID, 2*m),

@@ -5,62 +5,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
+
+	"edgeshed/internal/obs"
 )
-
-// ReadEdgeList parses a whitespace-separated edge-list stream in the SNAP
-// style: one "u v" pair per line, '#' starting a comment line, blank lines
-// ignored. External ids may be arbitrary 64-bit integers; they are remapped
-// onto dense ids in first-seen order. Duplicate edges (in either orientation)
-// and self-loops are dropped silently, matching how SNAP loaders treat raw
-// crawl data.
-//
-// It returns the graph and the remapper that translates dense ids back to the
-// original labels.
-func ReadEdgeList(r io.Reader) (*Graph, *Remapper, error) {
-	rm := NewRemapper()
-	b := NewBuilder(0)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return nil, nil, fmt.Errorf("graph: line %d: expected two fields, got %q", lineNo, line)
-		}
-		x, err := strconv.ParseInt(fields[0], 10, 64)
-		if err != nil {
-			return nil, nil, fmt.Errorf("graph: line %d: bad node id %q: %v", lineNo, fields[0], err)
-		}
-		y, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return nil, nil, fmt.Errorf("graph: line %d: bad node id %q: %v", lineNo, fields[1], err)
-		}
-		u, v := rm.ID(x), rm.ID(y)
-		b.Grow(rm.Len())
-		b.TryAddEdge(u, v)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("graph: reading edge list: %w", err)
-	}
-	return b.Graph(), rm, nil
-}
-
-// ReadEdgeListFile is ReadEdgeList over a file path.
-func ReadEdgeListFile(path string) (*Graph, *Remapper, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer f.Close()
-	return ReadEdgeList(f)
-}
 
 // WriteEdgeList writes g in the SNAP edge-list format with a leading comment
 // header. If rm is non-nil, dense ids are translated back to their original
@@ -84,63 +32,80 @@ func WriteEdgeList(w io.Writer, g *Graph, rm *Remapper) error {
 	return bw.Flush()
 }
 
+// createFile is the file-creation seam used by writeFileWith; tests swap it
+// to inject writers whose Close fails, pinning that close errors propagate.
+var createFile = func(path string) (io.WriteCloser, error) { return os.Create(path) }
+
+// writeFileWith creates (or truncates) path and runs write against it,
+// reporting the first of the write error and the close error. Every
+// file-writing helper in this package funnels through here so a failed
+// flush-on-close — the way a full disk usually announces itself — is never
+// silently dropped.
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	f, err := createFile(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
 // LoadFile reads a graph from path, selecting the format by extension:
-// ".esg" is the binary format, anything else the text edge list. Binary
-// files carry no external labels, so their remapper is the identity over
-// dense ids.
+// ".esc" is the mmap-able packed-CSR format, ".esg" the binary format, and
+// anything else the text edge list. Binary files carry no external labels,
+// so their remapper is the identity over dense ids; packed files store the
+// original labels (or an identity flag).
 func LoadFile(path string) (*Graph, *Remapper, error) {
-	if strings.HasSuffix(path, ".esg") {
+	return LoadFileObs(path, nil)
+}
+
+// LoadFileObs is LoadFile with ingest instrumentation: the format-specific
+// loader's phase spans and counters are recorded under sp. A ".esc" load
+// keeps its file mapping for the process lifetime.
+func LoadFileObs(path string, sp *obs.Span) (*Graph, *Remapper, error) {
+	switch {
+	case strings.HasSuffix(path, ".esc"):
+		p, err := openPackedObs(path, sp)
+		if err != nil {
+			return nil, nil, err
+		}
+		// The mapping is intentionally never unmapped: callers of LoadFile
+		// keep the graph for the process lifetime.
+		return p.Graph(), p.Remapper(), nil
+	case strings.HasSuffix(path, ".esg"):
 		g, err := ReadBinaryFile(path)
 		if err != nil {
 			return nil, nil, err
 		}
-		return g, identityRemapper(g.NumNodes()), nil
+		return g, IdentityRemapper(g.NumNodes()), nil
 	}
-	return ReadEdgeListFile(path)
+	return readEdgeListFileObs(path, sp)
 }
 
 // SaveFile writes a graph to path, selecting the format by extension as in
-// LoadFile, plus ".dot" for Graphviz rendering. The remapper is ignored for
-// binary and DOT output (those formats store dense ids).
-func SaveFile(path string, g *Graph, rm *Remapper) (err error) {
+// LoadFile, plus ".dot" for Graphviz rendering. The remapper is stored in
+// ".esc" output and used to translate text output; it is ignored for binary
+// and DOT output (those formats store dense ids).
+func SaveFile(path string, g *Graph, rm *Remapper) error {
 	switch {
+	case strings.HasSuffix(path, ".esc"):
+		return WritePackedFile(path, g, rm, PackWriteOptions{})
 	case strings.HasSuffix(path, ".esg"):
 		return WriteBinaryFile(path, g)
 	case strings.HasSuffix(path, ".dot"):
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		defer func() {
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}()
-		return WriteDOT(f, g, DOTOptions{DropIsolated: true})
+		return writeFileWith(path, func(w io.Writer) error {
+			return WriteDOT(w, g, DOTOptions{DropIsolated: true})
+		})
 	}
 	return WriteEdgeListFile(path, g, rm)
 }
 
-// identityRemapper labels dense id u with the integer u.
-func identityRemapper(n int) *Remapper {
-	rm := NewRemapper()
-	for u := 0; u < n; u++ {
-		rm.ID(int64(u))
-	}
-	return rm
-}
-
 // WriteEdgeListFile is WriteEdgeList to a file path, creating or truncating
 // the file.
-func WriteEdgeListFile(path string, g *Graph, rm *Remapper) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	return WriteEdgeList(f, g, rm)
+func WriteEdgeListFile(path string, g *Graph, rm *Remapper) error {
+	return writeFileWith(path, func(w io.Writer) error { return WriteEdgeList(w, g, rm) })
 }

@@ -1,0 +1,29 @@
+//go:build !unix
+
+package graph
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile is the no-mmap fallback for platforms without a unix mmap: the
+// file's bytes are read into an ordinary heap buffer. Loads behave
+// identically (at the cost of an upfront copy); read-write "mappings"
+// buffer in memory and are written back by flushMap.
+func mapFile(f *os.File, size int64, write bool) (data []byte, release func() error, err error) {
+	buf := make([]byte, size)
+	if !write {
+		if _, err := io.ReadFull(f, buf); err != nil {
+			return nil, nil, err
+		}
+	}
+	return buf, func() error { return nil }, nil
+}
+
+// flushMap writes the in-memory buffer back to the file — the fallback's
+// substitute for shared-mapping stores.
+func flushMap(f *os.File, data []byte) error {
+	_, err := f.WriteAt(data, 0)
+	return err
+}

@@ -1,0 +1,47 @@
+//go:build unix
+
+package graph
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f into memory. With write set the mapping is
+// shared read-write, so stores land in the file (the external-sort packer
+// fills output arrays through such a mapping and lets the page cache absorb
+// the random writes). The returned release func unmaps; for read-only
+// graph loads callers may simply never call it — a mapping costs no heap
+// and lives until process exit.
+func mapFile(f *os.File, size int64, write bool) (data []byte, release func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	prot := syscall.PROT_READ
+	if write {
+		prot |= syscall.PROT_WRITE
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), prot, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: mmap %s (%d bytes): %w", f.Name(), size, err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
+
+// flushMap writes a read-write mapping's dirty pages back to the file. On
+// unix the shared mapping already aliases the page cache, so this is msync
+// for durability before the checksum re-read.
+func flushMap(f *os.File, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	// msync(MS_SYNC) via RawSyscall keeps this file syscall-only; Sync on
+	// the fd afterwards covers metadata.
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(dataPtr(data)), uintptr(len(data)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return fmt.Errorf("graph: msync: %w", errno)
+	}
+	return nil
+}
