@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-centrality bench-tasks bench-shedding bench-ingest bench-gate experiments claims profile fmt vet clean
+.PHONY: all build test race bench bench-centrality bench-tasks bench-shedding bench-ingest bench-bfs bench-gate experiments claims profile fmt vet clean
 
 all: build test
 
@@ -15,7 +15,7 @@ test:
 race:
 	$(GO) test -race ./internal/par/ ./internal/analysis/ ./internal/tasks/ \
 		./internal/centrality/ ./internal/uds/ ./internal/stream/ \
-		./internal/core/ ./internal/matching/ ./internal/obs/
+		./internal/core/ ./internal/matching/ ./internal/obs/ ./internal/msbfs/
 
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
@@ -53,6 +53,16 @@ bench-ingest:
 	$(GO) test -run xxx -bench 'Ingest(TextLoad|PackedLoad|ExtsortPack)' -benchtime 5x -benchmem ./internal/graph/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_ingest.json
 	cat BENCH_ingest.json
+
+# Refresh the BFS-kernel perf baseline: the replaced one-BFS-per-source
+# kernels vs the bit-parallel MS-BFS engine (closeness, distance profile,
+# node betweenness), single worker so the derived PerSource/MSBFS speedups
+# measure the batching alone. Recorded as JSON; gate with bench-gate.
+bench-bfs:
+	$(GO) test -run xxx -bench '(Closeness|NodeBetweenness|DistanceProfile)(PerSource|MSBFS)$$' -benchtime 5x -benchmem \
+		./internal/centrality/ ./internal/analysis/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_bfs.json
+	cat BENCH_bfs.json
 
 # Gate a fresh benchmark run against a baseline with cmd/obsdiff: exits
 # non-zero when any ns/op or allocs/op regressed beyond MAX_REGRESS, and

@@ -29,7 +29,7 @@ func main() {
 		in       = flag.String("in", "", "input graph file: edge list, .esg binary, or .esc packed CSR (required)")
 		taskList = flag.String("tasks", "degree,sp,cc,topk,components", "comma-separated: degree, sp, hopplot, cc, topk, components, betweenness, closeness, structure")
 		topPct   = flag.Float64("top", 10, "top-t%% for the topk task")
-		sources  = flag.Int("sources", 0, "BFS/betweenness source samples (0 = exact)")
+		sources  = flag.Int("sources", 0, "BFS/betweenness/closeness source samples (0 = exact)")
 		seed     = flag.Int64("seed", 1, "sampling seed")
 		workers  = flag.Int("workers", 0, "worker goroutines for parallel kernels (0 = GOMAXPROCS); results are identical at any count")
 	)
@@ -138,7 +138,7 @@ func run(w io.Writer, in, taskList string, topPct float64, sources int, seed int
 				fmt.Fprintf(w, "  %d: %.2f\n", label(u), bc[u])
 			}
 		case "closeness":
-			cl := centrality.Closeness(g, centrality.Options{Workers: workers, Obs: tsp})
+			cl := centrality.Closeness(g, centrality.Options{Samples: sources, Seed: seed, Workers: workers, Obs: tsp})
 			fmt.Fprintln(w, "\ntop-10 nodes by closeness centrality (label: score):")
 			for _, u := range analysis.TopK(cl, 10) {
 				fmt.Fprintf(w, "  %d: %.4f\n", label(u), cl[u])

@@ -76,3 +76,30 @@ func TestRunSampledSources(t *testing.T) {
 		t.Error("sampled output incomplete")
 	}
 }
+
+// TestRunSampledCloseness pins that -sources reaches the closeness task:
+// the sampled estimator must run, and its scores must differ from the exact
+// run's (same graph, deterministic seed), while -sources >= |V| degenerates
+// to the exact computation.
+func TestRunSampledCloseness(t *testing.T) {
+	path := writeTestGraph(t)
+	var exact, sampled, over bytes.Buffer
+	if err := run(&exact, path, "closeness", 10, 0, 3, 0, nil); err != nil {
+		t.Fatalf("exact run: %v", err)
+	}
+	if err := run(&sampled, path, "closeness", 10, 16, 3, 0, nil); err != nil {
+		t.Fatalf("sampled run: %v", err)
+	}
+	if err := run(&over, path, "closeness", 10, 60, 3, 0, nil); err != nil {
+		t.Fatalf("oversampled run: %v", err)
+	}
+	if !strings.Contains(sampled.String(), "closeness centrality") {
+		t.Fatalf("sampled output incomplete:\n%s", sampled.String())
+	}
+	if sampled.String() == exact.String() {
+		t.Error("-sources=16 produced byte-identical output to exact closeness; sampling not wired through")
+	}
+	if over.String() != exact.String() {
+		t.Errorf("-sources=|V| should match exact closeness output\nexact:\n%s\nover:\n%s", exact.String(), over.String())
+	}
+}

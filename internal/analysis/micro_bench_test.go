@@ -64,6 +64,29 @@ func BenchmarkDistanceProfileParallel(b *testing.B) {
 	}
 }
 
+// The PerSource/MSBFS pair (PR 7, recorded in BENCH_bfs.json by `make
+// bench-bfs`) compares the replaced per-source direction-optimizing kernel
+// against the bit-parallel batched engine, single worker, same graph and
+// source sample as the Serial/Parallel pair above.
+
+func BenchmarkDistanceProfilePerSource(b *testing.B) {
+	g := gen.BarabasiAlbert(10000, 8, 1)
+	g.CSR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perSourceDistanceProfile(g, ProfileOptions{Sources: 128, Seed: 2})
+	}
+}
+
+func BenchmarkDistanceProfileMSBFS(b *testing.B) {
+	g := gen.BarabasiAlbert(10000, 8, 1)
+	g.CSR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewDistanceProfile(g, ProfileOptions{Sources: 128, Seed: 2, Workers: 1})
+	}
+}
+
 func BenchmarkClusteringSerial(b *testing.B) {
 	g := gen.HolmeKim(10000, 5, 0.5, 1)
 	b.ResetTimer()

@@ -1,19 +1,21 @@
 package analysis
 
+// This file preserves the per-source direction-optimizing BFS kernel
+// (levelBFS, the PR-2 production path that internal/msbfs replaced) as a
+// test oracle and as the PerSource benchmark baseline of the
+// PerSource/MSBFS pairs recorded in BENCH_bfs.json. The MS-BFS profile
+// counts the same integer pairs per distance, so comparisons are bit-exact.
+
 import (
 	"edgeshed/internal/graph"
 )
 
-// Direction-optimizing BFS switch thresholds (Beamer, Asanović & Patterson,
-// SC'12): go bottom-up when the frontier owns more than 1/bfsAlpha of the
-// still-unexplored adjacency slots, return top-down when the frontier
-// shrinks below 1/bfsBeta of the nodes. The classic constants work well on
-// the low-diameter scale-free graphs the paper evaluates; on high-diameter
-// graphs (paths, grids) the frontier never grows enough to trigger
-// bottom-up and the kernel degenerates to plain top-down BFS.
+// Per-source direction-optimizing BFS switch thresholds (Beamer, Asanović &
+// Patterson, SC'12), as the replaced kernel used them; internal/msbfs keeps
+// the same constants for its batch-occupancy generalization.
 const (
-	bfsAlpha = 14
-	bfsBeta  = 24
+	perSourceAlpha = 14
+	perSourceBeta  = 24
 )
 
 // levelBFS is per-worker scratch for level-synchronous BFS traversals. It is
@@ -36,11 +38,8 @@ type levelBFS struct {
 	pairs int64
 	// diameter is the largest distance observed by this worker.
 	diameter int
-	// topDown, bottomUp and switches count, across every source this worker
-	// has processed, the levels expanded in each direction and the flips
-	// between them (each traversal starts top-down). They are plain local
-	// tallies — folded into observability counters only when a caller asks —
-	// so counting them never perturbs the traversal.
+	// topDown, bottomUp and switches count levels expanded in each direction
+	// and the flips between them (each traversal starts top-down).
 	topDown, bottomUp, switches int64
 }
 
@@ -58,11 +57,6 @@ func newLevelBFS(n int) *levelBFS {
 
 // run performs one direction-optimizing BFS from src over the CSR view,
 // folding the per-level visit counts into st.counts/st.pairs/st.diameter.
-// The traversal is level-synchronous: within a level it expands either
-// top-down (scan the frontier's adjacency) or bottom-up (scan unvisited
-// nodes for a parent in the previous level), switching by the Beamer
-// heuristic. Both directions discover exactly the true BFS levels, so the
-// counts are independent of the strategy actually chosen.
 func (st *levelBFS) run(c *graph.CSR, src graph.NodeID) {
 	offsets, targets := c.Offsets, c.Targets
 	dist := st.dist
@@ -85,28 +79,18 @@ func (st *levelBFS) run(c *graph.CSR, src graph.NodeID) {
 		frontier := order[frontStart:frontEnd]
 		// Direction choice for this level.
 		if !bottomUp {
-			if scoutSlots > remSlots/bfsAlpha {
+			if scoutSlots > remSlots/perSourceAlpha {
 				bottomUp = true
 				st.switches++
 			}
-		} else if len(frontier) < n/bfsBeta {
+		} else if len(frontier) < n/perSourceBeta {
 			bottomUp = false
 			st.switches++
 		}
 		if bottomUp {
 			st.bottomUp++
-			// Bottom-up: every unvisited node probes its adjacency for a
-			// parent at distance d-1 and stops at the first hit. Nodes
-			// claimed earlier in this same pass get distance d, which can
-			// never match d-1, so the scan order within the level is
-			// irrelevant to the outcome. The unvisited list is compacted in
-			// place so later levels only scan survivors; nodes visited by
-			// intervening top-down levels fall out at the next compaction.
 			prev := d - 1
 			if !haveUnvisited {
-				// First bottom-up level: scan every node directly and collect
-				// the survivors as the unvisited list for later levels, so no
-				// separate build pass is needed.
 				live := st.unvisited[:0]
 				for u := int32(0); u < int32(n); u++ {
 					if dist[u] >= 0 {
@@ -182,4 +166,29 @@ func (st *levelBFS) run(c *graph.CSR, src graph.NodeID) {
 		dist[v] = -1
 	}
 	st.order = order
+}
+
+// perSourceDistanceProfile is the replaced production driver: one
+// direction-optimizing BFS per source, serially. It is the PerSource half
+// of the DistanceProfile PerSource/MSBFS benchmark pair and an additional
+// bit-exact oracle for the MS-BFS profile.
+func perSourceDistanceProfile(g *graph.Graph, opt ProfileOptions) *DistanceProfile {
+	n := g.NumNodes()
+	srcs, scale := opt.sources(n)
+	p := &DistanceProfile{Sources: len(srcs)}
+	if len(srcs) == 0 {
+		return p
+	}
+	c := g.CSR()
+	st := newLevelBFS(n)
+	for _, s := range srcs {
+		st.run(c, s)
+	}
+	p.Diameter = st.diameter
+	p.DistCounts = make([]float64, len(st.counts))
+	for d, cnt := range st.counts {
+		p.DistCounts[d] = float64(cnt) * scale
+	}
+	p.ReachablePairs = float64(st.pairs) * scale
+	return p
 }

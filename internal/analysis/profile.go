@@ -1,9 +1,11 @@
 package analysis
 
 import (
+	"math/bits"
 	"time"
 
 	"edgeshed/internal/graph"
+	"edgeshed/internal/msbfs"
 	"edgeshed/internal/obs"
 	"edgeshed/internal/par"
 )
@@ -32,12 +34,17 @@ type ProfileOptions struct {
 	Sources int
 	// Seed drives source sampling.
 	Seed int64
-	// Workers is the parallelism across BFS sources; 0 (or negative) means
-	// GOMAXPROCS. Sources are strided statically over workers and the
+	// Workers is the parallelism across MS-BFS batches; 0 (or negative)
+	// means GOMAXPROCS. Batches are strided statically over workers and the
 	// per-distance pair counts accumulate as integers, merged exactly and
 	// scaled once at the end — so the profile is bit-identical at any
 	// worker count.
 	Workers int
+	// Batch is the MS-BFS batch width: how many sources share one
+	// traversal, one bit of the per-node word each. 0 or any out-of-range
+	// value selects the full 64-bit word. The width changes wall-clock time
+	// only — the profile is bit-identical at any Batch.
+	Batch int
 	// Obs is the parent observability span; nil (the zero value) records
 	// nothing at no cost. When set, the kernel reports a "distance_profile"
 	// span with per-worker busy time plus counters for sources completed and
@@ -55,12 +62,14 @@ func (o ProfileOptions) sources(n int) ([]graph.NodeID, float64) {
 	return graph.SampleNodeIDs(n, n, 0), 1
 }
 
-// NewDistanceProfile computes the distance profile of g by one BFS per
-// source, parallel across sources. Each worker runs the direction-optimizing
-// level-synchronous BFS kernel with its own reusable distance and frontier
-// buffers, counting (source, target) pairs per distance as integers; the
-// per-worker integer counts merge exactly and are scaled by |V|/Sources once
-// at the end.
+// NewDistanceProfile computes the distance profile of g on the bit-parallel
+// MS-BFS engine: sources are grouped into batches of up to 64 (Batch bits
+// of one uint64 word per node), every batch runs one shared
+// direction-optimizing traversal, and each level's (source, target) pair
+// count is the popcount of its arrival words. Batches stride statically
+// across workers; the per-worker integer counts merge exactly and are
+// scaled by |V|/Sources once at the end, so the profile is bit-identical at
+// any Workers count and any Batch width.
 func NewDistanceProfile(g *graph.Graph, opt ProfileOptions) *DistanceProfile {
 	n := g.NumNodes()
 	srcs, scale := opt.sources(n)
@@ -69,31 +78,63 @@ func NewDistanceProfile(g *graph.Graph, opt ProfileOptions) *DistanceProfile {
 		return p
 	}
 	c := g.CSR()
-	workers := par.Workers(opt.Workers, len(srcs))
+	width := msbfs.Width(opt.Batch)
+	numBatches := (len(srcs) + width - 1) / width
+	workers := par.Workers(opt.Workers, numBatches)
 	sp := opt.Obs.Start("distance_profile")
 	defer sp.End()
+	sp.SetTotal(int64(numBatches))
 	srcCtr := sp.Counter("bfs.sources_done")
 	tdCtr := sp.Counter("bfs.topdown_levels")
 	buCtr := sp.Counter("bfs.bottomup_levels")
 	swCtr := sp.Counter("bfs.direction_switches")
-	states := make([]*levelBFS, workers)
+	batchCtr := sp.Counter("msbfs.batches_done")
+	wordCtr := sp.Counter("msbfs.words_scanned")
+	type wstate struct {
+		counts   []int64
+		pairs    int64
+		diameter int
+	}
+	states := make([]wstate, workers)
 	par.Run(workers, func(w int) {
 		var t0 time.Time
 		if sp.Enabled() {
 			t0 = time.Now()
 		}
-		st := newLevelBFS(n)
+		tr := msbfs.New(c, width, false)
+		var st wstate
 		var done int64
-		for i := w; i < len(srcs); i += workers {
-			st.run(c, srcs[i])
-			done++
+		for bi := w; bi < numBatches; bi += workers {
+			lo := bi * width
+			hi := min(lo+width, len(srcs))
+			tr.Run(srcs[lo:hi])
+			for d := 1; d < tr.NumLevels(); d++ {
+				_, words := tr.Level(d)
+				var cnt int64
+				for _, wd := range words {
+					cnt += int64(bits.OnesCount64(wd))
+				}
+				for d >= len(st.counts) {
+					st.counts = append(st.counts, 0)
+				}
+				st.counts[d] += cnt
+				st.pairs += cnt
+				if d > st.diameter {
+					st.diameter = d
+				}
+			}
+			done += int64(hi - lo)
+			sp.Done(1)
 		}
 		states[w] = st
 		if sp.Enabled() {
+			s := tr.Stats()
 			srcCtr.AddAt(w, done)
-			tdCtr.AddAt(w, st.topDown)
-			buCtr.AddAt(w, st.bottomUp)
-			swCtr.AddAt(w, st.switches)
+			tdCtr.AddAt(w, s.TopDownLevels)
+			buCtr.AddAt(w, s.BottomUpLevels)
+			swCtr.AddAt(w, s.Switches)
+			batchCtr.AddAt(w, s.Batches)
+			wordCtr.AddAt(w, s.WordsScanned)
 			sp.WorkerBusy(w, time.Since(t0))
 		}
 	})

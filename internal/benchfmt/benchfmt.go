@@ -44,7 +44,7 @@ type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 	// Speedups maps a benchmark stem to old-ns / new-ns for every stem that
 	// has both variants of a recognized pair (MapIndexed/CSRIndexed,
-	// Serial/Parallel, TextLoad/PackedLoad).
+	// Serial/Parallel, TextLoad/PackedLoad, PerSource/MSBFS).
 	Speedups map[string]float64 `json:"speedups,omitempty"`
 }
 
@@ -145,6 +145,7 @@ var speedupPairs = [][2]string{
 	{"MapIndexed", "CSRIndexed"},
 	{"Serial", "Parallel"},
 	{"TextLoad", "PackedLoad"},
+	{"PerSource", "MSBFS"},
 }
 
 // deriveSpeedups fills Speedups from every benchmark pair matching a

@@ -161,3 +161,20 @@ BenchmarkIngestPackedLoad-8 	     100	   2000000 ns/op
 		t.Errorf("speedup = %v, want 25.0", got)
 	}
 }
+
+func TestPerSourceMSBFSSpeedupPair(t *testing.T) {
+	input := `BenchmarkClosenessPerSource-8   	       2	  60000000 ns/op
+BenchmarkClosenessMSBFS-8       	      20	  12000000 ns/op
+`
+	rep, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rep.Speedups["Closeness"]
+	if !ok {
+		t.Fatal("no Closeness speedup derived from PerSource/MSBFS pair")
+	}
+	if got < 4.99 || got > 5.01 {
+		t.Errorf("speedup = %v, want 5.0", got)
+	}
+}

@@ -41,6 +41,13 @@ type Options struct {
 	Workers int
 	// Seed drives source sampling; ignored when exact.
 	Seed int64
+	// Batch is the MS-BFS batch width for the kernels on the bit-parallel
+	// engine (Closeness, NodeBetweenness): how many sources share one
+	// traversal, one bit each. 0 or any out-of-range value selects the full
+	// 64-bit word. The width changes wall-clock time and scratch memory
+	// only (batched Brandes holds 16·Batch bytes of sigma/delta state per
+	// node per worker) — outputs are bit-identical at any width.
+	Batch int
 	// Obs is the parent observability span; nil (the zero value) records
 	// nothing at no cost. When set, the kernel reports a "betweenness" span
 	// with per-worker busy time and a "betweenness.sources_done" counter.
@@ -238,10 +245,16 @@ func (st *brandesState) run(c *graph.CSR, s graph.NodeID, nodeAcc, edgeAcc []flo
 
 // NodeBetweenness returns per-node betweenness centrality (unnormalized,
 // with each unordered pair contributing once, as is conventional for
-// undirected graphs).
+// undirected graphs). It runs on the bit-parallel MS-BFS engine — up to 64
+// sources per traversal (Options.Batch), folded through the fixed-shard
+// discipline in a canonical per-level order — so the scores are
+// bit-identical at any Workers count and any Batch width, and bit-exactly
+// pinned by the canonical serial oracle in oracle_test.go. The canonical
+// summation order differs from the per-source queue order both() uses, so
+// these scores match the node half of Betweenness only to float tolerance,
+// not bit for bit.
 func NodeBetweenness(g *graph.Graph, opt Options) []float64 {
-	nodes, _ := both(g, opt, true, false)
-	return nodes
+	return nodeBetweennessMSBFS(g, opt)
 }
 
 // EdgeBetweennessScores returns per-edge betweenness centrality as a flat

@@ -1,0 +1,254 @@
+package centrality
+
+// Batched node betweenness on the bit-parallel MS-BFS engine. One traversal
+// carries up to 64 sources; the sigma (shortest-path count) and delta
+// (dependency) phases then run per batch over the discovered levels, with
+// one float64 per (node, batch bit) pair, replacing 64 per-source BFS
+// relaunches — and 64 O(|V|) state re-zeroings — with one shared sweep plus
+// touched-row clearing.
+//
+// Determinism. Sigma values are integer-valued floats (path counts), exact
+// under addition in any order. Delta values are genuinely fractional, so
+// their summation order must be a function of (graph, Options) alone:
+//
+//   - the traversal runs in canonical mode, so every level lists its nodes
+//     ascending, and within a node the CSR neighbor scan ascends;
+//   - sources keep the fixed par.Shards accumulation discipline (source i
+//     belongs to shard i mod par.Shards), each shard's source list is
+//     batched and folded IN ORDER by one owner, and shard partials merge in
+//     shard index order.
+//
+// Batch bits never mix — per-bit arithmetic is independent of how sources
+// are grouped into batches — and the per-shard fold adds each source's
+// contribution to a node in shard-source order whatever the batch width, so
+// the scores are bit-identical at any Workers count AND any Batch width.
+// The canonical order differs from the seed per-source queue order, so
+// NodeBetweenness is pinned against its own canonical serial oracle
+// (bit-exact) and against the preserved seed map oracle within float
+// tolerance; see oracle_test.go and DESIGN.md §10.
+
+import (
+	"math/bits"
+	"time"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/msbfs"
+	"edgeshed/internal/par"
+)
+
+// batchedBrandes is the per-worker scratch of the MS-BFS Brandes pass:
+// sigma and delta hold one float64 per (node, batch bit) pair — row u is
+// sigma[u*width : (u+1)*width] — and lvl is the dense word array holding,
+// while one level is processed, each node's first-arrival bits at the level
+// below it. Rows are cleared lazily: only nodes the traversal visited.
+type batchedBrandes struct {
+	c     *graph.CSR
+	tr    *msbfs.Traversal
+	width int
+	sigma []float64
+	delta []float64
+	lvl   []uint64
+	// srcMask marks each batch source's own row bit, excluded from the fold
+	// (a source accumulates no dependency on itself); coeff is the per-bit
+	// (1+delta)/sigma row of the node being expanded backward.
+	srcMask []uint64
+	coeff   []float64
+}
+
+// newBatchedBrandes returns scratch for width-wide batches over c.
+func newBatchedBrandes(c *graph.CSR, width int) *batchedBrandes {
+	n := c.NumNodes()
+	return &batchedBrandes{
+		c:       c,
+		tr:      msbfs.New(c, width, true),
+		width:   width,
+		sigma:   make([]float64, n*width),
+		delta:   make([]float64, n*width),
+		lvl:     make([]uint64, n),
+		srcMask: make([]uint64, n),
+		coeff:   make([]float64, width),
+	}
+}
+
+// run traverses one batch and folds every source's node dependencies into
+// acc: forward sigma pull per level ascending, backward delta push per
+// level descending, both in the canonical order the package comment
+// describes, then a touched-rows-only fold and clear.
+func (st *batchedBrandes) run(srcs []graph.NodeID, acc []float64) {
+	tr, W := st.tr, st.width
+	tr.Run(srcs)
+	offsets, targets := st.c.Offsets, st.c.Targets
+	sigma, delta, lvl := st.sigma, st.delta, st.lvl
+
+	for i, s := range srcs {
+		sigma[int(s)*W+i] = 1
+		st.srcMask[s] |= uint64(1) << uint(i)
+	}
+	numLevels := tr.NumLevels()
+	// Forward: each level-d arrival pulls sigma from its distance-(d-1)
+	// neighbors, neighbor-outer so every bit's contributions arrive in
+	// ascending CSR order.
+	for d := 1; d < numLevels; d++ {
+		pn, pw := tr.Level(d - 1)
+		for i, v := range pn {
+			lvl[v] = pw[i]
+		}
+		nodes, words := tr.Level(d)
+		for i, u := range nodes {
+			wu := words[i]
+			row := sigma[int(u)*W : int(u)*W+W]
+			for _, nb := range targets[offsets[u]:offsets[u+1]] {
+				m := wu & lvl[nb]
+				if m == 0 {
+					continue
+				}
+				nrow := sigma[int(nb)*W : int(nb)*W+W]
+				for m != 0 {
+					s := bits.TrailingZeros64(m)
+					m &= m - 1
+					row[s] += nrow[s]
+				}
+			}
+		}
+		for _, v := range pn {
+			lvl[v] = 0
+		}
+	}
+	// Backward: levels descending; within a level nodes ascend (canonical
+	// traversal order) and each pushes its dependency to its
+	// distance-(d-1) predecessors in ascending CSR order. All of a
+	// predecessor's successors for one bit sit in a single level, so for
+	// every (node, bit) slot the additions happen in ascending successor
+	// order — the order the serial canonical oracle replays.
+	for d := numLevels - 1; d >= 1; d-- {
+		pn, pw := tr.Level(d - 1)
+		for i, v := range pn {
+			lvl[v] = pw[i]
+		}
+		nodes, words := tr.Level(d)
+		for i, u := range nodes {
+			wu := words[i]
+			srow := sigma[int(u)*W : int(u)*W+W]
+			drow := delta[int(u)*W : int(u)*W+W]
+			m := wu
+			for m != 0 {
+				s := bits.TrailingZeros64(m)
+				m &= m - 1
+				st.coeff[s] = (1 + drow[s]) / srow[s]
+			}
+			for _, nb := range targets[offsets[u]:offsets[u+1]] {
+				mm := wu & lvl[nb]
+				if mm == 0 {
+					continue
+				}
+				nsrow := sigma[int(nb)*W : int(nb)*W+W]
+				ndrow := delta[int(nb)*W : int(nb)*W+W]
+				for mm != 0 {
+					s := bits.TrailingZeros64(mm)
+					mm &= mm - 1
+					ndrow[s] += nsrow[s] * st.coeff[s]
+				}
+			}
+		}
+		for _, v := range pn {
+			lvl[v] = 0
+		}
+	}
+	// Fold visited rows into acc — node-outer, bit-inner ascending, so each
+	// node receives its per-source contributions in shard-source order
+	// regardless of batch width (unreached slots add +0.0, a bitwise
+	// no-op on the non-negative accumulator) — and clear them for the next
+	// batch. Only the first len(srcs) slots of a row are ever written.
+	nb := len(srcs)
+	n := st.c.NumNodes()
+	for u := 0; u < n; u++ {
+		if tr.Visited(graph.NodeID(u)) == 0 {
+			continue
+		}
+		srow := sigma[u*W : u*W+W]
+		drow := delta[u*W : u*W+W]
+		skip := st.srcMask[u]
+		for s := 0; s < nb; s++ {
+			if skip>>uint(s)&1 == 0 {
+				acc[u] += drow[s]
+			}
+			srow[s] = 0
+			drow[s] = 0
+		}
+	}
+	for _, s := range srcs {
+		st.srcMask[s] = 0
+	}
+}
+
+// nodeBetweennessMSBFS is the batched driver behind NodeBetweenness: the
+// same source selection, fixed-shard accumulation and scaling as both(),
+// with each shard's source list batched through one MS-BFS Brandes state.
+func nodeBetweennessMSBFS(g *graph.Graph, opt Options) []float64 {
+	n := g.NumNodes()
+	nodes := make([]float64, n)
+	if n == 0 {
+		return nodes
+	}
+	srcs, scale := opt.sources(n)
+	if len(srcs) == 0 {
+		return nodes
+	}
+	c := g.CSR()
+	width := msbfs.Width(opt.Batch)
+	shards := par.Shards
+	if shards > len(srcs) {
+		shards = len(srcs)
+	}
+	workers := par.Workers(opt.Workers, shards)
+	sp := opt.Obs.Start("betweenness")
+	defer sp.End()
+	sp.SetTotal(int64(len(srcs)))
+	srcCtr := sp.Counter("betweenness.sources_done")
+	batchCtr := sp.Counter("msbfs.batches_done")
+	wordCtr := sp.Counter("msbfs.words_scanned")
+	swCtr := sp.Counter("msbfs.direction_switches")
+	parts := make([][]float64, shards)
+	par.Run(workers, func(w int) {
+		var t0 time.Time
+		if sp.Enabled() {
+			t0 = time.Now()
+		}
+		var done int64
+		st := newBatchedBrandes(c, width)
+		shardSrcs := make([]graph.NodeID, 0, (len(srcs)+shards-1)/shards)
+		for k := w; k < shards; k += workers {
+			acc := make([]float64, n)
+			shardSrcs = shardSrcs[:0]
+			for i := k; i < len(srcs); i += shards {
+				shardSrcs = append(shardSrcs, srcs[i])
+			}
+			for lo := 0; lo < len(shardSrcs); lo += width {
+				hi := min(lo+width, len(shardSrcs))
+				st.run(shardSrcs[lo:hi], acc)
+				done += int64(hi - lo)
+				sp.Done(int64(hi - lo))
+			}
+			parts[k] = acc
+		}
+		if sp.Enabled() {
+			s := st.tr.Stats()
+			srcCtr.AddAt(w, done)
+			batchCtr.AddAt(w, s.Batches)
+			wordCtr.AddAt(w, s.WordsScanned)
+			swCtr.AddAt(w, s.Switches)
+			sp.WorkerBusy(w, time.Since(t0))
+		}
+	})
+	for _, p := range parts {
+		for i, v := range p {
+			nodes[i] += v
+		}
+	}
+	// Each unordered pair is seen from both endpoints in an exact run:
+	// halve. Sampled runs estimate the same quantity via scale/2.
+	for i := range nodes {
+		nodes[i] *= scale / 2
+	}
+	return nodes
+}

@@ -88,3 +88,45 @@ func BenchmarkCloseness(b *testing.B) {
 		Closeness(g, Options{})
 	}
 }
+
+// The PerSource/MSBFS pairs are PR 7's perf criterion, recorded in
+// BENCH_bfs.json by `make bench-bfs`: the replaced one-BFS-per-source
+// kernels against the bit-parallel batched engine, single worker on the
+// same graph, so the speedup is the batching alone — traversal sharing and
+// word-level wavefronts, not scheduling.
+
+func BenchmarkClosenessPerSource(b *testing.B) {
+	g := gen.BarabasiAlbert(3000, 3, 1)
+	g.CSR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		closenessPerSource(g)
+	}
+}
+
+func BenchmarkClosenessMSBFS(b *testing.B) {
+	g := gen.BarabasiAlbert(3000, 3, 1)
+	g.CSR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Closeness(g, Options{Workers: 1})
+	}
+}
+
+func BenchmarkNodeBetweennessPerSource(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 3, 1)
+	g.CSR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		both(g, Options{Workers: 1}, true, false)
+	}
+}
+
+func BenchmarkNodeBetweennessMSBFS(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 3, 1)
+	g.CSR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NodeBetweenness(g, Options{Workers: 1})
+	}
+}

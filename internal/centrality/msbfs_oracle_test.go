@@ -1,0 +1,340 @@
+package centrality
+
+// Oracles and property tests for the MS-BFS kernels (Closeness and
+// NodeBetweenness):
+//
+//   - closenessPerSource preserves the replaced one-BFS-per-node closeness
+//     loop; the MS-BFS pivot accumulation reproduces it bit for bit in
+//     exact mode because both compute the same integers.
+//   - canonicalNodeBetweenness is the serial replay of the batched Brandes
+//     summation order (ascending nodes within a level, ascending CSR
+//     neighbors, fixed shard discipline); the production path must match it
+//     bit for bit at every worker count and batch width.
+//   - the seed map oracle (oracle_test.go) sums per-source dependencies in
+//     queue order instead, so NodeBetweenness matches it only to float
+//     tolerance — that cross-check bounds the reordering drift.
+
+import (
+	"math"
+	"testing"
+
+	"edgeshed/internal/graph"
+	"edgeshed/internal/graph/gen"
+	"edgeshed/internal/obs"
+	"edgeshed/internal/par"
+)
+
+// closenessPerSource is the replaced production kernel: one BFS per node,
+// touched-entry reset, the Wasserman–Faust score written per source. It is
+// the PerSource half of the Closeness benchmark pair and the bit-exact
+// oracle for the MS-BFS path's exact mode.
+func closenessPerSource(g *graph.Graph) []float64 {
+	n := g.NumNodes()
+	scores := make([]float64, n)
+	if n <= 1 {
+		return scores
+	}
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]graph.NodeID, 0, n)
+	for su := 0; su < n; su++ {
+		s := graph.NodeID(su)
+		queue = queue[:0]
+		dist[s] = 0
+		queue = append(queue, s)
+		var sum int64
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			sum += int64(dist[v])
+			for _, x := range g.Neighbors(v) {
+				if dist[x] < 0 {
+					dist[x] = dist[v] + 1
+					queue = append(queue, x)
+				}
+			}
+		}
+		r := len(queue)
+		if r > 1 && sum > 0 {
+			rm1 := float64(r - 1)
+			scores[s] = (rm1 / float64(n-1)) * (rm1 / float64(sum))
+		}
+		for _, v := range queue {
+			dist[v] = -1
+		}
+	}
+	return scores
+}
+
+// canonicalBrandesSource runs one canonical-order Brandes pass from src:
+// distances by plain BFS, levels enumerated ascending by node id, sigma
+// pulled and delta pushed over ascending CSR neighbors — exactly the
+// per-(node, bit) summation order of batchedBrandes.run.
+func canonicalBrandesSource(c *graph.CSR, src graph.NodeID, dist []int32, sigma, delta []float64, acc []float64) {
+	n := c.NumNodes()
+	for i := range dist {
+		dist[i] = -1
+		sigma[i] = 0
+		delta[i] = 0
+	}
+	dist[src] = 0
+	queue := make([]graph.NodeID, 0, n)
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range c.Targets[c.Offsets[v]:c.Offsets[v+1]] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	maxd := int32(0)
+	for _, v := range queue {
+		if dist[v] > maxd {
+			maxd = dist[v]
+		}
+	}
+	levels := make([][]graph.NodeID, maxd+1)
+	for u := graph.NodeID(0); int(u) < n; u++ {
+		if dist[u] >= 0 {
+			levels[dist[u]] = append(levels[dist[u]], u)
+		}
+	}
+	sigma[src] = 1
+	for d := int32(1); d <= maxd; d++ {
+		for _, u := range levels[d] {
+			for _, nb := range c.Targets[c.Offsets[u]:c.Offsets[u+1]] {
+				if dist[nb] == d-1 {
+					sigma[u] += sigma[nb]
+				}
+			}
+		}
+	}
+	for d := maxd; d >= 1; d-- {
+		for _, u := range levels[d] {
+			coeff := (1 + delta[u]) / sigma[u]
+			for _, nb := range c.Targets[c.Offsets[u]:c.Offsets[u+1]] {
+				if dist[nb] == d-1 {
+					delta[nb] += sigma[nb] * coeff
+				}
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		if dist[u] > 0 {
+			acc[u] += delta[u]
+		}
+	}
+}
+
+// canonicalNodeBetweenness mirrors nodeBetweennessMSBFS serially: same
+// source selection, same fixed shard assignment and in-order per-shard
+// accumulation, same shard-order merge and scaling, over the canonical
+// per-source pass above. Its result must equal the production path bit for
+// bit at any Workers count and any Batch width.
+func canonicalNodeBetweenness(g *graph.Graph, opt Options) []float64 {
+	n := g.NumNodes()
+	nodes := make([]float64, n)
+	if n == 0 {
+		return nodes
+	}
+	srcs, scale := opt.sources(n)
+	if len(srcs) == 0 {
+		return nodes
+	}
+	c := g.CSR()
+	shards := par.Shards
+	if shards > len(srcs) {
+		shards = len(srcs)
+	}
+	dist := make([]int32, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	parts := make([][]float64, shards)
+	for k := 0; k < shards; k++ {
+		acc := make([]float64, n)
+		for i := k; i < len(srcs); i += shards {
+			canonicalBrandesSource(c, srcs[i], dist, sigma, delta, acc)
+		}
+		parts[k] = acc
+	}
+	for _, p := range parts {
+		for i, v := range p {
+			nodes[i] += v
+		}
+	}
+	for i := range nodes {
+		nodes[i] *= scale / 2
+	}
+	return nodes
+}
+
+func propertyGraphs() []struct {
+	name string
+	g    *graph.Graph
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"BA", gen.BarabasiAlbert(250, 3, 7)},
+		{"ER", gen.ErdosRenyi(250, 700, 11)},
+		{"WS", gen.WattsStrogatz(250, 6, 0.1, 13)},
+		{"Disconnected", graph.MustFromEdges(80, []graph.Edge{
+			{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 10, V: 11},
+			{U: 20, V: 21}, {U: 21, V: 22}, {U: 22, V: 23},
+		})},
+	}
+}
+
+var propertyConfigs = struct {
+	workers []int
+	batches []int
+}{[]int{1, 2, 4, 7}, []int{1, 8, 64}}
+
+// TestClosenessBitIdenticalToPerSourceOracle is the migration property
+// test: exact-mode MS-BFS closeness must reproduce the replaced per-source
+// kernel bit for bit across graphs, worker counts and batch widths.
+func TestClosenessBitIdenticalToPerSourceOracle(t *testing.T) {
+	for _, tg := range propertyGraphs() {
+		want := closenessPerSource(tg.g)
+		for _, workers := range propertyConfigs.workers {
+			for _, batch := range propertyConfigs.batches {
+				got := Closeness(tg.g, Options{Workers: workers, Batch: batch})
+				for u := range want {
+					if got[u] != want[u] {
+						t.Fatalf("%s workers=%d batch=%d node %d: %v != oracle %v",
+							tg.name, workers, batch, u, got[u], want[u])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClosenessSampledDeterministicAndSane: the sampled estimator is
+// bit-identical across worker counts and batch widths, oversampling
+// degenerates to the exact bits, and on a connected graph the estimate
+// lands near the exact score.
+func TestClosenessSampledDeterministicAndSane(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, 5)
+	opt := Options{Samples: 128, Seed: 9, Workers: 1, Batch: 64}
+	want := Closeness(g, opt)
+	for _, workers := range propertyConfigs.workers {
+		for _, batch := range propertyConfigs.batches {
+			o := opt
+			o.Workers = workers
+			o.Batch = batch
+			got := Closeness(g, o)
+			for u := range want {
+				if got[u] != want[u] {
+					t.Fatalf("workers=%d batch=%d node %d: %v != %v", workers, batch, u, got[u], want[u])
+				}
+			}
+		}
+	}
+	exact := Closeness(g, Options{})
+	over := Closeness(g, Options{Samples: 400, Seed: 3})
+	for u := range exact {
+		if over[u] != exact[u] {
+			t.Fatalf("node %d: Samples=|V| %v != exact %v", u, over[u], exact[u])
+		}
+	}
+	for u := range exact {
+		if exact[u] == 0 {
+			continue
+		}
+		if rel := math.Abs(want[u]-exact[u]) / exact[u]; rel > 0.5 {
+			t.Fatalf("node %d: sampled %v vs exact %v (rel %.2f)", u, want[u], exact[u], rel)
+		}
+	}
+}
+
+// TestNodeBetweennessBitIdenticalToCanonicalOracle pins the batched Brandes
+// path to its canonical serial oracle bit for bit, exact and sampled,
+// across graphs, worker counts and batch widths — the any-worker-count,
+// any-batch-width determinism guarantee.
+func TestNodeBetweennessBitIdenticalToCanonicalOracle(t *testing.T) {
+	modes := []struct {
+		name string
+		opt  Options
+	}{
+		{"exact", Options{}},
+		{"sampled", Options{Samples: 60, Seed: 3}},
+	}
+	for _, tg := range propertyGraphs() {
+		for _, mode := range modes {
+			want := canonicalNodeBetweenness(tg.g, mode.opt)
+			for _, workers := range propertyConfigs.workers {
+				for _, batch := range propertyConfigs.batches {
+					opt := mode.opt
+					opt.Workers = workers
+					opt.Batch = batch
+					got := NodeBetweenness(tg.g, opt)
+					for u := range want {
+						if got[u] != want[u] {
+							t.Fatalf("%s/%s workers=%d batch=%d node %d: %v != oracle %v",
+								tg.name, mode.name, workers, batch, u, got[u], want[u])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNodeBetweennessNearSeedOracle bounds the canonical reordering against
+// the seed map-indexed oracle: same quantity, different summation tree, so
+// the scores agree to tight float tolerance rather than bit-exactly.
+func TestNodeBetweennessNearSeedOracle(t *testing.T) {
+	for _, tg := range propertyGraphs() {
+		for _, opt := range []Options{{}, {Samples: 60, Seed: 3}} {
+			got := NodeBetweenness(tg.g, opt)
+			want, _ := oracleBoth(tg.g, opt, true, false)
+			for u := range want {
+				diff := math.Abs(got[u] - want[u])
+				if diff > 1e-9*math.Max(1, math.Abs(want[u])) {
+					t.Fatalf("%s samples=%d node %d: msbfs %v vs seed oracle %v",
+						tg.name, opt.Samples, u, got[u], want[u])
+				}
+			}
+		}
+	}
+}
+
+// TestMSBFSKernelsBitIdenticalWithObs pins the instrumentation
+// non-perturbation guarantee for the MS-BFS kernels: a live recorder must
+// not change one output bit, and the msbfs.* counters must actually move.
+func TestMSBFSKernelsBitIdenticalWithObs(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 11)
+	for _, workers := range []int{1, 4} {
+		opt := Options{Samples: 80, Seed: 5, Workers: workers}
+		wantC := Closeness(g, opt)
+		wantB := NodeBetweenness(g, opt)
+		rec := obs.New("test")
+		o := opt
+		o.Obs = rec.Root()
+		gotC := Closeness(g, o)
+		gotB := NodeBetweenness(g, o)
+		rec.Root().End()
+		for u := range wantC {
+			if gotC[u] != wantC[u] {
+				t.Fatalf("workers=%d closeness node %d: %v with obs != %v", workers, u, gotC[u], wantC[u])
+			}
+			if gotB[u] != wantB[u] {
+				t.Fatalf("workers=%d betweenness node %d: %v with obs != %v", workers, u, gotB[u], wantB[u])
+			}
+		}
+		vals := rec.CounterValues()
+		for _, name := range []string{
+			"closeness.sources_done", "betweenness.sources_done",
+			"msbfs.batches_done", "msbfs.words_scanned",
+		} {
+			if vals[name] == 0 {
+				t.Fatalf("workers=%d: counter %q missing or zero: %v", workers, name, vals)
+			}
+		}
+	}
+}

@@ -93,7 +93,16 @@ func Block(n, workers, w int) (lo, hi int) {
 // sharding of choice for per-item-independent output arrays: each worker
 // writes a disjoint contiguous slice, which is race-free and
 // cache-friendly, and the values are partition-independent by construction.
+// With workers <= 1 it calls fn(0, 0, n) inline — no goroutines, no
+// closure allocation — so kernels that resolve to a single worker pay
+// nothing for routing through Blocks.
 func Blocks(n, workers int, fn func(w, lo, hi int)) {
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
 	Run(workers, func(w int) {
 		lo, hi := Block(n, workers, w)
 		if lo < hi {

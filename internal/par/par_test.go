@@ -86,6 +86,50 @@ func TestBlocksVisitsEveryItemOnce(t *testing.T) {
 	}
 }
 
+// TestSerialPathsDoNotAllocate pins the workers==1 short circuits: a
+// serial Run or Blocks must call fn inline with zero heap allocations —
+// no WaitGroup, no goroutines, no per-worker closures.
+func TestSerialPathsDoNotAllocate(t *testing.T) {
+	var sink int
+	fn := func(w int) { sink += w }
+	if allocs := testing.AllocsPerRun(100, func() {
+		Run(1, fn)
+	}); allocs != 0 {
+		t.Errorf("Run(1, fn): %v allocs per run, want 0", allocs)
+	}
+	bfn := func(w, lo, hi int) { sink += hi - lo }
+	if allocs := testing.AllocsPerRun(100, func() {
+		Blocks(103, 1, bfn)
+	}); allocs != 0 {
+		t.Errorf("Blocks(103, 1, fn): %v allocs per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		Blocks(0, 1, bfn)
+	}); allocs != 0 {
+		t.Errorf("Blocks(0, 1, fn): %v allocs per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestBlocksSerialCoversAllItems pins the inline path's range: one call,
+// full [0, n), and no call at all for n == 0.
+func TestBlocksSerialCoversAllItems(t *testing.T) {
+	var calls, gotLo, gotHi int
+	Blocks(57, 1, func(w, lo, hi int) {
+		calls++
+		gotLo, gotHi = lo, hi
+		if w != 0 {
+			t.Errorf("serial Blocks passed worker index %d, want 0", w)
+		}
+	})
+	if calls != 1 || gotLo != 0 || gotHi != 57 {
+		t.Errorf("Blocks(57, 1): %d calls covering [%d, %d), want 1 call covering [0, 57)", calls, gotLo, gotHi)
+	}
+	Blocks(0, 1, func(w, lo, hi int) {
+		t.Errorf("Blocks(0, 1) invoked fn on empty range [%d, %d)", lo, hi)
+	})
+}
+
 func TestBlocksSkipsEmptyRanges(t *testing.T) {
 	calls := int32(0)
 	Blocks(2, 7, func(w, lo, hi int) {
