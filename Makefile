@@ -21,9 +21,11 @@ bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 # Refresh the betweenness perf baseline: map-indexed (oracle) vs CSR-indexed
-# Brandes micro-benchmarks, recorded as JSON so PRs can diff the trajectory.
+# Brandes micro-benchmarks, plus the preserved per-source edge scorer vs the
+# batched MS-BFS edge-dependency fold (this pair is CRR Phase 1 before and
+# after batching), recorded as JSON so PRs can diff the trajectory.
 bench-centrality:
-	$(GO) test -run xxx -bench 'Betweenness(Map|CSR)Indexed' -benchtime 1x -benchmem ./internal/centrality/ \
+	$(GO) test -run xxx -bench 'Betweenness(Map|CSR)Indexed|EdgeBetweennessScores(PerSource|MSBFS)$$' -benchtime 3x -benchmem ./internal/centrality/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_betweenness.json
 	cat BENCH_betweenness.json
 
@@ -36,11 +38,12 @@ bench-tasks:
 	cat BENCH_tasks.json
 
 # Refresh the shedding-core perf baseline: map-indexed (seed-era oracle)
-# reducers vs the edge-id-native CSR implementations, plus the serial vs
-# parallel CRR sweep, recorded as JSON. -benchtime 10x keeps the derived
-# speedups stable.
+# reducers vs the edge-id-native CSR implementations, the serial vs
+# parallel CRR sweep, and the end-to-end exact-betweenness CRR reduction
+# with Phase 1 per-source vs batched MS-BFS, recorded as JSON.
+# -benchtime 10x keeps the derived speedups stable.
 bench-shedding:
-	$(GO) test -run xxx -bench '(CRRReduce|BM2Reduce|GreedyBMatching|ShedderInsert)(Map|CSR)Indexed|CRRSweep(Serial|Parallel)' -benchtime 10x -benchmem \
+	$(GO) test -run xxx -bench '(CRRReduce|BM2Reduce|GreedyBMatching|ShedderInsert)(Map|CSR)Indexed|CRRSweep(Serial|Parallel)|CRRReduceExact(PerSource|MSBFS)$$' -benchtime 10x -benchmem \
 		./internal/core/ ./internal/matching/ ./internal/stream/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_shedding.json
 	cat BENCH_shedding.json

@@ -140,7 +140,11 @@ func parseLine(line string) (Benchmark, bool) {
 
 // speedupPairs are the recognized old/new benchmark suffix conventions:
 // the old variant's ns/op divided by the new variant's becomes the stem's
-// speedup.
+// speedup. PerSource/MSBFS covers every preserved-kernel-vs-batched-engine
+// pair — Closeness, NodeBetweenness, EdgeBetweennessScores and the
+// end-to-end CRRReduceExact — each deriving its own stem. Stems must be
+// unique within one report: two pairs sharing a stem would silently
+// overwrite each other's entry in Speedups.
 var speedupPairs = [][2]string{
 	{"MapIndexed", "CSRIndexed"},
 	{"Serial", "Parallel"},

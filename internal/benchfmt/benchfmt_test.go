@@ -178,3 +178,34 @@ BenchmarkClosenessMSBFS-8       	      20	  12000000 ns/op
 		t.Errorf("speedup = %v, want 5.0", got)
 	}
 }
+
+// TestEdgeBetweennessAndCRRSpeedupPairs pins the stems the batched
+// edge-dependency fold reports through `make bench-centrality` and
+// `make bench-shedding`: the kernel-level EdgeBetweennessScores pair and the
+// end-to-end CRRReduceExact pair both derive from the same
+// PerSource/MSBFS suffix convention, independently per stem.
+func TestEdgeBetweennessAndCRRSpeedupPairs(t *testing.T) {
+	input := `BenchmarkEdgeBetweennessScoresPerSource-8 	       2	 600000000 ns/op
+BenchmarkEdgeBetweennessScoresMSBFS-8     	       5	 200000000 ns/op
+BenchmarkCRRReduceExactPerSource-8  	      14	  77000000 ns/op
+BenchmarkCRRReduceExactMSBFS-8      	      39	  27500000 ns/op
+`
+	rep, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, ok := rep.Speedups["EdgeBetweennessScores"]
+	if !ok {
+		t.Fatal("no EdgeBetweennessScores speedup derived")
+	}
+	if edge < 2.99 || edge > 3.01 {
+		t.Errorf("EdgeBetweennessScores speedup = %v, want 3.0", edge)
+	}
+	crr, ok := rep.Speedups["CRRReduceExact"]
+	if !ok {
+		t.Fatal("no CRRReduceExact speedup derived")
+	}
+	if crr < 2.79 || crr > 2.81 {
+		t.Errorf("CRRReduceExact speedup = %v, want 2.8", crr)
+	}
+}

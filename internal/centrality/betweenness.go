@@ -4,11 +4,14 @@
 // O(s|E|) with s sampled sources for the large graphs where exact
 // computation violates the paper's resource constraints.
 //
-// The implementation runs on the graph's CSR view (graph.CSR): the BFS walks
-// flat adjacency slots, predecessors are recorded as slot indices in a flat
-// CSR-bounded array, and edge dependencies accumulate into an array indexed
-// by the slot's canonical edge id — no map lookups and no Edge.Canonical()
-// calls anywhere on the per-visit path.
+// Every public entry point runs on the bit-parallel MS-BFS engine
+// (internal/msbfs): one traversal carries up to Options.Batch sources, the
+// sigma/delta phases walk the discovered levels with one float64 per
+// (node, batch bit) pair, and node and edge dependencies fold through the
+// fixed-shard discipline in a canonical order — so the scores are
+// bit-identical at any Workers count and any Batch width. The seed
+// per-source path is preserved in persource.go as the oracle and benchmark
+// baseline.
 //
 // Betweenness is the backbone of CRR Phase 1 (edge ranking) and of the UDS
 // comparator's node/edge importance scores.
@@ -16,12 +19,9 @@ package centrality
 
 import (
 	"fmt"
-	"sync"
-	"time"
 
 	"edgeshed/internal/graph"
 	"edgeshed/internal/obs"
-	"edgeshed/internal/par"
 )
 
 // Options configures a betweenness computation.
@@ -41,18 +41,22 @@ type Options struct {
 	Workers int
 	// Seed drives source sampling; ignored when exact.
 	Seed int64
-	// Batch is the MS-BFS batch width for the kernels on the bit-parallel
-	// engine (Closeness, NodeBetweenness): how many sources share one
-	// traversal, one bit each. 0 or any out-of-range value selects the full
-	// 64-bit word. The width changes wall-clock time and scratch memory
+	// Batch is the MS-BFS batch width: how many sources share one
+	// traversal, one bit each. 0, negative, or >64 — anything outside
+	// [1, 64] — selects the full 64-bit word, mirroring how Samples and
+	// Workers absorb out-of-range values (msbfs.Width is the single
+	// clamping point). The width changes wall-clock time and scratch memory
 	// only (batched Brandes holds 16·Batch bytes of sigma/delta state per
-	// node per worker) — outputs are bit-identical at any width.
+	// node per worker) — node AND edge scores are bit-identical at any
+	// width.
 	Batch int
 	// Obs is the parent observability span; nil (the zero value) records
 	// nothing at no cost. When set, the kernel reports a "betweenness" span
-	// with per-worker busy time and a "betweenness.sources_done" counter.
-	// Instrumentation never alters the scores: they stay bit-identical with
-	// Obs on or off, at any worker count.
+	// with per-worker busy time, a "betweenness.sources_done" counter, the
+	// engine's "msbfs.*" traversal counters and — on the edge path — a
+	// "brandes.edge_folds" counter of dependency terms folded into edge
+	// scores. Instrumentation never alters the scores: they stay
+	// bit-identical with Obs on or off, at any worker count.
 	Obs *obs.Span
 }
 
@@ -78,24 +82,21 @@ func (o Options) sources(n int) ([]graph.NodeID, float64) {
 // EdgeScores holds per-edge betweenness aligned with g.Edges().
 //
 // Scores is the primary representation: Scores[i] belongs to g.Edges()[i],
-// and every consumer in this repository indexes it directly. The
-// edge-keyed lookup map behind Of is built lazily on the first Of call, so
-// callers that only read Scores never pay for it.
+// and every consumer in this repository indexes it directly. Of resolves an
+// edge through the CSR's binary-search EdgeIDOf — O(log deg) on flat
+// arrays, no lazily built map, no allocation.
 type EdgeScores struct {
 	g      *graph.Graph
 	Scores []float64 // Scores[i] is the betweenness of g.Edges()[i]
-
-	indexOnce sync.Once
-	index     map[graph.Edge]int32
 }
 
-// Of returns the score of edge e (any orientation). It panics if e is not an
-// edge of the underlying graph. The first call builds an edge-keyed index in
-// O(|E|); prefer indexing Scores directly when the edge id is known.
+// Of returns the score of edge e (any orientation). It panics if e is not
+// an edge of the underlying graph. Each call is one O(log deg)
+// binary search over the CSR's slot arrays; prefer indexing Scores
+// directly when the edge id is known.
 func (s *EdgeScores) Of(e graph.Edge) float64 {
-	s.indexOnce.Do(func() { s.index = edgeIndex(s.g) })
-	i, ok := s.index[e.Canonical()]
-	if !ok {
+	i := s.g.CSR().EdgeIDOf(e.U, e.V)
+	if i < 0 {
 		panic(fmt.Sprintf("centrality: edge %v not in graph", e))
 	}
 	return s.Scores[i]
@@ -107,267 +108,45 @@ func (s *EdgeScores) Edge(i int) graph.Edge { return s.g.Edges()[i] }
 // Len returns the number of scored edges.
 func (s *EdgeScores) Len() int { return len(s.Scores) }
 
-// edgeIndex builds the canonical-edge -> edge-list-position map.
-func edgeIndex(g *graph.Graph) map[graph.Edge]int32 {
-	idx := make(map[graph.Edge]int32, g.NumEdges())
-	for i, e := range g.Edges() {
-		idx[e] = int32(i)
-	}
-	return idx
-}
-
-// predEntry is one recorded shortest-path predecessor: the predecessor node
-// and the canonical id of the connecting edge, captured at discovery time so
-// the accumulation loop needs no further indirection through the CSR.
-type predEntry struct {
-	node graph.NodeID
-	edge int32
-}
-
-// brandesState is the per-worker scratch space for one BFS + accumulation
-// pass, reused across sources to avoid re-allocation. All predecessor
-// bookkeeping lives in one flat CSR-bounded array: node w's predecessors
-// occupy preds[c.Offsets[w]] .. preds[c.Offsets[w]+predCnt[w]-1], which can
-// never overflow because a node has at most Degree(w) predecessors.
-type brandesState struct {
-	queue   []graph.NodeID // BFS queue doubling as the visit order stack
-	dist    []int32
-	sigma   []float64   // shortest path counts
-	delta   []float64   // dependency accumulation
-	preds   []predEntry // flat predecessor storage, one entry per CSR slot (2|E|)
-	predCnt []int32     // predecessors recorded per node this pass
-}
-
-func newBrandesState(c *graph.CSR) *brandesState {
-	n := c.NumNodes()
-	return &brandesState{
-		queue:   make([]graph.NodeID, 0, n),
-		dist:    make([]int32, n),
-		sigma:   make([]float64, n),
-		delta:   make([]float64, n),
-		preds:   make([]predEntry, c.NumSlots()),
-		predCnt: make([]int32, n),
-	}
-}
-
-// run performs one Brandes pass from source s, adding node dependencies into
-// nodeAcc (if non-nil) and edge dependencies into edgeAcc (if non-nil,
-// indexed by canonical edge id, i.e. aligned with g.Edges()).
-func (st *brandesState) run(c *graph.CSR, s graph.NodeID, nodeAcc, edgeAcc []float64) {
-	st.queue = st.queue[:0]
-	// Reset only what the previous pass touched would be ideal; for
-	// simplicity and cache-friendliness we clear the dense arrays. dist = -1
-	// doubles as "unvisited". preds needs no clearing: predCnt gates every
-	// read.
-	for i := range st.dist {
-		st.dist[i] = -1
-		st.sigma[i] = 0
-		st.delta[i] = 0
-		st.predCnt[i] = 0
-	}
-	offsets, targets, edgeID := c.Offsets, c.Targets, c.EdgeID
-	dist, sigma, delta := st.dist, st.sigma, st.delta
-	preds, predCnt := st.preds, st.predCnt
-	queue := st.queue
-	dist[s] = 0
-	sigma[s] = 1
-	queue = append(queue, s)
-	if edgeAcc != nil {
-		for head := 0; head < len(queue); head++ {
-			v := queue[head]
-			dw := dist[v] + 1 // distance of any node first reached from v
-			sv := sigma[v]
-			lo, hi := offsets[v], offsets[v+1]
-			for k, w := range targets[lo:hi] {
-				switch {
-				case dist[w] < 0: // first visit
-					dist[w] = dw
-					sigma[w] = sv
-					preds[offsets[w]] = predEntry{node: v, edge: edgeID[lo+int32(k)]}
-					predCnt[w] = 1
-					queue = append(queue, w)
-				case dist[w] == dw: // another shortest path
-					sigma[w] += sv
-					preds[offsets[w]+predCnt[w]] = predEntry{node: v, edge: edgeID[lo+int32(k)]}
-					predCnt[w]++
-				}
-			}
-		}
-	} else {
-		// Node-only variant: identical except it skips the edge-id loads.
-		for head := 0; head < len(queue); head++ {
-			v := queue[head]
-			dw := dist[v] + 1
-			sv := sigma[v]
-			lo, hi := offsets[v], offsets[v+1]
-			for _, w := range targets[lo:hi] {
-				switch {
-				case dist[w] < 0:
-					dist[w] = dw
-					sigma[w] = sv
-					preds[offsets[w]] = predEntry{node: v}
-					predCnt[w] = 1
-					queue = append(queue, w)
-				case dist[w] == dw:
-					sigma[w] += sv
-					preds[offsets[w]+predCnt[w]] = predEntry{node: v}
-					predCnt[w]++
-				}
-			}
-		}
-	}
-	st.queue = queue
-	// Accumulate dependencies in reverse BFS order. The edge-accumulating
-	// and node-only loops are split so the innermost loop carries no nil
-	// check and, in both cases, no map lookup or Canonical() call — each
-	// predecessor visit is two array reads and two indexed accumulations.
-	for i := len(queue) - 1; i >= 0; i-- {
-		w := queue[i]
-		coeff := (1 + delta[w]) / sigma[w]
-		base := offsets[w]
-		ps := preds[base : base+predCnt[w]]
-		if edgeAcc != nil {
-			for _, p := range ps {
-				cc := sigma[p.node] * coeff
-				delta[p.node] += cc
-				edgeAcc[p.edge] += cc
-			}
-		} else {
-			for _, p := range ps {
-				delta[p.node] += sigma[p.node] * coeff
-			}
-		}
-		if w != s && nodeAcc != nil {
-			nodeAcc[w] += delta[w]
-		}
-	}
-}
-
 // NodeBetweenness returns per-node betweenness centrality (unnormalized,
 // with each unordered pair contributing once, as is conventional for
 // undirected graphs). It runs on the bit-parallel MS-BFS engine — up to 64
 // sources per traversal (Options.Batch), folded through the fixed-shard
 // discipline in a canonical per-level order — so the scores are
 // bit-identical at any Workers count and any Batch width, and bit-exactly
-// pinned by the canonical serial oracle in oracle_test.go. The canonical
-// summation order differs from the per-source queue order both() uses, so
-// these scores match the node half of Betweenness only to float tolerance,
-// not bit for bit.
+// pinned by the canonical serial oracle in msbfs_oracle_test.go. The
+// canonical summation order differs from the per-source queue order the
+// preserved persource.go path uses, so these scores match that path only
+// to float tolerance, not bit for bit.
 func NodeBetweenness(g *graph.Graph, opt Options) []float64 {
-	return nodeBetweennessMSBFS(g, opt)
+	nodes, _ := msbfsBetweenness(g, opt, true, false)
+	return nodes
 }
 
 // EdgeBetweennessScores returns per-edge betweenness centrality as a flat
-// slice aligned with g.Edges(): the score of g.Edges()[i] is element i. This
-// is the cheapest edge-betweenness entry point — no wrapper, no edge-keyed
-// map.
+// slice aligned with g.Edges(): the score of g.Edges()[i] is element i.
+// This is the cheapest edge-betweenness entry point — no wrapper, no
+// edge-keyed map — and the scorer behind CRR Phase 1. Like
+// NodeBetweenness it runs on the batched MS-BFS engine: scores are
+// bit-identical at any Workers × Batch combination, pinned by the
+// canonical serial edge oracle in msbfs_oracle_test.go.
 func EdgeBetweennessScores(g *graph.Graph, opt Options) []float64 {
-	_, edges := both(g, opt, false, true)
+	_, edges := msbfsBetweenness(g, opt, false, true)
 	return edges
 }
 
 // EdgeBetweenness returns per-edge betweenness centrality wrapped in an
-// EdgeScores, whose Of lookup map is built lazily on first use. Callers that
-// work with edge ids should prefer EdgeBetweennessScores.
+// EdgeScores whose Of answers lookups via the CSR's binary search. Callers
+// that work with edge ids should prefer EdgeBetweennessScores.
 func EdgeBetweenness(g *graph.Graph, opt Options) *EdgeScores {
 	return &EdgeScores{g: g, Scores: EdgeBetweennessScores(g, opt)}
 }
 
 // Betweenness computes node and edge betweenness in a single pass over
-// sources, cheaper than computing them separately. The edge slice is aligned
-// with g.Edges().
+// sources — one traversal, one backward sweep and one fold feed both
+// accumulators — cheaper than computing them separately. The edge slice is
+// aligned with g.Edges(). Both halves carry the engine's bit-determinism
+// guarantee at any Workers × Batch.
 func Betweenness(g *graph.Graph, opt Options) ([]float64, []float64) {
-	return both(g, opt, true, true)
-}
-
-// both runs the sampled/exact parallel Brandes driver. Per-source
-// dependencies are floating point, so to keep the scores bit-identical at
-// any worker count the accumulation is sharded, not per-worker: source
-// srcs[i] always accumulates into shard i mod par.Shards, worker w
-// processes shards w, w+workers, … with one reusable traversal state, and
-// the per-shard partial sums merge in shard index order. The summation tree
-// is then a function of (graph, Options) alone — the worker count only
-// changes which goroutine happens to own a shard.
-func both(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([]float64, []float64) {
-	n := g.NumNodes()
-	var nodes, edges []float64
-	if wantNodes {
-		nodes = make([]float64, n)
-	}
-	if wantEdges {
-		edges = make([]float64, g.NumEdges())
-	}
-	if n == 0 {
-		// Defensive: nothing to traverse regardless of Samples/Workers.
-		return nodes, edges
-	}
-	srcs, scale := opt.sources(n)
-	if len(srcs) == 0 {
-		return nodes, edges
-	}
-	c := g.CSR()
-	shards := par.Shards
-	if shards > len(srcs) {
-		shards = len(srcs)
-	}
-	workers := par.Workers(opt.Workers, shards)
-	sp := opt.Obs.Start("betweenness")
-	defer sp.End()
-	sp.SetTotal(int64(len(srcs)))
-	srcCtr := sp.Counter("betweenness.sources_done")
-	type partial struct {
-		nodes, edges []float64
-	}
-	parts := make([]partial, shards)
-	par.Run(workers, func(w int) {
-		var t0 time.Time
-		if sp.Enabled() {
-			t0 = time.Now()
-		}
-		var done int64
-		st := newBrandesState(c)
-		for s := w; s < shards; s += workers {
-			var nodeAcc, edgeAcc []float64
-			if wantNodes {
-				nodeAcc = make([]float64, n)
-			}
-			if wantEdges {
-				edgeAcc = make([]float64, g.NumEdges())
-			}
-			for i := s; i < len(srcs); i += shards {
-				st.run(c, srcs[i], nodeAcc, edgeAcc)
-				done++
-				sp.Done(1)
-			}
-			parts[s] = partial{nodes: nodeAcc, edges: edgeAcc}
-		}
-		if sp.Enabled() {
-			srcCtr.AddAt(w, done)
-			sp.WorkerBusy(w, time.Since(t0))
-		}
-	})
-
-	if wantNodes {
-		for _, p := range parts {
-			for i, v := range p.nodes {
-				nodes[i] += v
-			}
-		}
-		// Each unordered pair is seen from both endpoints in an exact run:
-		// halve. Sampled runs estimate the same quantity via scale/2.
-		for i := range nodes {
-			nodes[i] *= scale / 2
-		}
-	}
-	if wantEdges {
-		for _, p := range parts {
-			for i, v := range p.edges {
-				edges[i] += v
-			}
-		}
-		for i := range edges {
-			edges[i] *= scale / 2
-		}
-	}
-	return nodes, edges
+	return msbfsBetweenness(g, opt, true, true)
 }

@@ -192,6 +192,36 @@ func TestEdgeScoresOfPanicsOnForeignEdge(t *testing.T) {
 	es.Of(graph.Edge{U: 0, V: 2})
 }
 
+// TestEdgeScoresOfMatchesMapIndex pins the CSR binary-search Of against the
+// seed edge-keyed map it replaced: for every edge in both orientations, the
+// looked-up score must be the exact Scores element the map would have
+// returned — and out-of-range endpoints must panic rather than misindex.
+func TestEdgeScoresOfMatchesMapIndex(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 3, 23)
+	es := EdgeBetweenness(g, Options{Workers: 1})
+	idx := edgeIndex(g)
+	for _, e := range g.Edges() {
+		want := es.Scores[idx[e]]
+		if got := es.Of(e); got != want {
+			t.Fatalf("Of(%v) = %v, want %v", e, got, want)
+		}
+		rev := graph.Edge{U: e.V, V: e.U}
+		if got := es.Of(rev); got != want {
+			t.Fatalf("Of(%v) (reversed) = %v, want %v", rev, got, want)
+		}
+	}
+	for _, bad := range []graph.Edge{{U: -1, V: 0}, {U: 0, V: 150}, {U: 3, V: 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Of(%v) did not panic", bad)
+				}
+			}()
+			es.Of(bad)
+		}()
+	}
+}
+
 func TestBetweennessSingleNodeAndEmpty(t *testing.T) {
 	var empty graph.Graph
 	if got := NodeBetweenness(&empty, Options{}); len(got) != 0 {

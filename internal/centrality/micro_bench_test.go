@@ -31,10 +31,14 @@ func BenchmarkEdgeBetweennessSampled(b *testing.B) {
 	}
 }
 
-// The MapIndexed/CSRIndexed pair is the PR's perf criterion: same BA graph
-// and scale as BenchmarkEdgeBetweennessExact, single worker so the
-// comparison measures the accumulation kernel rather than scheduling. The
-// `make bench-centrality` target records both in BENCH_betweenness.json.
+// The MapIndexed/CSRIndexed pair tracks production against the seed
+// map-indexed implementation: same BA graph and scale as
+// BenchmarkEdgeBetweennessExact, single worker so the comparison measures
+// the kernels rather than scheduling. CSRIndexed is whatever the public
+// entry point runs — today the batched MS-BFS engine — so this pair is the
+// cumulative production-vs-seed speedup, while the PerSource/MSBFS pairs
+// below isolate the batching win alone. `make bench-centrality` records
+// both pairs in BENCH_betweenness.json.
 
 func BenchmarkEdgeBetweennessMapIndexed(b *testing.B) {
 	g := gen.BarabasiAlbert(1000, 3, 1)
@@ -128,5 +132,32 @@ func BenchmarkNodeBetweennessMSBFS(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		NodeBetweenness(g, Options{Workers: 1})
+	}
+}
+
+// The EdgeBetweennessScores pair is this PR's perf criterion, recorded in
+// BENCH_betweenness.json: the preserved per-source edge path
+// (persource.go) against the batched edge-dependency fold, single worker
+// on the same graph — the CRR Phase 1 scorer before and after. Same BA
+// shape and scale as the Closeness pair so the BFS-shaped kernels are
+// compared on one footing. (The stem is the API entry point's name; the
+// bare EdgeBetweenness stem already belongs to the MapIndexed/CSRIndexed
+// pair above, and stems must be unique within one report.)
+
+func BenchmarkEdgeBetweennessScoresPerSource(b *testing.B) {
+	g := gen.BarabasiAlbert(3000, 3, 1)
+	g.CSR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PerSourceEdgeBetweennessScores(g, Options{Workers: 1})
+	}
+}
+
+func BenchmarkEdgeBetweennessScoresMSBFS(b *testing.B) {
+	g := gen.BarabasiAlbert(3000, 3, 1)
+	g.CSR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EdgeBetweennessScores(g, Options{Workers: 1})
 	}
 }

@@ -1,17 +1,22 @@
 package centrality
 
-// Oracles and property tests for the MS-BFS kernels (Closeness and
-// NodeBetweenness):
+// Oracles and property tests for the MS-BFS kernels (Closeness,
+// NodeBetweenness and the edge-dependency path behind
+// EdgeBetweenness/Betweenness):
 //
 //   - closenessPerSource preserves the replaced one-BFS-per-node closeness
 //     loop; the MS-BFS pivot accumulation reproduces it bit for bit in
 //     exact mode because both compute the same integers.
-//   - canonicalNodeBetweenness is the serial replay of the batched Brandes
+//   - canonicalBetweenness is the serial replay of the batched Brandes
 //     summation order (ascending nodes within a level, ascending CSR
-//     neighbors, fixed shard discipline); the production path must match it
-//     bit for bit at every worker count and batch width.
+//     neighbors, fixed shard discipline) for BOTH accumulators: node
+//     dependencies node-outer/bit-inner, and edge dependencies one term
+//     per (source, edge) — sigma(pred)·coeff(succ), succ the endpoint one
+//     level deeper — folded per edge in shard-source order. The production
+//     path must match it bit for bit at every worker count and batch
+//     width.
 //   - the seed map oracle (oracle_test.go) sums per-source dependencies in
-//     queue order instead, so NodeBetweenness matches it only to float
+//     queue order instead, so the MS-BFS scores match it only to float
 //     tolerance — that cross-check bounds the reordering drift.
 
 import (
@@ -70,8 +75,15 @@ func closenessPerSource(g *graph.Graph) []float64 {
 // canonicalBrandesSource runs one canonical-order Brandes pass from src:
 // distances by plain BFS, levels enumerated ascending by node id, sigma
 // pulled and delta pushed over ascending CSR neighbors — exactly the
-// per-(node, bit) summation order of batchedBrandes.run.
-func canonicalBrandesSource(c *graph.CSR, src graph.NodeID, dist []int32, sigma, delta []float64, acc []float64) {
+// per-(node, bit) summation order of batchedBrandes.run. When edgeAcc is
+// non-nil it also folds this source's edge dependencies: every undirected
+// edge on the BFS DAG contributes exactly one term,
+// sigma(pred)·((1+delta(succ))/sigma(succ)) with succ the endpoint one
+// level deeper — the same operands and operations the production fold
+// reads from its transformed coeff rows, so per (source, edge) the term is
+// bit-equal, and adding terms source-by-source reproduces the batched
+// fold's shard-source order at any batch width.
+func canonicalBrandesSource(c *graph.CSR, src graph.NodeID, dist []int32, sigma, delta []float64, acc, edgeAcc []float64) {
 	n := c.NumNodes()
 	for i := range dist {
 		dist[i] = -1
@@ -122,29 +134,48 @@ func canonicalBrandesSource(c *graph.CSR, src graph.NodeID, dist []int32, sigma,
 			}
 		}
 	}
-	for u := 0; u < n; u++ {
-		if dist[u] > 0 {
-			acc[u] += delta[u]
+	if acc != nil {
+		for u := 0; u < n; u++ {
+			if dist[u] > 0 {
+				acc[u] += delta[u]
+			}
+		}
+	}
+	if edgeAcc != nil {
+		for e := range c.EdgeU {
+			u, v := c.EdgeU[e], c.EdgeV[e]
+			du, dv := dist[u], dist[v]
+			if du < 0 || dv < 0 {
+				continue
+			}
+			switch {
+			case dv == du+1:
+				edgeAcc[e] += sigma[u] * ((1 + delta[v]) / sigma[v])
+			case du == dv+1:
+				edgeAcc[e] += sigma[v] * ((1 + delta[u]) / sigma[u])
+			}
 		}
 	}
 }
 
-// canonicalNodeBetweenness mirrors nodeBetweennessMSBFS serially: same
-// source selection, same fixed shard assignment and in-order per-shard
+// canonicalBetweenness mirrors msbfsBetweenness serially: same source
+// selection, same fixed shard assignment and in-order per-shard
 // accumulation, same shard-order merge and scaling, over the canonical
-// per-source pass above. Its result must equal the production path bit for
-// bit at any Workers count and any Batch width.
-func canonicalNodeBetweenness(g *graph.Graph, opt Options) []float64 {
+// per-source pass above. Its node and edge results must equal the
+// production path bit for bit at any Workers count and any Batch width.
+func canonicalBetweenness(g *graph.Graph, opt Options) ([]float64, []float64) {
 	n := g.NumNodes()
 	nodes := make([]float64, n)
+	edges := make([]float64, g.NumEdges())
 	if n == 0 {
-		return nodes
+		return nodes, edges
 	}
 	srcs, scale := opt.sources(n)
 	if len(srcs) == 0 {
-		return nodes
+		return nodes, edges
 	}
 	c := g.CSR()
+	orderSourcesByLocality(c, srcs)
 	shards := par.Shards
 	if shards > len(srcs) {
 		shards = len(srcs)
@@ -152,23 +183,34 @@ func canonicalNodeBetweenness(g *graph.Graph, opt Options) []float64 {
 	dist := make([]int32, n)
 	sigma := make([]float64, n)
 	delta := make([]float64, n)
-	parts := make([][]float64, shards)
+	type partial struct {
+		nodes, edges []float64
+	}
+	parts := make([]partial, shards)
 	for k := 0; k < shards; k++ {
 		acc := make([]float64, n)
-		for i := k; i < len(srcs); i += shards {
-			canonicalBrandesSource(c, srcs[i], dist, sigma, delta, acc)
+		edgeAcc := make([]float64, g.NumEdges())
+		lo, hi := par.Block(len(srcs), shards, k)
+		for _, s := range srcs[lo:hi] {
+			canonicalBrandesSource(c, s, dist, sigma, delta, acc, edgeAcc)
 		}
-		parts[k] = acc
+		parts[k] = partial{nodes: acc, edges: edgeAcc}
 	}
 	for _, p := range parts {
-		for i, v := range p {
+		for i, v := range p.nodes {
 			nodes[i] += v
+		}
+		for i, v := range p.edges {
+			edges[i] += v
 		}
 	}
 	for i := range nodes {
 		nodes[i] *= scale / 2
 	}
-	return nodes
+	for i := range edges {
+		edges[i] *= scale / 2
+	}
+	return nodes, edges
 }
 
 func propertyGraphs() []struct {
@@ -266,7 +308,7 @@ func TestNodeBetweennessBitIdenticalToCanonicalOracle(t *testing.T) {
 	}
 	for _, tg := range propertyGraphs() {
 		for _, mode := range modes {
-			want := canonicalNodeBetweenness(tg.g, mode.opt)
+			want, _ := canonicalBetweenness(tg.g, mode.opt)
 			for _, workers := range propertyConfigs.workers {
 				for _, batch := range propertyConfigs.batches {
 					opt := mode.opt
@@ -285,21 +327,105 @@ func TestNodeBetweennessBitIdenticalToCanonicalOracle(t *testing.T) {
 	}
 }
 
-// TestNodeBetweennessNearSeedOracle bounds the canonical reordering against
-// the seed map-indexed oracle: same quantity, different summation tree, so
-// the scores agree to tight float tolerance rather than bit-exactly.
-func TestNodeBetweennessNearSeedOracle(t *testing.T) {
+// TestEdgeBetweennessBitIdenticalToCanonicalOracle is the tentpole property
+// of the edge-dependency path: EdgeBetweennessScores and both halves of the
+// combined Betweenness must reproduce the canonical serial oracle bit for
+// bit, exact and sampled, across graphs, worker counts and batch widths —
+// proof that the slot-mask fold's summation tree is a function of (graph,
+// Options) alone.
+func TestEdgeBetweennessBitIdenticalToCanonicalOracle(t *testing.T) {
+	modes := []struct {
+		name string
+		opt  Options
+	}{
+		{"exact", Options{}},
+		{"sampled", Options{Samples: 60, Seed: 3}},
+	}
 	for _, tg := range propertyGraphs() {
-		for _, opt := range []Options{{}, {Samples: 60, Seed: 3}} {
-			got := NodeBetweenness(tg.g, opt)
-			want, _ := oracleBoth(tg.g, opt, true, false)
-			for u := range want {
-				diff := math.Abs(got[u] - want[u])
-				if diff > 1e-9*math.Max(1, math.Abs(want[u])) {
-					t.Fatalf("%s samples=%d node %d: msbfs %v vs seed oracle %v",
-						tg.name, opt.Samples, u, got[u], want[u])
+		for _, mode := range modes {
+			wantN, wantE := canonicalBetweenness(tg.g, mode.opt)
+			for _, workers := range propertyConfigs.workers {
+				for _, batch := range propertyConfigs.batches {
+					opt := mode.opt
+					opt.Workers = workers
+					opt.Batch = batch
+					gotE := EdgeBetweennessScores(tg.g, opt)
+					for i := range wantE {
+						if gotE[i] != wantE[i] {
+							t.Fatalf("%s/%s workers=%d batch=%d edge %d %v: %v != oracle %v",
+								tg.name, mode.name, workers, batch, i, tg.g.Edges()[i], gotE[i], wantE[i])
+						}
+					}
+					bothN, bothE := Betweenness(tg.g, opt)
+					for u := range wantN {
+						if bothN[u] != wantN[u] {
+							t.Fatalf("%s/%s workers=%d batch=%d Betweenness node %d: %v != oracle %v",
+								tg.name, mode.name, workers, batch, u, bothN[u], wantN[u])
+						}
+					}
+					for i := range wantE {
+						if bothE[i] != wantE[i] {
+							t.Fatalf("%s/%s workers=%d batch=%d Betweenness edge %d: %v != oracle %v",
+								tg.name, mode.name, workers, batch, i, bothE[i], wantE[i])
+						}
+					}
 				}
 			}
+		}
+	}
+}
+
+// TestBetweennessNearSeedOracle bounds the canonical reordering against
+// the seed map-indexed oracle for both accumulators: same quantities,
+// different summation trees, so node and edge scores agree to tight float
+// tolerance rather than bit-exactly.
+func TestBetweennessNearSeedOracle(t *testing.T) {
+	for _, tg := range propertyGraphs() {
+		for _, opt := range []Options{{}, {Samples: 60, Seed: 3}} {
+			gotN, gotE := Betweenness(tg.g, opt)
+			wantN, wantE := oracleBoth(tg.g, opt, true, true)
+			for u := range wantN {
+				diff := math.Abs(gotN[u] - wantN[u])
+				if diff > 1e-9*math.Max(1, math.Abs(wantN[u])) {
+					t.Fatalf("%s samples=%d node %d: msbfs %v vs seed oracle %v",
+						tg.name, opt.Samples, u, gotN[u], wantN[u])
+				}
+			}
+			for i := range wantE {
+				diff := math.Abs(gotE[i] - wantE[i])
+				if diff > 1e-9*math.Max(1, math.Abs(wantE[i])) {
+					t.Fatalf("%s samples=%d edge %d %v: msbfs %v vs seed oracle %v",
+						tg.name, opt.Samples, i, tg.g.Edges()[i], gotE[i], wantE[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchClampedToEngineWidth pins the documented Batch handling: zero,
+// negative and over-wide values all select the engine's full 64-bit word,
+// bit-identically — the same absorb-out-of-range convention Samples and
+// Workers follow.
+func TestBatchClampedToEngineWidth(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 17)
+	opt := Options{Samples: 50, Seed: 7, Workers: 2}
+	canonN, canonE := Betweenness(g, opt) // Batch: 0 → full width
+	for _, batch := range []int{-5, 64, 200} {
+		o := opt
+		o.Batch = batch
+		gotN, gotE := Betweenness(g, o)
+		for u := range canonN {
+			if gotN[u] != canonN[u] {
+				t.Fatalf("Batch=%d node %d: %v != Batch=0 %v", batch, u, gotN[u], canonN[u])
+			}
+		}
+		for i := range canonE {
+			if gotE[i] != canonE[i] {
+				t.Fatalf("Batch=%d edge %d: %v != Batch=0 %v", batch, i, gotE[i], canonE[i])
+			}
+		}
+		if got := Closeness(g, o); got[0] != Closeness(g, opt)[0] {
+			t.Fatalf("Batch=%d closeness drifted: %v != %v", batch, got[0], Closeness(g, opt)[0])
 		}
 	}
 }
@@ -313,11 +439,13 @@ func TestMSBFSKernelsBitIdenticalWithObs(t *testing.T) {
 		opt := Options{Samples: 80, Seed: 5, Workers: workers}
 		wantC := Closeness(g, opt)
 		wantB := NodeBetweenness(g, opt)
+		wantE := EdgeBetweennessScores(g, opt)
 		rec := obs.New("test")
 		o := opt
 		o.Obs = rec.Root()
 		gotC := Closeness(g, o)
 		gotB := NodeBetweenness(g, o)
+		gotE := EdgeBetweennessScores(g, o)
 		rec.Root().End()
 		for u := range wantC {
 			if gotC[u] != wantC[u] {
@@ -327,10 +455,16 @@ func TestMSBFSKernelsBitIdenticalWithObs(t *testing.T) {
 				t.Fatalf("workers=%d betweenness node %d: %v with obs != %v", workers, u, gotB[u], wantB[u])
 			}
 		}
+		for i := range wantE {
+			if gotE[i] != wantE[i] {
+				t.Fatalf("workers=%d edge betweenness %d: %v with obs != %v", workers, i, gotE[i], wantE[i])
+			}
+		}
 		vals := rec.CounterValues()
 		for _, name := range []string{
 			"closeness.sources_done", "betweenness.sources_done",
 			"msbfs.batches_done", "msbfs.words_scanned",
+			"brandes.edge_folds",
 		} {
 			if vals[name] == 0 {
 				t.Fatalf("workers=%d: counter %q missing or zero: %v", workers, name, vals)

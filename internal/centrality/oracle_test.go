@@ -1,12 +1,15 @@
 package centrality
 
 // This file preserves the pre-CSR (map-indexed) Brandes implementation as a
-// test oracle. The production path accumulates edge dependencies through
-// graph.CSR edge ids; the oracle hashes a map[graph.Edge]int32 per
-// predecessor visit, exactly as the seed implementation did. Both drivers
-// assign sources to the same fixed accumulation shards (source i into shard
-// i mod par.Shards) and merge partial sums in shard order, so the
-// comparison is bit-exact, not approximate.
+// test oracle. The preserved per-source path (persource.go) accumulates
+// edge dependencies through graph.CSR edge ids; the oracle hashes a
+// map[graph.Edge]int32 per predecessor visit, exactly as the seed
+// implementation did. Both drivers assign sources to the same fixed
+// accumulation shards (source i into shard i mod par.Shards) and merge
+// partial sums in shard order, so the comparison is bit-exact, not
+// approximate. The production MS-BFS path sums in a different canonical
+// order and is pinned against this chain within float tolerance and
+// against its own serial oracles bit-exactly (msbfs_oracle_test.go).
 
 import (
 	"testing"
@@ -15,6 +18,18 @@ import (
 	"edgeshed/internal/graph/gen"
 	"edgeshed/internal/par"
 )
+
+// edgeIndex builds the canonical-edge -> edge-list-position map the seed
+// oracle accumulates through. Production code no longer builds this map —
+// EdgeScores.Of binary-searches the CSR instead — so it lives with the
+// oracle that still needs it.
+func edgeIndex(g *graph.Graph) map[graph.Edge]int32 {
+	idx := make(map[graph.Edge]int32, g.NumEdges())
+	for i, e := range g.Edges() {
+		idx[e] = int32(i)
+	}
+	return idx
+}
 
 // mapBrandesState is the seed per-source scratch space: per-node predecessor
 // slices instead of flat CSR-slot storage.
@@ -153,8 +168,11 @@ func oracleBoth(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([]float
 }
 
 // TestCSRBrandesBitIdenticalToMapOracle is the migration property test: the
-// CSR-indexed production path must reproduce the seed map-indexed results
-// bit for bit across generators, exact and sampled modes, and worker counts.
+// preserved CSR-indexed per-source path (persource.go) must reproduce the
+// seed map-indexed results bit for bit across generators, exact and sampled
+// modes, and worker counts. This keeps the oracle chain anchored — the
+// MS-BFS production path is compared against both() at float tolerance in
+// msbfs_oracle_test.go, and both() is pinned to the seed here.
 func TestCSRBrandesBitIdenticalToMapOracle(t *testing.T) {
 	graphs := []struct {
 		name string

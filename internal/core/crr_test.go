@@ -389,3 +389,45 @@ func TestCRRSweepBitIdenticalAcrossWorkerCounts(t *testing.T) {
 		}
 	}
 }
+
+// TestCRRReduceBitIdenticalAcrossWorkersAndBatch pins the end-to-end CRR
+// determinism contract on the batched MS-BFS Phase 1: the kept edge set is a
+// function of (graph, p, Seed, Steps) alone, so any Workers count and any
+// MS-BFS Batch width of the betweenness kernel must reproduce the baseline
+// reduction edge for edge — the knobs regroup Phase 1's traversals without
+// moving one score bit, so the ranking, tie-breaks and Phase 2 rng stream
+// are untouched.
+func TestCRRReduceBitIdenticalAcrossWorkersAndBatch(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 31)
+	base := CRR{Seed: 5, Steps: 200}
+	want, err := base.Reduce(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEdges := want.Reduced.Edges()
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, batch := range []int{1, 8, 64} {
+			c := base
+			c.Betweenness = centrality.Options{Workers: workers, Batch: batch}
+			got, err := c.Reduce(g, 0.5)
+			if err != nil {
+				t.Fatalf("workers=%d batch=%d: %v", workers, batch, err)
+			}
+			gotEdges := got.Reduced.Edges()
+			if len(gotEdges) != len(wantEdges) {
+				t.Fatalf("workers=%d batch=%d: |E'| = %d, want %d",
+					workers, batch, len(gotEdges), len(wantEdges))
+			}
+			for i := range wantEdges {
+				if gotEdges[i] != wantEdges[i] {
+					t.Fatalf("workers=%d batch=%d: kept edge %d = %v, want %v",
+						workers, batch, i, gotEdges[i], wantEdges[i])
+				}
+			}
+			if got.Delta() != want.Delta() {
+				t.Fatalf("workers=%d batch=%d: Δ = %v, want %v",
+					workers, batch, got.Delta(), want.Delta())
+			}
+		}
+	}
+}

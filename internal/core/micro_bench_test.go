@@ -130,3 +130,34 @@ func BenchmarkResultDelta(b *testing.B) {
 		res.Delta()
 	}
 }
+
+// The CRRReduceExact pair is the end-to-end half of PR 8's perf criterion,
+// recorded in BENCH_shedding.json: a full exact-betweenness CRR reduction
+// with Phase 1 on the preserved per-source scorer versus the batched MS-BFS
+// edge-dependency fold, single worker, identical Phase 2. The gap between
+// the two is the CRR speedup the batched scorer buys in practice.
+
+func BenchmarkCRRReduceExactPerSource(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 4, 1)
+	g.CSR()
+	c := CRR{Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scores := centrality.PerSourceEdgeBetweennessScores(g, centrality.Options{Workers: 1, Seed: c.Seed + 1})
+		if _, err := c.reduce(g, 0.5, scores, c.Seed, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCRRReduceExactMSBFS(b *testing.B) {
+	g := gen.BarabasiAlbert(1000, 4, 1)
+	g.CSR()
+	c := CRR{Seed: 1, Betweenness: centrality.Options{Workers: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Reduce(g, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

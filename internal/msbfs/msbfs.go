@@ -164,6 +164,14 @@ func (t *Traversal) Level(d int) ([]graph.NodeID, []uint64) {
 // Visited returns the batch bits that reached node u in the last Run.
 func (t *Traversal) Visited(u graph.NodeID) uint64 { return t.visit[u] }
 
+// Visit returns the dense per-node reach words of the last Run: element u
+// holds the batch bits that reached node u (Visit()[u] == Visited(u)).
+// Consumers that sweep every node or every CSR slot — the batched Brandes
+// edge fold — read the slice directly instead of paying a method call per
+// slot. The slice aliases the traversal's scratch: read it before the next
+// Run, and do not write through it.
+func (t *Traversal) Visit() []uint64 { return t.visit }
+
 // Run traverses one batch: source srcs[i] travels as bit i. The batch may
 // be ragged (shorter than the configured width, as a source list's tail
 // batch is) but never longer. Duplicate source nodes are legal — their
