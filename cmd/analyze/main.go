@@ -41,7 +41,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
-	runErr := run(os.Stdout, *in, *taskList, *topPct, *sources, *seed, *workers, *batch, sess)
+	runErr := obs.Run(sess, func() error { return run(os.Stdout, *in, *taskList, *topPct, *sources, *seed, *workers, *batch, sess) })
 	if cerr := sess.Close(); runErr == nil {
 		runErr = cerr
 	}

@@ -33,7 +33,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	runErr := run(os.Stdin, *out, sess)
+	runErr := obs.Run(sess, func() error { return run(os.Stdin, *out, sess) })
 	if cerr := sess.Close(); runErr == nil {
 		runErr = cerr
 	}

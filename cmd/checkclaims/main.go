@@ -27,7 +27,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "checkclaims:", err)
 		os.Exit(1)
 	}
-	code, err := run(os.Stdout, *in, sess)
+	var code int
+	err = obs.Run(sess, func() error {
+		var rerr error
+		code, rerr = run(os.Stdout, *in, sess)
+		return rerr
+	})
 	if cerr := sess.Close(); err == nil && cerr != nil {
 		err = cerr
 	}

@@ -40,7 +40,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
-	runErr := run(os.Stdout, *origPath, *redPath, *sources, *maxPairs, *workers, *seed, sess)
+	runErr := obs.Run(sess, func() error { return run(os.Stdout, *origPath, *redPath, *sources, *maxPairs, *workers, *seed, sess) })
 	if cerr := sess.Close(); runErr == nil {
 		runErr = cerr
 	}

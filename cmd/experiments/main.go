@@ -45,7 +45,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	runErr := run(*runID, *list, *scale, *seed, *psFlag, *out, *skipUDS, *md, *workers, *batch, sess)
+	runErr := obs.Run(sess, func() error {
+		return run(*runID, *list, *scale, *seed, *psFlag, *out, *skipUDS, *md, *workers, *batch, sess)
+	})
 	if cerr := sess.Close(); runErr == nil {
 		runErr = cerr
 	}

@@ -37,7 +37,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gengraph:", err)
 		os.Exit(1)
 	}
-	runErr := run(*ds, *scale, *model, *n, *m, *prob, *k, *seed, *out, sess)
+	runErr := obs.Run(sess, func() error { return run(*ds, *scale, *model, *n, *m, *prob, *k, *seed, *out, sess) })
 	if cerr := sess.Close(); runErr == nil {
 		runErr = cerr
 	}

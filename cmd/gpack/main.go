@@ -45,7 +45,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gpack:", err)
 		os.Exit(1)
 	}
-	runErr := run(*in, *out, *order, *mem, *tmp, *workers, *verify, sess)
+	runErr := obs.Run(sess, func() error { return run(*in, *out, *order, *mem, *tmp, *workers, *verify, sess) })
 	if cerr := sess.Close(); runErr == nil {
 		runErr = cerr
 	}

@@ -55,7 +55,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "obsdiff:", err)
 		os.Exit(2)
 	}
-	code, runErr := run(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress, *allowEnv, sess)
+	var code int
+	runErr := obs.Run(sess, func() error {
+		var rerr error
+		code, rerr = run(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress, *allowEnv, sess)
+		return rerr
+	})
 	if cerr := sess.Close(); runErr == nil && cerr != nil {
 		runErr = cerr
 	}
@@ -243,12 +248,13 @@ func diffManifest(w io.Writer, basePath, curPath string, gate float64, allowEnv 
 	}
 	diffCountMaps(w, "counter", base.Counters, cur.Counters)
 	diffCountMaps(w, "gauge", base.Gauges, cur.Gauges)
+	var breaches []string
+	breaches = append(breaches, diffHistograms(w, base.Histograms, cur.Histograms, gate)...)
 
 	baseSpans := map[string]int64{}
 	curSpans := map[string]int64{}
 	flattenSpans(base.Spans, "", baseSpans)
 	flattenSpans(cur.Spans, "", curSpans)
-	var breaches []string
 	for _, path := range sortedKeys(baseSpans) {
 		bNs := baseSpans[path]
 		cNs, ok := curSpans[path]
@@ -310,6 +316,51 @@ func diffCountMaps(w io.Writer, kind string, base, cur map[string]int64) {
 			fmt.Fprintf(w, "%s %-40s %d -> %d (%+d)\n", kind, k, b, c, c-b)
 		}
 	}
+}
+
+// diffHistograms prints p50/p99 shifts for the union of two manifests'
+// histogram maps and returns gate breaches. Only duration histograms
+// (names ending "_ns") whose baseline quantile clears the gateFloorNs
+// noise floor can breach: count histograms (occupancies, widths, delta
+// magnitudes) shift legitimately with inputs, and sub-millisecond
+// quantiles are scheduler noise — both report without gating.
+func diffHistograms(w io.Writer, base, cur map[string]*obs.HistogramSnapshot, gate float64) []string {
+	keys := map[string]bool{}
+	for k := range base {
+		keys[k] = true
+	}
+	for k := range cur {
+		keys[k] = true
+	}
+	var breaches []string
+	for _, k := range sortedKeys(keys) {
+		b, inBase := base[k]
+		c, inCur := cur[k]
+		switch {
+		case !inBase:
+			fmt.Fprintf(w, "histogram %-36s only in current (n=%d)\n", k, c.Count)
+			continue
+		case !inCur:
+			fmt.Fprintf(w, "histogram %-36s only in baseline (n=%d)\n", k, b.Count)
+			continue
+		}
+		for _, q := range []struct {
+			name string
+			q    float64
+		}{{"p50", 0.50}, {"p99", 0.99}} {
+			bq, cq := b.Quantile(q.q), c.Quantile(q.q)
+			qGate := gate
+			if !strings.HasSuffix(k, "_ns") || bq < gateFloorNs {
+				qGate = -1 // not a duration, or below the noise floor
+			}
+			line, breach := ratioLine("histogram "+k+" "+q.name, bq, cq, qGate)
+			fmt.Fprintln(w, line)
+			if breach != "" {
+				breaches = append(breaches, breach)
+			}
+		}
+	}
+	return breaches
 }
 
 // flattenSpans accumulates every span's DurNs into out keyed by its

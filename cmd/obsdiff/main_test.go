@@ -210,3 +210,79 @@ func TestDetectKindErrors(t *testing.T) {
 		t.Error("unrecognized document accepted")
 	}
 }
+
+// histSnap builds a snapshot whose observations all sit in one power-of-two
+// bucket, so quantiles land predictably near that bucket's range.
+func histSnap(value int64, n int64) *obs.HistogramSnapshot {
+	b := 0
+	for v := value; v > 0; v >>= 1 {
+		b++
+	}
+	buckets := make([]int64, b+1)
+	buckets[b] = n
+	return &obs.HistogramSnapshot{Count: n, Sum: value * n, Buckets: buckets}
+}
+
+// TestManifestDiffHistograms pins the histogram side of a manifest diff:
+// p50/p99 are reported for every family, only *_ns families above the noise
+// floor can gate, and one-sided families are surfaced without gating.
+func TestManifestDiffHistograms(t *testing.T) {
+	dir := t.TempDir()
+
+	withHists := func(sweepValueNs int64) *obs.Manifest {
+		m := manifest(80_000_000, 1000)
+		m.Histograms = map[string]*obs.HistogramSnapshot{
+			"crr.sweep.ratio_ns":    histSnap(sweepValueNs, 3),
+			"msbfs.batch_occupancy": histSnap(64, 100),
+		}
+		return m
+	}
+	base := writeJSON(t, dir, "hbase.json", withHists(40_000_000))
+
+	// Identical histograms: reported, no breach.
+	var out bytes.Buffer
+	code, err := run(&out, base, writeJSON(t, dir, "hsame.json", withHists(40_000_000)), "25%", false, nil)
+	if err != nil || code != 0 {
+		t.Fatalf("identical histograms = (%d, %v), want (0, nil)\n%s", code, err, out.String())
+	}
+	for _, want := range []string{
+		"histogram crr.sweep.ratio_ns p50",
+		"histogram crr.sweep.ratio_ns p99",
+		"histogram msbfs.batch_occupancy p50",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// A 4x p50/p99 blowup of a *_ns family above the floor breaches the gate.
+	out.Reset()
+	code, err = run(&out, base, writeJSON(t, dir, "hslow.json", withHists(160_000_000)), "25%", false, nil)
+	if err != nil || code != 1 {
+		t.Fatalf("regressed duration histogram = (%d, %v), want (1, nil)\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "crr.sweep.ratio_ns") {
+		t.Errorf("breach does not name the regressed histogram:\n%s", out.String())
+	}
+
+	// Non-duration families never gate, however much they move.
+	shifted := withHists(40_000_000)
+	shifted.Histograms["msbfs.batch_occupancy"] = histSnap(1, 100)
+	out.Reset()
+	code, err = run(&out, base, writeJSON(t, dir, "hshift.json", shifted), "25%", false, nil)
+	if err != nil || code != 0 {
+		t.Fatalf("shifted occupancy histogram = (%d, %v), want (0, nil)\n%s", code, err, out.String())
+	}
+
+	// A family present on one side only is surfaced, not gated.
+	extra := withHists(40_000_000)
+	extra.Histograms["crr.delta_abs_micros"] = histSnap(500, 42)
+	out.Reset()
+	code, err = run(&out, base, writeJSON(t, dir, "hextra.json", extra), "25%", false, nil)
+	if err != nil || code != 0 {
+		t.Fatalf("one-sided histogram = (%d, %v), want (0, nil)\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "only in current") {
+		t.Errorf("one-sided family not surfaced:\n%s", out.String())
+	}
+}

@@ -67,7 +67,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "shed:", err)
 		os.Exit(1)
 	}
-	runErr := run(opt, sess)
+	runErr := obs.Run(sess, func() error { return run(opt, sess) })
 	if cerr := sess.Close(); runErr == nil {
 		runErr = cerr
 	}

@@ -312,3 +312,102 @@ func TestRunPackedInputBitIdentical(t *testing.T) {
 		t.Errorf("stats differ beyond the input path:\ntext:   %+v\npacked: %+v", sa, sb)
 	}
 }
+
+// TestRunWritesTraceEvents drives the full -trace-events flag path: a real
+// CRR run at workers=4 must produce a Perfetto-loadable Chrome trace with
+// the span tree on the main track and at least `workers` named worker
+// tracks, plus the manifest's flight/histogram sections.
+func TestRunWritesTraceEvents(t *testing.T) {
+	in, _ := writeTestGraph(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "r.txt")
+	manifest := filepath.Join(dir, "run.json")
+	trace := filepath.Join(dir, "trace.json")
+
+	fs := flag.NewFlagSet("shed", flag.ContinueOnError)
+	cli := obs.BindFlags(fs)
+	if err := fs.Parse([]string{"-metrics", manifest, "-trace-events", trace, "-quiet"}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := cli.Start("shed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	runErr := obs.Run(sess, func() error {
+		return run(shedOpts{in: in, out: out, method: "crr", ps: "0.5", steps: 200, workers: workers, seed: 1}, sess)
+	})
+	if cerr := sess.Close(); runErr == nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+
+	// The manifest carries the new PR-9 sections.
+	m, err := obs.ReadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.FlightEvents) == 0 {
+		t.Error("manifest has no flight events")
+	}
+	if m.Histograms["crr.delta_abs_micros"] == nil || m.Histograms["crr.delta_abs_micros"].Count == 0 {
+		t.Errorf("manifest histograms missing crr.delta_abs_micros: %v", m.Histograms)
+	}
+
+	// The trace file parses as a Chrome trace-event document with balanced
+	// B/E pairs and one named track per worker.
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			TS   float64                `json:"ts"`
+			TID  int                    `json:"tid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	depth := map[int]int{}
+	workerTracks := map[int]bool{}
+	var sawSpan bool
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "B":
+			depth[e.TID]++
+		case "E":
+			depth[e.TID]--
+			if depth[e.TID] < 0 {
+				t.Fatalf("E without B on tid %d", e.TID)
+			}
+		case "X":
+			if e.TID == 0 && e.Name == "crr.reduce" {
+				sawSpan = true
+			}
+		case "M":
+			if e.Name == "thread_name" && e.TID > 0 {
+				workerTracks[e.TID] = true
+			}
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Errorf("unbalanced B/E on tid %d: %d", tid, d)
+		}
+	}
+	if !sawSpan {
+		t.Error("crr.reduce span missing from the main track")
+	}
+	if len(workerTracks) < workers {
+		t.Errorf("%d worker tracks, want >= %d", len(workerTracks), workers)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"edgeshed/internal/graph"
 	"edgeshed/internal/graph/gen"
 	"edgeshed/internal/obs"
+	"edgeshed/internal/par"
 )
 
 func profilesEqual(t *testing.T, label string, got, want *DistanceProfile) {
@@ -73,26 +74,36 @@ func TestProfileBitIdenticalAcrossWorkersAndBatch(t *testing.T) {
 func TestProfileBitIdenticalWithObs(t *testing.T) {
 	g := gen.BarabasiAlbert(300, 3, 11)
 	for _, workers := range []int{1, 4} {
-		opt := ProfileOptions{Sources: 96, Seed: 5, Workers: workers}
-		want := NewDistanceProfile(g, opt)
-		rec := obs.New("test")
-		o := opt
-		o.Obs = rec.Root()
-		got := NewDistanceProfile(g, o)
-		rec.Root().End()
-		profilesEqual(t, "obs", got, want)
-		vals := rec.CounterValues()
-		for _, name := range []string{
-			"bfs.sources_done", "msbfs.batches_done", "msbfs.words_scanned",
-		} {
-			if vals[name] == 0 {
-				t.Fatalf("workers=%d: counter %q missing or zero: %v", workers, name, vals)
+		for _, batch := range []int{1, 64} {
+			opt := ProfileOptions{Sources: 96, Seed: 5, Workers: workers, Batch: batch}
+			want := NewDistanceProfile(g, opt)
+			rec := obs.New("test")
+			prev := par.SetSlotObserver(rec.Flight())
+			o := opt
+			o.Obs = rec.Root()
+			got := NewDistanceProfile(g, o)
+			par.SetSlotObserver(prev)
+			rec.Root().End()
+			profilesEqual(t, "obs", got, want)
+			vals := rec.CounterValues()
+			for _, name := range []string{
+				"bfs.sources_done", "msbfs.batches_done", "msbfs.words_scanned",
+			} {
+				if vals[name] == 0 {
+					t.Fatalf("workers=%d batch=%d: counter %q missing or zero: %v", workers, batch, name, vals)
+				}
 			}
-		}
-		// Wide batches can saturate occupancy at level 1 and run every level
-		// bottom-up, so assert on the direction tallies jointly.
-		if vals["bfs.topdown_levels"]+vals["bfs.bottomup_levels"] == 0 {
-			t.Fatalf("workers=%d: no BFS levels recorded: %v", workers, vals)
+			// Wide batches can saturate occupancy at level 1 and run every
+			// level bottom-up, so assert on the direction tallies jointly.
+			if vals["bfs.topdown_levels"]+vals["bfs.bottomup_levels"] == 0 {
+				t.Fatalf("workers=%d batch=%d: no BFS levels recorded: %v", workers, batch, vals)
+			}
+			hists := rec.HistogramValues()
+			for _, name := range []string{"msbfs.batch_ns", "msbfs.batch_occupancy", "msbfs.level_width"} {
+				if hists[name] == nil || hists[name].Count == 0 {
+					t.Fatalf("workers=%d batch=%d: histogram %q missing or empty", workers, batch, name)
+				}
+			}
 		}
 	}
 }

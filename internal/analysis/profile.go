@@ -90,6 +90,11 @@ func NewDistanceProfile(g *graph.Graph, opt ProfileOptions) *DistanceProfile {
 	swCtr := sp.Counter("bfs.direction_switches")
 	batchCtr := sp.Counter("msbfs.batches_done")
 	wordCtr := sp.Counter("msbfs.words_scanned")
+	batchNs := sp.Histogram("msbfs.batch_ns")
+	batchOcc := sp.Histogram("msbfs.batch_occupancy")
+	levelWidth := sp.Histogram("msbfs.level_width")
+	batchMk := sp.Marker(obs.EvBatch, "distance_profile")
+	switchMk := sp.Marker(obs.EvDirSwitch, "distance_profile")
 	type wstate struct {
 		counts   []int64
 		pairs    int64
@@ -102,12 +107,33 @@ func NewDistanceProfile(g *graph.Graph, opt ProfileOptions) *DistanceProfile {
 			t0 = time.Now()
 		}
 		tr := msbfs.New(c, width, false)
+		if sp.Enabled() {
+			tr.OnSwitch = func(level int, bottomUp bool) {
+				dir := int64(0)
+				if bottomUp {
+					dir = 1
+				}
+				switchMk.Emit(w, int64(level)<<1|dir)
+			}
+		}
 		var st wstate
 		var done int64
 		for bi := w; bi < numBatches; bi += workers {
 			lo := bi * width
 			hi := min(lo+width, len(srcs))
-			tr.Run(srcs[lo:hi])
+			if sp.Enabled() {
+				b0 := time.Now()
+				tr.Run(srcs[lo:hi])
+				batchNs.ObserveAt(w, time.Since(b0).Nanoseconds())
+				batchOcc.ObserveAt(w, int64(hi-lo))
+				batchMk.Emit(w, int64(hi-lo))
+				for d := 0; d < tr.NumLevels(); d++ {
+					nodes, _ := tr.Level(d)
+					levelWidth.ObserveAt(w, int64(len(nodes)))
+				}
+			} else {
+				tr.Run(srcs[lo:hi])
+			}
 			for d := 1; d < tr.NumLevels(); d++ {
 				_, words := tr.Level(d)
 				var cnt int64

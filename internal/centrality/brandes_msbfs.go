@@ -48,6 +48,7 @@ import (
 
 	"edgeshed/internal/graph"
 	"edgeshed/internal/msbfs"
+	"edgeshed/internal/obs"
 	"edgeshed/internal/par"
 )
 
@@ -505,6 +506,10 @@ func msbfsBetweenness(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([
 	wordCtr := sp.Counter("msbfs.words_scanned")
 	swCtr := sp.Counter("msbfs.direction_switches")
 	foldCtr := sp.Counter("brandes.edge_folds")
+	batchNs := sp.Histogram("msbfs.batch_ns")
+	batchOcc := sp.Histogram("msbfs.batch_occupancy")
+	batchMk := sp.Marker(obs.EvBatch, "betweenness")
+	switchMk := sp.Marker(obs.EvDirSwitch, "betweenness")
 	type partial struct {
 		nodes, edges []float64
 	}
@@ -516,6 +521,15 @@ func msbfsBetweenness(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([
 		}
 		var done int64
 		st := newBatchedBrandes(c, width, wantEdges)
+		if sp.Enabled() {
+			st.tr.OnSwitch = func(level int, bottomUp bool) {
+				dir := int64(0)
+				if bottomUp {
+					dir = 1
+				}
+				switchMk.Emit(w, int64(level)<<1|dir)
+			}
+		}
 		for k := w; k < shards; k += workers {
 			var nodeAcc, edgeAcc []float64
 			if wantNodes {
@@ -528,7 +542,15 @@ func msbfsBetweenness(g *graph.Graph, opt Options, wantNodes, wantEdges bool) ([
 			shardSrcs := srcs[blo:bhi]
 			for lo := 0; lo < len(shardSrcs); lo += width {
 				hi := min(lo+width, len(shardSrcs))
-				st.run(shardSrcs[lo:hi], nodeAcc, edgeAcc)
+				if sp.Enabled() {
+					b0 := time.Now()
+					st.run(shardSrcs[lo:hi], nodeAcc, edgeAcc)
+					batchNs.ObserveAt(w, time.Since(b0).Nanoseconds())
+					batchOcc.ObserveAt(w, int64(hi-lo))
+					batchMk.Emit(w, int64(hi-lo))
+				} else {
+					st.run(shardSrcs[lo:hi], nodeAcc, edgeAcc)
+				}
 				done += int64(hi - lo)
 				sp.Done(int64(hi - lo))
 			}

@@ -6,6 +6,7 @@ import (
 
 	"edgeshed/internal/graph"
 	"edgeshed/internal/msbfs"
+	"edgeshed/internal/obs"
 	"edgeshed/internal/par"
 )
 
@@ -51,6 +52,11 @@ func Closeness(g *graph.Graph, opt Options) []float64 {
 	batchCtr := sp.Counter("msbfs.batches_done")
 	wordCtr := sp.Counter("msbfs.words_scanned")
 	swCtr := sp.Counter("msbfs.direction_switches")
+	batchNs := sp.Histogram("msbfs.batch_ns")
+	batchOcc := sp.Histogram("msbfs.batch_occupancy")
+	levelWidth := sp.Histogram("msbfs.level_width")
+	batchMk := sp.Marker(obs.EvBatch, "closeness")
+	switchMk := sp.Marker(obs.EvDirSwitch, "closeness")
 	// Per-worker partial reach counts and distance sums per target node;
 	// integer, so the merge below is exact in any order.
 	type partial struct {
@@ -63,13 +69,34 @@ func Closeness(g *graph.Graph, opt Options) []float64 {
 			t0 = time.Now()
 		}
 		tr := msbfs.New(c, width, false)
+		if sp.Enabled() {
+			tr.OnSwitch = func(level int, bottomUp bool) {
+				dir := int64(0)
+				if bottomUp {
+					dir = 1
+				}
+				switchMk.Emit(w, int64(level)<<1|dir)
+			}
+		}
 		cnt := make([]int64, n)
 		sum := make([]int64, n)
 		var done int64
 		for bi := w; bi < numBatches; bi += workers {
 			lo := bi * width
 			hi := min(lo+width, len(srcs))
-			tr.Run(srcs[lo:hi])
+			if sp.Enabled() {
+				b0 := time.Now()
+				tr.Run(srcs[lo:hi])
+				batchNs.ObserveAt(w, time.Since(b0).Nanoseconds())
+				batchOcc.ObserveAt(w, int64(hi-lo))
+				batchMk.Emit(w, int64(hi-lo))
+				for d := 0; d < tr.NumLevels(); d++ {
+					nodes, _ := tr.Level(d)
+					levelWidth.ObserveAt(w, int64(len(nodes)))
+				}
+			} else {
+				tr.Run(srcs[lo:hi])
+			}
 			// Level 0 contributes reach (each pivot counts itself) at
 			// distance 0; deeper levels contribute reach and distance.
 			nodes0, words0 := tr.Level(0)

@@ -431,43 +431,58 @@ func TestBatchClampedToEngineWidth(t *testing.T) {
 }
 
 // TestMSBFSKernelsBitIdenticalWithObs pins the instrumentation
-// non-perturbation guarantee for the MS-BFS kernels: a live recorder must
-// not change one output bit, and the msbfs.* counters must actually move.
+// non-perturbation guarantee for the MS-BFS kernels: a live recorder — with
+// the flight recorder installed as the par slot observer, the full PR-9
+// surface — must not change one output bit at any Workers × Batch, and the
+// msbfs.* counters, histograms and flight rings must actually move.
 func TestMSBFSKernelsBitIdenticalWithObs(t *testing.T) {
 	g := gen.BarabasiAlbert(300, 3, 11)
 	for _, workers := range []int{1, 4} {
-		opt := Options{Samples: 80, Seed: 5, Workers: workers}
-		wantC := Closeness(g, opt)
-		wantB := NodeBetweenness(g, opt)
-		wantE := EdgeBetweennessScores(g, opt)
-		rec := obs.New("test")
-		o := opt
-		o.Obs = rec.Root()
-		gotC := Closeness(g, o)
-		gotB := NodeBetweenness(g, o)
-		gotE := EdgeBetweennessScores(g, o)
-		rec.Root().End()
-		for u := range wantC {
-			if gotC[u] != wantC[u] {
-				t.Fatalf("workers=%d closeness node %d: %v with obs != %v", workers, u, gotC[u], wantC[u])
+		for _, batch := range []int{1, 64} {
+			opt := Options{Samples: 80, Seed: 5, Workers: workers, Batch: batch}
+			wantC := Closeness(g, opt)
+			wantB := NodeBetweenness(g, opt)
+			wantE := EdgeBetweennessScores(g, opt)
+			rec := obs.New("test")
+			prev := par.SetSlotObserver(rec.Flight())
+			o := opt
+			o.Obs = rec.Root()
+			gotC := Closeness(g, o)
+			gotB := NodeBetweenness(g, o)
+			gotE := EdgeBetweennessScores(g, o)
+			par.SetSlotObserver(prev)
+			rec.Root().End()
+			for u := range wantC {
+				if gotC[u] != wantC[u] {
+					t.Fatalf("workers=%d batch=%d closeness node %d: %v with obs != %v", workers, batch, u, gotC[u], wantC[u])
+				}
+				if gotB[u] != wantB[u] {
+					t.Fatalf("workers=%d batch=%d betweenness node %d: %v with obs != %v", workers, batch, u, gotB[u], wantB[u])
+				}
 			}
-			if gotB[u] != wantB[u] {
-				t.Fatalf("workers=%d betweenness node %d: %v with obs != %v", workers, u, gotB[u], wantB[u])
+			for i := range wantE {
+				if gotE[i] != wantE[i] {
+					t.Fatalf("workers=%d batch=%d edge betweenness %d: %v with obs != %v", workers, batch, i, gotE[i], wantE[i])
+				}
 			}
-		}
-		for i := range wantE {
-			if gotE[i] != wantE[i] {
-				t.Fatalf("workers=%d edge betweenness %d: %v with obs != %v", workers, i, gotE[i], wantE[i])
+			vals := rec.CounterValues()
+			for _, name := range []string{
+				"closeness.sources_done", "betweenness.sources_done",
+				"msbfs.batches_done", "msbfs.words_scanned",
+				"brandes.edge_folds",
+			} {
+				if vals[name] == 0 {
+					t.Fatalf("workers=%d batch=%d: counter %q missing or zero: %v", workers, batch, name, vals)
+				}
 			}
-		}
-		vals := rec.CounterValues()
-		for _, name := range []string{
-			"closeness.sources_done", "betweenness.sources_done",
-			"msbfs.batches_done", "msbfs.words_scanned",
-			"brandes.edge_folds",
-		} {
-			if vals[name] == 0 {
-				t.Fatalf("workers=%d: counter %q missing or zero: %v", workers, name, vals)
+			hists := rec.HistogramValues()
+			for _, name := range []string{"msbfs.batch_ns", "msbfs.batch_occupancy", "msbfs.level_width"} {
+				if hists[name] == nil || hists[name].Count == 0 {
+					t.Fatalf("workers=%d batch=%d: histogram %q missing or empty: %v", workers, batch, name, hists)
+				}
+			}
+			if len(rec.Flight().Events()) == 0 {
+				t.Fatalf("workers=%d batch=%d: flight ring stayed empty", workers, batch)
 			}
 		}
 	}

@@ -145,6 +145,11 @@ func (b BM2) Reduce(g *graph.Graph, p float64) (*Result, error) {
 		adjA[a] = append(adjA[a], id)
 		adjB[bb] = append(adjB[bb], id)
 	}
+	if q.Stats != nil {
+		// The queue is fully built; stamp the build on the flight timeline
+		// with its size.
+		phase2.Marker(obs.EvPQBuild, "bm2.bipartite").Emit(0, q.Stats.Pushes)
+	}
 
 	// Algorithm 3: pop best edges, update discrepancies, re-weight.
 	for {

@@ -121,7 +121,7 @@ func (c CRR) steps(tgt int) int {
 
 // Reduce implements Reducer.
 func (c CRR) Reduce(g *graph.Graph, p float64) (*Result, error) {
-	return c.reduce(g, p, nil, c.Seed, c.Obs)
+	return c.reduce(g, p, nil, c.Seed, c.Obs, 0)
 }
 
 // Sweep reduces g at every ratio in ps, computing the Phase 1 edge
@@ -153,13 +153,20 @@ func (c CRR) Sweep(g *graph.Graph, ps []float64) ([]*Result, error) {
 	out := make([]*Result, len(ps))
 	errs := make([]error, len(ps))
 	workers := par.Workers(c.Workers, len(ps))
+	ratioNs := sp.Histogram("crr.sweep.ratio_ns")
 	par.Run(workers, func(w int) {
 		var t0 time.Time
 		if sp.Enabled() {
 			t0 = time.Now()
 		}
 		for i := w; i < len(ps); i += workers {
-			out[i], errs[i] = c.reduce(g, ps[i], scores, sweepSeed(c.Seed, i), sp)
+			if sp.Enabled() {
+				r0 := time.Now()
+				out[i], errs[i] = c.reduce(g, ps[i], scores, sweepSeed(c.Seed, i), sp, w)
+				ratioNs.ObserveAt(w, time.Since(r0).Nanoseconds())
+			} else {
+				out[i], errs[i] = c.reduce(g, ps[i], scores, sweepSeed(c.Seed, i), sp, w)
+			}
 			sp.Done(1)
 		}
 		if sp.Enabled() {
@@ -185,15 +192,17 @@ func sweepSeed(seed int64, i int) int64 {
 }
 
 // reduce runs CRR with optionally precomputed Phase 1 scores, an explicit
-// rng seed (c.Seed for single runs, a per-ratio derivation for sweeps), and
-// an explicit parent span (c.Obs for single runs, the sweep span for sweeps;
-// nil is free).
+// rng seed (c.Seed for single runs, a per-ratio derivation for sweeps), an
+// explicit parent span (c.Obs for single runs, the sweep span for sweeps;
+// nil is free), and the worker slot running it (0 for single runs, the
+// sweep worker index for sweeps) so hot-loop histogram and flight-event
+// writes land on the worker's own shard.
 //
 // The whole pipeline is edge-id native: Phase 1 ranks int32 edge ids, Phase 2
 // swaps ids across the kept boundary and reads endpoints from the CSR view's
 // EdgeU/EdgeV arrays, and edges materialize as graph.Edge values only when
 // the Result is assembled. No step hashes an edge or touches a map.
-func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64, parent *obs.Span) (*Result, error) {
+func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64, parent *obs.Span, slot int) (*Result, error) {
 	if err := checkP(p); err != nil {
 		return nil, err
 	}
@@ -254,9 +263,13 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64, par
 		// serve as the run total) and the remainder folds in after the loop,
 		// making the final counter values independent of scrape timing.
 		var attCtr, accCtr *obs.Counter
+		var deltaHist *obs.Histogram
+		var flushMk *obs.Marker
 		if rw.Enabled() {
 			attCtr = rw.Counter("crr.rewire.attempts")
 			accCtr = rw.Counter("crr.rewire.accepted")
+			deltaHist = rw.Histogram("crr.delta_abs_micros")
+			flushMk = rw.Marker(obs.EvRewireFlush, "crr.phase2.rewire")
 		}
 		accepted, window := 0, 0
 		attempts, acceptedTotal := 0, 0
@@ -264,10 +277,11 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64, par
 		for i := 0; i < steps; i++ {
 			attempts++
 			if attCtr != nil && attempts%rewireFlush == 0 {
-				attCtr.Add(int64(attempts - flushedAtt))
-				accCtr.Add(int64(acceptedTotal - flushedAcc))
+				attCtr.AddAt(slot, int64(attempts-flushedAtt))
+				accCtr.AddAt(slot, int64(acceptedTotal-flushedAcc))
 				rw.Done(int64(attempts - flushedAtt))
 				flushedAtt, flushedAcc = attempts, acceptedTotal
+				flushMk.Emit(slot, int64(attempts))
 			}
 			ki := rng.Intn(tgt)         // e1 ∈ E'
 			si := tgt + rng.Intn(m-tgt) // e2 ∈ E \ E'
@@ -291,6 +305,9 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64, par
 			} else {
 				d = deltaChange(dis, u1, v1, u2, v2)
 			}
+			if deltaHist != nil {
+				deltaHist.ObserveAt(slot, int64(math.Abs(d)*1e6))
+			}
 			if d < 0 {
 				kept[ki], kept[si] = e2, e1
 				degKept[eu[e1]]--
@@ -311,9 +328,10 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64, par
 			}
 		}
 		if rw.Enabled() {
-			attCtr.Add(int64(attempts - flushedAtt))
-			accCtr.Add(int64(acceptedTotal - flushedAcc))
+			attCtr.AddAt(slot, int64(attempts-flushedAtt))
+			accCtr.AddAt(slot, int64(acceptedTotal-flushedAcc))
 			rw.Done(int64(attempts - flushedAtt))
+			flushMk.Emit(slot, int64(attempts))
 		}
 		rw.End()
 	}

@@ -194,7 +194,7 @@ func TestCRRSweepMatchesIndividualRuns(t *testing.T) {
 		t.Fatalf("sweep returned %d results", len(swept))
 	}
 	for i, p := range ps {
-		single, err := c.reduce(g, p, nil, sweepSeed(c.Seed, i), nil)
+		single, err := c.reduce(g, p, nil, sweepSeed(c.Seed, i), nil, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

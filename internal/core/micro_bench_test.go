@@ -144,7 +144,7 @@ func BenchmarkCRRReduceExactPerSource(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		scores := centrality.PerSourceEdgeBetweennessScores(g, centrality.Options{Workers: 1, Seed: c.Seed + 1})
-		if _, err := c.reduce(g, 0.5, scores, c.Seed, nil); err != nil {
+		if _, err := c.reduce(g, 0.5, scores, c.Seed, nil, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

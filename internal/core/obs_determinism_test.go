@@ -6,6 +6,7 @@ import (
 	"edgeshed/internal/graph"
 	"edgeshed/internal/graph/gen"
 	"edgeshed/internal/obs"
+	"edgeshed/internal/par"
 )
 
 // sameEdges reports whether two graphs hold exactly the same edge set, the
@@ -36,9 +37,11 @@ func TestCRRSweepBitIdenticalWithObs(t *testing.T) {
 			t.Fatal(err)
 		}
 		rec := obs.New("test")
+		prev := par.SetSlotObserver(rec.Flight())
 		c := base
 		c.Obs = rec.Root()
 		got, err := c.Sweep(g, ps)
+		par.SetSlotObserver(prev)
 		rec.Root().End()
 		if err != nil {
 			t.Fatal(err)
@@ -65,6 +68,31 @@ func TestCRRSweepBitIdenticalWithObs(t *testing.T) {
 		if vals["crr.rewire.attempts"] == 0 {
 			t.Fatalf("workers=%d: rewiring counters missing: %v", workers, vals)
 		}
+		// The PR-9 surfaces moved too: per-ratio sweep durations and
+		// deltaChange magnitudes land in histograms, rewire-chunk flushes
+		// and worker-slot brackets in the flight ring.
+		hists := rec.HistogramValues()
+		if hists["crr.sweep.ratio_ns"] == nil || hists["crr.sweep.ratio_ns"].Count != int64(len(ps)) {
+			t.Fatalf("workers=%d: crr.sweep.ratio_ns = %+v, want count %d", workers, hists["crr.sweep.ratio_ns"], len(ps))
+		}
+		if hists["crr.delta_abs_micros"] == nil || hists["crr.delta_abs_micros"].Count == 0 {
+			t.Fatalf("workers=%d: crr.delta_abs_micros missing or empty", workers)
+		}
+		var flushes, slots int
+		for _, e := range rec.Flight().Events() {
+			switch e.Kind {
+			case "rewire_flush":
+				flushes++
+			case "slot_begin":
+				slots++
+			}
+		}
+		if flushes == 0 {
+			t.Fatalf("workers=%d: no rewire_flush flight events", workers)
+		}
+		if workers > 1 && slots == 0 {
+			t.Fatalf("workers=%d: no slot_begin flight events", workers)
+		}
 	}
 }
 
@@ -88,6 +116,16 @@ func TestBM2BitIdenticalWithObs(t *testing.T) {
 		vals := rec.CounterValues()
 		if vals["flatpq.pushes"] == 0 || vals["flatpq.pops"] == 0 {
 			t.Fatalf("p=%v: FlatPQ counters missing: %v", p, vals)
+		}
+		// The bipartite queue build announces itself in the flight ring.
+		var pqBuilds int
+		for _, e := range rec.Flight().Events() {
+			if e.Kind == "pq_build" && e.Name == "bm2.bipartite" {
+				pqBuilds++
+			}
+		}
+		if pqBuilds == 0 {
+			t.Fatalf("p=%v: no pq_build flight event", p)
 		}
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"runtime/trace"
 	"strings"
 	"time"
+
+	"edgeshed/internal/par"
 )
 
 // CLI holds the shared observability flags every cmd binary registers
@@ -29,6 +31,11 @@ type CLI struct {
 	// MetricsPath, when non-empty, writes the JSON run manifest there and
 	// enables the Recorder the kernels report spans and counters into.
 	MetricsPath string
+	// TraceEventsPath, when non-empty, writes a Chrome/Perfetto trace-event
+	// JSON file there at Close: the span tree plus the flight recorder's
+	// events as one track per worker slot, with counter tracks. Enables the
+	// Recorder like -metrics.
+	TraceEventsPath string
 	// DebugAddr, when non-empty, serves the live debug plane there for the
 	// run's duration: /metrics (Prometheus text exposition), /progress
 	// (live span tree with ETAs), /healthz and /debug/pprof/*. Setting it
@@ -59,6 +66,7 @@ func BindFlags(fs *flag.FlagSet) *CLI {
 	fs.StringVar(&c.ProfileOut, "profile-out", "", "profile output path (default <mode>.pprof)")
 	fs.StringVar(&c.TracePath, "trace", "", "capture a runtime execution trace to this file")
 	fs.StringVar(&c.MetricsPath, "metrics", "", "write a JSON run manifest to this file")
+	fs.StringVar(&c.TraceEventsPath, "trace-events", "", "write a Chrome/Perfetto trace-event JSON timeline to this file (one track per worker)")
 	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve the live debug plane (/metrics, /progress, /healthz, /debug/pprof) on this address for the run's duration")
 	fs.DurationVar(&c.SampleInterval, "sample-interval", 0, "sample heap/GC/goroutine stats on this interval into the manifest's runtime timeline (0 = off)")
 	fs.BoolVar(&c.Quiet, "quiet", false, "suppress progress output on stderr")
@@ -117,8 +125,12 @@ func (c *CLI) Start(command string) (*Session, error) {
 		}
 		s.traceFile = f
 	}
-	if c.MetricsPath != "" || c.DebugAddr != "" {
+	if c.MetricsPath != "" || c.DebugAddr != "" || c.TraceEventsPath != "" {
 		s.rec = New(command)
+		// par reports worker-slot identity into the flight recorder for the
+		// session's duration; Close restores whatever was installed before.
+		s.prevSlotObs = par.SetSlotObserver(s.rec.Flight())
+		s.slotObsSet = true
 	}
 	if c.DebugAddr != "" {
 		d, err := startDebugServer(c.DebugAddr, s.rec)
@@ -130,7 +142,7 @@ func (c *CLI) Start(command string) (*Session, error) {
 		s.Verbosef("debug plane listening on %s", d.Addr())
 	}
 	if c.SampleInterval > 0 {
-		s.smp = startSampler(c.SampleInterval, s.startWall)
+		s.smp = startSampler(c.SampleInterval, s.startWall, s.rec.Flight().Marker(EvSamplerTick, "runtime"))
 	}
 	if c.Verbose && !c.Quiet && s.rec != nil {
 		s.startHeartbeat(heartbeatInterval)
@@ -157,6 +169,8 @@ type Session struct {
 	smp           *sampler
 	heartbeatStop chan struct{}
 	heartbeatDone chan struct{}
+	prevSlotObs   par.SlotObserver
+	slotObsSet    bool
 
 	graph   *GraphInfo
 	seed    int64
@@ -359,12 +373,59 @@ func (s *Session) stopCaptures() {
 	}
 }
 
+// buildManifest snapshots the session's observed state into a Manifest.
+// Shared by the clean Close path and Run's panic dump, so both produce the
+// same document shape.
+func (s *Session) buildManifest(timeline []RuntimeSample) *Manifest {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	return &Manifest{
+		Command:        s.command,
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		CPUs:           runtime.NumCPU(),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		StartUTC:       s.startWall.UTC().Format(time.RFC3339),
+		WallNs:         time.Since(s.startWall).Nanoseconds(),
+		Seed:           s.seed,
+		Workers:        s.workers,
+		Graph:          s.graph,
+		Options:        flagValues(s.cliFlags()),
+		Spans:          s.rec.SpanTree(),
+		Counters:       s.rec.CounterValues(),
+		Gauges:         s.rec.GaugeValues(),
+		Histograms:     s.rec.HistogramValues(),
+		FlightEvents:   s.rec.Flight().Events(),
+		Mem:            memDelta(&s.memBefore, &after),
+		RuntimeMetrics: captureRuntimeMetrics(),
+		Timeline:       timeline,
+	}
+}
+
+// cliFlags returns the session's flag set, nil without a CLI.
+func (s *Session) cliFlags() *flag.FlagSet {
+	if s.cli == nil {
+		return nil
+	}
+	return s.cli.fs
+}
+
+// restoreSlotObserver hands par's slot-observer seam back to whatever was
+// installed before Start; idempotent.
+func (s *Session) restoreSlotObserver() {
+	if s.slotObsSet {
+		par.SetSlotObserver(s.prevSlotObs)
+		s.slotObsSet = false
+	}
+}
+
 // Close ends the session: stops the heartbeat, the runtime sampler and the
 // debug plane, then the CPU profile and trace, writes the heap or block
-// profile if one was requested, and — when -metrics asked for a manifest —
-// ends the root span and writes the manifest (verifying it parses back),
-// with the sampler's timeline embedded. Call once, after the command's
-// work finished; its error is the command's to report. Nil-safe.
+// profile if one was requested, and — when -metrics or -trace-events asked
+// for output files — ends the root span and writes the manifest (verifying
+// it parses back) and the Chrome trace-event timeline. Call once, after the
+// command's work finished; its error is the command's to report. Nil-safe.
 func (s *Session) Close() error {
 	if s == nil {
 		return nil
@@ -374,6 +435,7 @@ func (s *Session) Close() error {
 	s.smp = nil
 	s.debug.stop()
 	s.debug = nil
+	s.restoreSlotObserver()
 	s.stopCaptures()
 	var firstErr error
 	switch {
@@ -388,35 +450,58 @@ func (s *Session) Close() error {
 			firstErr = err
 		}
 	}
-	if s.rec != nil && s.cli != nil && s.cli.MetricsPath != "" {
+	if s.rec != nil && s.cli != nil && (s.cli.MetricsPath != "" || s.cli.TraceEventsPath != "") {
 		s.rec.Root().End()
-		var after runtime.MemStats
-		runtime.ReadMemStats(&after)
-		m := &Manifest{
-			Command:        s.command,
-			GoVersion:      runtime.Version(),
-			GOOS:           runtime.GOOS,
-			GOARCH:         runtime.GOARCH,
-			CPUs:           runtime.NumCPU(),
-			GoMaxProcs:     runtime.GOMAXPROCS(0),
-			StartUTC:       s.startWall.UTC().Format(time.RFC3339),
-			WallNs:         time.Since(s.startWall).Nanoseconds(),
-			Seed:           s.seed,
-			Workers:        s.workers,
-			Graph:          s.graph,
-			Options:        flagValues(s.cli.fs),
-			Spans:          s.rec.SpanTree(),
-			Counters:       s.rec.CounterValues(),
-			Gauges:         s.rec.GaugeValues(),
-			Mem:            memDelta(&s.memBefore, &after),
-			RuntimeMetrics: captureRuntimeMetrics(),
-			Timeline:       timeline,
+		m := s.buildManifest(timeline)
+		if s.cli.MetricsPath != "" {
+			if err := m.WriteFile(s.cli.MetricsPath); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
-		if err := m.WriteFile(s.cli.MetricsPath); err != nil && firstErr == nil {
-			firstErr = err
+		if s.cli.TraceEventsPath != "" {
+			if err := writeTraceEventsFile(s.cli.TraceEventsPath, m); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
 	return firstErr
+}
+
+// Run executes the session's workload with a panic recovery hook: if fn
+// panics while a Recorder is live, the session dumps a panic manifest —
+// the ordinary manifest plus the panic value, the panicking stack, and the
+// flight recorder's tail, the events leading up to the crash — to the
+// -metrics path (or "<command>.panic.json" without one) before re-raising
+// the panic. A run that returns normally passes its error through
+// untouched; pair with Session.Close as usual. Nil-safe: without a session
+// or recorder, Run is just fn().
+func Run(s *Session, fn func() error) error {
+	if s == nil || s.rec == nil {
+		return fn()
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		stack := make([]byte, 64<<10)
+		stack = stack[:runtime.Stack(stack, false)]
+		s.rec.Flight().Marker(EvPanic, fmt.Sprint(r)).Emit(-1, 0)
+		m := s.buildManifest(nil)
+		m.Panic = fmt.Sprint(r)
+		m.PanicStack = string(stack)
+		path := s.command + ".panic.json"
+		if s.cli != nil && s.cli.MetricsPath != "" {
+			path = s.cli.MetricsPath
+		}
+		if err := m.WriteFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: writing panic manifest: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "obs: panic manifest written to %s\n", path)
+		}
+		panic(r)
+	}()
+	return fn()
 }
 
 // writeProfile writes the named pprof profile to path.

@@ -6,9 +6,9 @@ import "sync/atomic"
 // the same power-of-two shard discipline as internal/par's Shards
 // (DESIGN.md §7): worker w adds into cell w mod CounterShards, so any
 // worker count up to the shard count runs contention-free, and reads merge
-// the cells. obs does not import par (the dependency points the other way
-// in spirit: kernels use both), so the constant is restated here; a unit
-// test pins the two equal.
+// the cells. The constant is restated rather than aliased to par.Shards so
+// the obs data structures read self-contained (obs imports par only for
+// the SlotObserver seam in cli.go); a unit test pins the two equal.
 const CounterShards = 16
 
 // counterCell is one shard of a Counter, padded out to 128 bytes — two

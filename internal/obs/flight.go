@@ -1,0 +1,341 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder is the third obs tier (DESIGN.md §11): where spans
+// time phases and counters total events, the flight recorder remembers the
+// *last few thousand individual events* — span begins and ends, MS-BFS
+// direction switches and batch boundaries, CRR rewire-chunk flushes, PQ
+// builds, sampler ticks, worker-slot lifecycles — each timestamped and
+// tagged with the worker slot that produced it. The tail of that stream is
+// what explains a slow run after the fact: which worker stalled, when the
+// direction switch happened, how the rewire chunks spaced out.
+//
+// Design constraints, in order:
+//
+//   - Wait-free on the hot path. Events land in fixed-capacity per-slot
+//     rings; a write is one atomic fetch-add to claim a cell plus plain
+//     atomic stores into it (a seqlock per cell, no CAS loops, no mutexes).
+//     Workers on different slots never touch the same cache lines.
+//   - Free when disabled. A nil *Flight and nil *Marker no-op without
+//     allocating, pinned by TestDisabledPathAllocatesNothing alongside the
+//     span/counter/histogram paths.
+//   - Never perturbs results. Recording reads kernel state, never feeds it;
+//     the obs-on/off bit-identity regressions cover the recorder too.
+//
+// Readers (the manifest dump, the /events tail endpoint, the panic hook in
+// Run) snapshot cells seqlock-style: a cell whose sequence word changed
+// mid-read is simply dropped, so concurrent dumps are race-free and
+// lock-free both ways.
+
+// EventKind enumerates the flight-recorder event vocabulary.
+type EventKind uint8
+
+const (
+	// EvSpanBegin and EvSpanEnd bracket a phase span's lifetime; Name is the
+	// span name. Emitted automatically by Span.Start/End.
+	EvSpanBegin EventKind = 1 + iota
+	// EvSpanEnd closes the span opened by the matching EvSpanBegin.
+	EvSpanEnd
+	// EvWorkerBusy records one worker's busy stretch inside a span: emitted
+	// at the stretch's end with Arg = busy nanoseconds, Name = span name.
+	EvWorkerBusy
+	// EvSlotBegin and EvSlotEnd bracket one worker slot's run inside a
+	// par.Run/par.Blocks region (Arg = the region's worker count). They are
+	// how par reports slot identity to obs — the per-worker tracks of the
+	// trace-event export are built from them.
+	EvSlotBegin
+	// EvSlotEnd closes the slot run opened by the matching EvSlotBegin.
+	EvSlotEnd
+	// EvDirSwitch is an MS-BFS direction switch (Arg = the level at which
+	// the traversal flipped).
+	EvDirSwitch
+	// EvBatch is an MS-BFS batch boundary (Arg = the batch's occupancy:
+	// how many source bits it carried).
+	EvBatch
+	// EvRewireFlush is a CRR Phase 2 counter flush (Arg = cumulative
+	// attempts in the flushing reduction so far).
+	EvRewireFlush
+	// EvPQBuild is a priority-queue (re)build (Arg = entries pushed).
+	EvPQBuild
+	// EvSamplerTick is one background runtime-sampler observation (Arg =
+	// live heap bytes).
+	EvSamplerTick
+	// EvPanic is recorded by Run's recover hook just before the panic
+	// manifest is dumped; Name carries the panic value's rendering.
+	EvPanic
+)
+
+// String returns the kind's manifest/JSON spelling.
+func (k EventKind) String() string {
+	switch k {
+	case EvSpanBegin:
+		return "span_begin"
+	case EvSpanEnd:
+		return "span_end"
+	case EvWorkerBusy:
+		return "worker_busy"
+	case EvSlotBegin:
+		return "slot_begin"
+	case EvSlotEnd:
+		return "slot_end"
+	case EvDirSwitch:
+		return "dir_switch"
+	case EvBatch:
+		return "batch"
+	case EvRewireFlush:
+		return "rewire_flush"
+	case EvPQBuild:
+		return "pq_build"
+	case EvSamplerTick:
+		return "sampler_tick"
+	case EvPanic:
+		return "panic"
+	}
+	return "unknown"
+}
+
+const (
+	// FlightSlots is the number of per-worker rings, matching the
+	// CounterShards/par.Shards discipline: worker w records into ring
+	// w mod FlightSlots, so any worker count up to the shard count writes
+	// contention-free. One extra ring (index FlightSlots) holds control-
+	// plane events — spans, sampler ticks, panics — recorded with slot -1.
+	FlightSlots = CounterShards
+
+	// flightRingCap is each ring's fixed capacity (a power of two). With 17
+	// rings of 1024 cells at 32 bytes each, an enabled recorder holds about
+	// half a megabyte of ring memory and remembers the last ~17k events.
+	flightRingCap = 1 << 10
+)
+
+// Event is the serialized form of one flight-recorder event, as embedded in
+// manifests ("flight_events") and served by /events.
+type Event struct {
+	// TSNs is the event's offset from the recorder's start, from the
+	// monotonic clock.
+	TSNs int64 `json:"ts_ns"`
+	// Slot is the worker slot that recorded the event; -1 for control-plane
+	// events (spans, sampler ticks, panics).
+	Slot int `json:"slot"`
+	// Kind is the EventKind spelling ("span_begin", "dir_switch", ...).
+	Kind string `json:"kind"`
+	// Name is the event's interned label (span name, kernel name); empty
+	// for events that need none.
+	Name string `json:"name,omitempty"`
+	// Arg is the event's kind-specific payload (see the EventKind docs).
+	Arg int64 `json:"arg,omitempty"`
+}
+
+// flightCell is one ring cell: a seqlock-style sequence word plus the event
+// payload, all plain atomics so writers stay wait-free and concurrent
+// readers are race-free. seq holds the absolute 1-based claim index while
+// the cell is valid and 0 while it is being rewritten; a reader that sees
+// either a mismatched or changed seq drops the cell.
+type flightCell struct {
+	seq  atomic.Uint64
+	ts   atomic.Int64
+	meta atomic.Uint64 // kind<<48 | (slot+1)<<32 | nameID
+	arg  atomic.Int64
+}
+
+// flightRing is one slot's fixed-capacity event ring.
+type flightRing struct {
+	pos   atomic.Uint64
+	cells []flightCell
+}
+
+// record claims the next cell and fills it. Wait-free: one fetch-add, five
+// stores.
+func (r *flightRing) record(ts int64, meta uint64, arg int64) {
+	idx := r.pos.Add(1)
+	c := &r.cells[(idx-1)&(flightRingCap-1)]
+	c.seq.Store(0)
+	c.ts.Store(ts)
+	c.meta.Store(meta)
+	c.arg.Store(arg)
+	c.seq.Store(idx)
+}
+
+// Flight is one run's flight recorder: FlightSlots per-worker rings plus a
+// control ring, and the name-intern table Markers resolve against. A nil
+// Flight is the disabled state — every method no-ops without allocating.
+type Flight struct {
+	origin time.Time
+
+	mu    sync.Mutex
+	names []string
+	ids   map[string]uint32
+
+	rings [FlightSlots + 1]flightRing
+}
+
+// newFlight builds an enabled recorder's flight rings, timestamping events
+// relative to origin.
+func newFlight(origin time.Time) *Flight {
+	f := &Flight{origin: origin, ids: make(map[string]uint32)}
+	// nameID 0 is the empty name, so markers without a label skip interning.
+	f.names = append(f.names, "")
+	f.ids[""] = 0
+	for i := range f.rings {
+		f.rings[i].cells = make([]flightCell, flightRingCap)
+	}
+	return f
+}
+
+// Flight returns the recorder's flight recorder; nil on a nil Recorder, the
+// handle whose no-op methods disabled kernels call for free.
+func (r *Recorder) Flight() *Flight {
+	if r == nil {
+		return nil
+	}
+	return r.flight
+}
+
+// intern resolves a label to its stable id, registering it on first use.
+// Takes the intern mutex: call once per Marker or Span, never per event.
+func (f *Flight) intern(name string) uint32 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if id, ok := f.ids[name]; ok {
+		return id
+	}
+	id := uint32(len(f.names))
+	f.names = append(f.names, name)
+	f.ids[name] = id
+	return id
+}
+
+// lookupName resolves an interned id back to its label.
+func (f *Flight) lookupName(id uint32) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if int(id) < len(f.names) {
+		return f.names[id]
+	}
+	return ""
+}
+
+// ringFor maps a worker slot onto its ring: slot s writes ring
+// s mod FlightSlots, negative slots write the control ring.
+func (f *Flight) ringFor(slot int) *flightRing {
+	if slot < 0 {
+		return &f.rings[FlightSlots]
+	}
+	return &f.rings[slot&(FlightSlots-1)]
+}
+
+// packMeta folds an event's kind, slot and name id into one atomic word.
+// The slot is stored biased by one in 16 bits so -1 (control) packs as 0.
+func packMeta(kind EventKind, slot int, nameID uint32) uint64 {
+	return uint64(kind)<<48 | uint64(uint16(slot+1))<<32 | uint64(nameID)
+}
+
+// unpackMeta is packMeta's inverse.
+func unpackMeta(meta uint64) (kind EventKind, slot int, nameID uint32) {
+	return EventKind(meta >> 48), int(uint16(meta>>32)) - 1, uint32(meta)
+}
+
+// emit records one event. Nil-safe and wait-free; time.Since reads the
+// monotonic clock without allocating.
+func (f *Flight) emit(slot int, kind EventKind, nameID uint32, arg int64) {
+	if f == nil {
+		return
+	}
+	f.ringFor(slot).record(time.Since(f.origin).Nanoseconds(), packMeta(kind, slot, nameID), arg)
+}
+
+// Marker is a prepared event template: kind and interned name resolved up
+// front (the mutex-taking half), leaving Emit wait-free for hot loops — the
+// same fetch-the-handle-then-add discipline as Counter. A nil Marker (from
+// a nil Flight or Span) no-ops without allocating.
+type Marker struct {
+	f      *Flight
+	kind   EventKind
+	nameID uint32
+}
+
+// Marker prepares an event template for kind with the given label. Nil-safe:
+// a nil Flight returns a nil Marker.
+func (f *Flight) Marker(kind EventKind, name string) *Marker {
+	if f == nil {
+		return nil
+	}
+	return &Marker{f: f, kind: kind, nameID: f.intern(name)}
+}
+
+// Emit records one event from worker slot (use -1 off the worker pool) with
+// the kind-specific payload arg. Wait-free and nil-safe.
+func (m *Marker) Emit(slot int, arg int64) {
+	if m == nil {
+		return
+	}
+	m.f.emit(slot, m.kind, m.nameID, arg)
+}
+
+// Marker returns an event template bound to the span's recorder, the handle
+// kernels fetch before hot loops. Nil-safe: a nil Span returns a nil Marker.
+func (s *Span) Marker(kind EventKind, name string) *Marker {
+	if s == nil {
+		return nil
+	}
+	return s.rec.Flight().Marker(kind, name)
+}
+
+// SlotBegin implements par.SlotObserver: par.Run and par.Blocks report each
+// worker slot's start here, stamping the per-worker tracks of the trace
+// export. Nil-safe so an uninstalled or disabled observer costs nothing.
+func (f *Flight) SlotBegin(w, workers int) {
+	f.emit(w, EvSlotBegin, 0, int64(workers))
+}
+
+// SlotEnd implements par.SlotObserver, closing the slot run SlotBegin
+// opened.
+func (f *Flight) SlotEnd(w, workers int) {
+	f.emit(w, EvSlotEnd, 0, int64(workers))
+}
+
+// Events snapshots every ring's currently-valid cells, decoded and merged
+// in timestamp order — the flight recorder's tail, at most
+// (FlightSlots+1)·flightRingCap events. Safe to call while writers are
+// still emitting: cells overwritten mid-read fail their seqlock check and
+// are dropped rather than returned torn. A nil Flight returns nil.
+func (f *Flight) Events() []Event {
+	if f == nil {
+		return nil
+	}
+	var out []Event
+	for ri := range f.rings {
+		r := &f.rings[ri]
+		pos := r.pos.Load()
+		lo := uint64(1)
+		if pos > flightRingCap {
+			lo = pos - flightRingCap + 1
+		}
+		for idx := lo; idx <= pos; idx++ {
+			c := &r.cells[(idx-1)&(flightRingCap-1)]
+			if c.seq.Load() != idx {
+				continue // empty, torn, or already lapped
+			}
+			ts, meta, arg := c.ts.Load(), c.meta.Load(), c.arg.Load()
+			if c.seq.Load() != idx {
+				continue // overwritten while reading
+			}
+			kind, slot, nameID := unpackMeta(meta)
+			out = append(out, Event{
+				TSNs: ts,
+				Slot: slot,
+				Kind: kind.String(),
+				Name: f.lookupName(nameID),
+				Arg:  arg,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TSNs < out[j].TSNs })
+	return out
+}

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"edgeshed/internal/par"
+)
+
+// TestFlightRecordsSpanEvents pins the automatic span instrumentation:
+// Start/End emit span_begin/span_end with the span's name, in timestamp
+// order.
+func TestFlightRecordsSpanEvents(t *testing.T) {
+	r := New("root")
+	sp := r.Root().Start("phase")
+	sp.WorkerBusy(2, 5*time.Millisecond)
+	sp.End()
+	events := r.Flight().Events()
+	var begins, ends, busy int
+	for _, e := range events {
+		switch {
+		case e.Kind == "span_begin" && e.Name == "phase":
+			begins++
+		case e.Kind == "span_end" && e.Name == "phase":
+			ends++
+			if e.Arg <= 0 {
+				t.Errorf("span_end arg (duration) = %d, want > 0", e.Arg)
+			}
+		case e.Kind == "worker_busy":
+			busy++
+			if e.Slot != 2 || e.Name != "phase" || e.Arg != (5*time.Millisecond).Nanoseconds() {
+				t.Errorf("worker_busy event = %+v", e)
+			}
+		}
+	}
+	if begins != 1 || ends != 1 || busy != 1 {
+		t.Fatalf("begins=%d ends=%d busy=%d, want 1/1/1 (events: %+v)", begins, ends, busy, events)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].TSNs < events[i-1].TSNs {
+			t.Fatalf("events not in timestamp order at %d: %d then %d", i, events[i-1].TSNs, events[i].TSNs)
+		}
+	}
+}
+
+// TestFlightMarkerEmit pins Marker round-trips: kind, name, slot and arg
+// all come back decoded.
+func TestFlightMarkerEmit(t *testing.T) {
+	r := New("root")
+	mk := r.Flight().Marker(EvDirSwitch, "closeness")
+	mk.Emit(3, 42)
+	mk.Emit(-1, 7)
+	var got []Event
+	for _, e := range r.Flight().Events() {
+		if e.Kind == "dir_switch" {
+			got = append(got, e)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d dir_switch events, want 2", len(got))
+	}
+	for _, e := range got {
+		if e.Name != "closeness" {
+			t.Errorf("event name = %q, want closeness", e.Name)
+		}
+	}
+	if got[0].Slot == got[1].Slot {
+		t.Errorf("slots not preserved: %+v", got)
+	}
+	for _, e := range got {
+		if e.Slot == 3 && e.Arg != 42 {
+			t.Errorf("slot-3 arg = %d, want 42", e.Arg)
+		}
+		if e.Slot == -1 && e.Arg != 7 {
+			t.Errorf("control arg = %d, want 7", e.Arg)
+		}
+	}
+}
+
+// TestFlightRingWraps pins the fixed-capacity contract: a ring holds the
+// LAST flightRingCap events of its slot, dropping the oldest.
+func TestFlightRingWraps(t *testing.T) {
+	r := New("root")
+	mk := r.Flight().Marker(EvBatch, "wrap")
+	const total = flightRingCap + 100
+	for i := 0; i < total; i++ {
+		mk.Emit(0, int64(i))
+	}
+	var batch []Event
+	for _, e := range r.Flight().Events() {
+		if e.Kind == "batch" {
+			batch = append(batch, e)
+		}
+	}
+	if len(batch) != flightRingCap {
+		t.Fatalf("wrapped ring returned %d events, want %d", len(batch), flightRingCap)
+	}
+	// The survivors are the newest `flightRingCap` args: [100, total).
+	seen := map[int64]bool{}
+	for _, e := range batch {
+		seen[e.Arg] = true
+	}
+	if seen[0] || seen[99] {
+		t.Error("oldest events survived the wrap")
+	}
+	if !seen[100] || !seen[total-1] {
+		t.Error("newest events missing after the wrap")
+	}
+}
+
+// TestFlightConcurrentEmitAndRead hammers the rings from parallel workers
+// while a reader concurrently snapshots — the live /events shape. Run under
+// -race in CI (make race); correctness here is "no torn events": every
+// decoded event must be one that some worker actually wrote.
+func TestFlightConcurrentEmitAndRead(t *testing.T) {
+	r := New("root")
+	mk := r.Flight().Marker(EvBatch, "hammer")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			for _, e := range r.Flight().Events() {
+				if e.Kind == "batch" && (e.Arg < 0 || e.Arg >= 1000) {
+					panic("torn event arg")
+				}
+			}
+		}
+	}()
+	par.Run(8, func(w int) {
+		for i := 0; i < 1000; i++ {
+			mk.Emit(w, int64(i))
+		}
+	})
+	<-done
+	// After the writers stop, every surviving event decodes consistently.
+	for _, e := range r.Flight().Events() {
+		if e.Kind == "batch" && e.Name != "hammer" {
+			t.Fatalf("event kind/name mismatch: %+v", e)
+		}
+	}
+}
+
+// TestFlightSlotObserver pins the par seam end to end: installing the
+// flight recorder as the slot observer records one slot_begin/slot_end pair
+// per worker slot with the region's worker count.
+func TestFlightSlotObserver(t *testing.T) {
+	r := New("root")
+	prev := par.SetSlotObserver(r.Flight())
+	defer par.SetSlotObserver(prev)
+	const workers = 4
+	par.Run(workers, func(w int) { time.Sleep(time.Millisecond) })
+	begins := map[int]int{}
+	ends := map[int]int{}
+	for _, e := range r.Flight().Events() {
+		switch e.Kind {
+		case "slot_begin":
+			begins[e.Slot]++
+			if e.Arg != workers {
+				t.Errorf("slot_begin arg = %d, want %d", e.Arg, workers)
+			}
+		case "slot_end":
+			ends[e.Slot]++
+		}
+	}
+	for w := 0; w < workers; w++ {
+		if begins[w] != 1 || ends[w] != 1 {
+			t.Fatalf("slot %d: begins=%d ends=%d, want 1/1", w, begins[w], ends[w])
+		}
+	}
+}
+
+// TestEventKindStrings pins the manifest spelling of every kind.
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvSpanBegin, EvSpanEnd, EvWorkerBusy, EvSlotBegin, EvSlotEnd,
+		EvDirSwitch, EvBatch, EvRewireFlush, EvPQBuild, EvSamplerTick, EvPanic}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || s == "" {
+			t.Errorf("kind %d has no spelling", k)
+		}
+		if seen[s] {
+			t.Errorf("kind spelling %q duplicated", s)
+		}
+		seen[s] = true
+	}
+	if EventKind(0).String() != "unknown" || EventKind(200).String() != "unknown" {
+		t.Error("out-of-range kinds should spell unknown")
+	}
+}
+
+// TestPanicDumpManifest is the flight recorder's reason to exist: a panic
+// inside a span must leave behind a manifest carrying the panic value, the
+// stack, and the tail of the event ring — the events leading up to the
+// crash. Run's recover hook re-raises, so the panic is observed here too.
+func TestPanicDumpManifest(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/panic_run.json"
+	cli := &CLI{MetricsPath: path}
+	s, err := cli.Start("paniccmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := s.Recorder().Flight().Marker(EvBatch, "doomed")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Run swallowed the panic")
+			}
+		}()
+		obsRunErr := Run(s, func() error {
+			sp := s.Root().Start("doomed.phase")
+			defer sp.End()
+			for i := 0; i < 5; i++ {
+				mk.Emit(0, int64(i))
+			}
+			panic("kernel exploded")
+		})
+		_ = obsRunErr
+	}()
+	m, err := ReadManifest(path)
+	if err != nil {
+		t.Fatalf("panic manifest unreadable: %v", err)
+	}
+	if m.Panic != "kernel exploded" {
+		t.Fatalf("manifest.Panic = %q", m.Panic)
+	}
+	if !strings.Contains(m.PanicStack, "flight_test") {
+		t.Errorf("panic stack does not mention the panicking test:\n%s", m.PanicStack)
+	}
+	var batches, panics int
+	var sawSpanBegin bool
+	for _, e := range m.FlightEvents {
+		switch e.Kind {
+		case "batch":
+			batches++
+		case "panic":
+			panics++
+			if e.Name != "kernel exploded" {
+				t.Errorf("panic event name = %q", e.Name)
+			}
+		case "span_begin":
+			if e.Name == "doomed.phase" {
+				sawSpanBegin = true
+			}
+		}
+	}
+	if batches != 5 || panics != 1 || !sawSpanBegin {
+		t.Fatalf("flight tail: batches=%d panics=%d spanBegin=%v, want 5/1/true", batches, panics, sawSpanBegin)
+	}
+	// The still-open span must appear in the dumped tree: a panic dump
+	// snapshots mid-flight.
+	if m.Spans == nil || len(m.Spans.Children) == 0 || m.Spans.Children[0].Name != "doomed.phase" {
+		t.Fatalf("panic manifest span tree missing the open span: %+v", m.Spans)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after panic dump: %v", err)
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"edgeshed/internal/par"
+)
+
+// TestHistogramBucketBoundaries pins the power-of-two bucketing rule:
+// bucket k holds v ∈ [2^(k−1), 2^k − 1], bucket 0 holds v ≤ 0.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{-5, 0, 1, 2, 3, 4, 7, 8, 1023, 1024} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 10 || snap.Sum != -5+0+1+2+3+4+7+8+1023+1024 {
+		t.Fatalf("count=%d sum=%d", snap.Count, snap.Sum)
+	}
+	want := map[int]int64{
+		0:  2, // -5, 0
+		1:  1, // 1
+		2:  2, // 2, 3
+		3:  2, // 4, 7
+		4:  1, // 8
+		10: 1, // 1023
+		11: 1, // 1024
+	}
+	for b, n := range want {
+		if snap.Buckets[b] != n {
+			t.Errorf("bucket %d = %d, want %d (buckets: %v)", b, snap.Buckets[b], n, snap.Buckets)
+		}
+	}
+	if len(snap.Buckets) != 12 {
+		t.Errorf("trailing zeros not trimmed: len = %d, want 12", len(snap.Buckets))
+	}
+}
+
+// TestHistogramBucketUpper pins the exposition bucket bounds, including the
+// int64 saturation of the top buckets.
+func TestHistogramBucketUpper(t *testing.T) {
+	for b, want := range map[int]int64{0: 0, 1: 1, 2: 3, 3: 7, 10: 1023, 63: math.MaxInt64, 64: math.MaxInt64} {
+		if got := BucketUpper(b); got != want {
+			t.Errorf("BucketUpper(%d) = %d, want %d", b, got, want)
+		}
+	}
+	// The extreme value lands in the top bucket rather than overflowing.
+	h := &Histogram{}
+	h.Observe(math.MaxInt64)
+	snap := h.Snapshot()
+	if snap.Buckets[63] != 1 {
+		t.Fatalf("MaxInt64 not in bucket 63: %v", snap.Buckets)
+	}
+}
+
+// TestHistogramConcurrentObserve drives a histogram from parallel workers
+// through the AddAt-style sharding and checks the exact merged count and
+// sum. Run under -race in CI (make race).
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := New("test")
+	h := r.Histogram("lat")
+	const workers, per = 8, 10000
+	par.Run(workers, func(w int) {
+		for i := 0; i < per; i++ {
+			h.ObserveAt(w, int64(i))
+		}
+	})
+	snap := h.Snapshot()
+	if snap.Count != workers*per {
+		t.Fatalf("count = %d, want %d", snap.Count, workers*per)
+	}
+	wantSum := int64(workers) * int64(per) * int64(per-1) / 2
+	if snap.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", snap.Sum, wantSum)
+	}
+	if vals := r.HistogramValues(); vals["lat"].Count != workers*per {
+		t.Fatalf("HistogramValues = %+v", vals["lat"])
+	}
+}
+
+// TestHistogramQuantile pins the interpolated quantile estimator on a known
+// distribution: 100 observations of 100 each all land in bucket 7
+// ([64, 127]), so every quantile interpolates within that bucket.
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	snap := h.Snapshot()
+	for _, q := range []float64{0.5, 0.99} {
+		got := snap.Quantile(q)
+		if got < 64 || got > 128 {
+			t.Errorf("Quantile(%g) = %g, outside bucket [64, 128]", q, got)
+		}
+	}
+	// p50 of a two-bucket split: 50 ones (bucket 1) and 50 thousands
+	// (bucket 10); the median must sit at the bucket boundary region and
+	// p99 well into the top bucket.
+	h2 := &Histogram{}
+	for i := 0; i < 50; i++ {
+		h2.Observe(1)
+		h2.Observe(1000)
+	}
+	s2 := h2.Snapshot()
+	if p50, p99 := s2.Quantile(0.5), s2.Quantile(0.99); p50 > 4 || p99 < 512 {
+		t.Errorf("p50=%g p99=%g for the 1/1000 split, want small/large", p50, p99)
+	}
+	var nilSnap *HistogramSnapshot
+	if nilSnap.Quantile(0.5) != 0 {
+		t.Error("nil snapshot quantile != 0")
+	}
+}
+
+// TestHistogramSameNameSharedInstance mirrors the counter contract: one
+// name, one histogram.
+func TestHistogramSameNameSharedInstance(t *testing.T) {
+	r := New("test")
+	par.Run(4, func(w int) {
+		r.Histogram("shared").ObserveAt(w, 1)
+	})
+	if got := r.Histogram("shared").Snapshot().Count; got != 4 {
+		t.Fatalf("shared histogram count = %d, want 4", got)
+	}
+}

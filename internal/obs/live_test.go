@@ -37,7 +37,7 @@ func TestSanitizeMetricName(t *testing.T) {
 // and plausible runtime observations.
 func TestSamplerCollectsTimeline(t *testing.T) {
 	origin := time.Now()
-	s := startSampler(2*time.Millisecond, origin)
+	s := startSampler(2*time.Millisecond, origin, nil)
 	time.Sleep(10 * time.Millisecond)
 	timeline := s.Stop()
 	if len(timeline) < 3 {

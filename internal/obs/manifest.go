@@ -48,6 +48,18 @@ type Manifest struct {
 	Counters map[string]int64 `json:"counters,omitempty"`
 	// Gauges holds every gauge's final value.
 	Gauges map[string]int64 `json:"gauges,omitempty"`
+	// Histograms holds every histogram's merged bucket snapshot, the
+	// distributions cmd/obsdiff compares by p50/p99.
+	Histograms map[string]*HistogramSnapshot `json:"histograms,omitempty"`
+	// FlightEvents is the flight recorder's tail — the last few thousand
+	// structured events in timestamp order (DESIGN.md §11). Present whenever
+	// a Recorder was live, and the payload of a panic dump.
+	FlightEvents []Event `json:"flight_events,omitempty"`
+	// Panic carries the panic value's rendering when the manifest was dumped
+	// by Run's recover hook rather than a clean Session.Close.
+	Panic string `json:"panic,omitempty"`
+	// PanicStack is the panicking goroutine's stack, alongside Panic.
+	PanicStack string `json:"panic_stack,omitempty"`
 	// Mem is the before/after memory accounting of the run.
 	Mem *MemSnapshot `json:"mem,omitempty"`
 	// RuntimeMetrics holds a curated set of runtime/metrics samples taken

@@ -25,6 +25,14 @@
 //     are sharded so parallel workers never contend.
 //   - A Gauge records a level — a value observed, not accumulated (peak
 //     heap bytes, resolved worker count).
+//   - A Histogram records a distribution — per-item values whose spread
+//     matters, not just their sum (per-batch BFS times, MS-BFS level
+//     widths, CRR delta magnitudes). Power-of-two buckets, sharded like
+//     counters.
+//   - The Flight recorder remembers the last few thousand individual
+//     events (span boundaries, direction switches, rewire flushes) in
+//     per-worker rings, the raw material of the trace-event export and the
+//     panic dump (DESIGN.md §11).
 //
 // A Recorder owns one run's root span, counters and gauges, and snapshots
 // into a Manifest — the diffable JSON document every cmd binary can emit
@@ -42,23 +50,30 @@ import (
 // relative to. A nil Recorder is the disabled state: every method no-ops
 // (or returns a nil handle whose methods no-op) without allocating.
 type Recorder struct {
-	start time.Time
-	root  *Span
+	start  time.Time
+	root   *Span
+	flight *Flight
 
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // New returns an enabled Recorder whose root span, named after the command
-// or operation being observed, starts now.
+// or operation being observed, starts now. An enabled Recorder always
+// carries a flight recorder (~0.5 MB of rings); the free-when-disabled rule
+// is carried by nil receivers, not by partially-enabled recorders.
 func New(name string) *Recorder {
 	r := &Recorder{
-		start:    time.Now(),
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
+		start:      time.Now(),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
 	}
-	r.root = &Span{rec: r, name: name, start: r.start}
+	r.flight = newFlight(r.start)
+	r.root = &Span{rec: r, name: name, start: r.start, nameID: r.flight.intern(name)}
+	r.flight.emit(-1, EvSpanBegin, r.root.nameID, 0)
 	return r
 }
 
@@ -90,6 +105,26 @@ func (r *Recorder) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Histogram returns the named histogram, creating it on first use. The
+// same name always returns the same histogram. Nil-safe: a nil Recorder
+// returns a nil Histogram, whose Observe methods no-op.
+//
+// Like Counter, the lookup takes a mutex: fetch the handle once before a
+// hot loop and Observe through the handle, never per item.
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
 }
 
 // Gauge returns the named gauge, creating it on first use. Nil-safe like
@@ -140,6 +175,24 @@ func (r *Recorder) GaugeValues() map[string]int64 {
 	out := make(map[string]int64, len(r.gauges))
 	for name, g := range r.gauges {
 		out[name] = g.Value()
+	}
+	return out
+}
+
+// HistogramValues snapshots every registered histogram as a name →
+// snapshot map. A nil or histogram-less Recorder returns nil.
+func (r *Recorder) HistogramValues() map[string]*HistogramSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.histograms) == 0 {
+		return nil
+	}
+	out := make(map[string]*HistogramSnapshot, len(r.histograms))
+	for name, h := range r.histograms {
+		out[name] = h.Snapshot()
 	}
 	return out
 }

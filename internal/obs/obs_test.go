@@ -23,7 +23,13 @@ func TestNilReceiversNoOp(t *testing.T) {
 	if r.Gauge("x") != nil {
 		t.Error("nil Recorder.Gauge() != nil")
 	}
-	if r.CounterValues() != nil || r.GaugeValues() != nil || r.SpanTree() != nil {
+	if r.Histogram("x") != nil {
+		t.Error("nil Recorder.Histogram() != nil")
+	}
+	if r.Flight() != nil {
+		t.Error("nil Recorder.Flight() != nil")
+	}
+	if r.CounterValues() != nil || r.GaugeValues() != nil || r.HistogramValues() != nil || r.SpanTree() != nil {
 		t.Error("nil Recorder snapshots != nil")
 	}
 
@@ -36,8 +42,11 @@ func TestNilReceiversNoOp(t *testing.T) {
 	}
 	sp.End()
 	sp.WorkerBusy(3, time.Second)
-	if sp.Counter("x") != nil || sp.Gauge("x") != nil {
+	if sp.Counter("x") != nil || sp.Gauge("x") != nil || sp.Histogram("x") != nil {
 		t.Error("nil Span handle != nil")
+	}
+	if sp.Marker(EvBatch, "x") != nil {
+		t.Error("nil Span.Marker() != nil")
 	}
 
 	var c *Counter
@@ -53,20 +62,45 @@ func TestNilReceiversNoOp(t *testing.T) {
 	if g.Value() != 0 {
 		t.Error("nil Gauge.Value() != 0")
 	}
+
+	var h *Histogram
+	h.Observe(5)
+	h.ObserveAt(3, 5)
+	if h.Snapshot() != nil {
+		t.Error("nil Histogram.Snapshot() != nil")
+	}
+
+	var f *Flight
+	f.SlotBegin(0, 4)
+	f.SlotEnd(0, 4)
+	if f.Marker(EvBatch, "x") != nil {
+		t.Error("nil Flight.Marker() != nil")
+	}
+	if f.Events() != nil {
+		t.Error("nil Flight.Events() != nil")
+	}
+
+	var mk *Marker
+	mk.Emit(0, 1)
 }
 
 // disabledKernelPath exercises the exact call shape an instrumented kernel
-// runs when observation is off: derive a child span, fetch counters, add,
-// record worker busy time, end.
+// runs when observation is off: derive a child span, fetch counters,
+// histograms and markers, add/observe/emit, record worker busy time, end.
 func disabledKernelPath(parent *Span) {
 	sp := parent.Start("phase")
 	sp.SetTotal(100)
 	ctr := sp.Counter("events")
+	hist := sp.Histogram("batch_ns")
+	mk := sp.Marker(EvBatch, "phase")
 	for i := 0; i < 8; i++ {
 		ctr.AddAt(i, 1)
+		hist.ObserveAt(i, int64(i)*100)
+		mk.Emit(i, int64(i))
 		sp.Done(1)
 	}
 	ctr.Add(1)
+	hist.Observe(7)
 	if d, tot := sp.Progress(); d != 0 || tot != 0 {
 		panic("nil span reported progress")
 	}

@@ -33,6 +33,10 @@ type RuntimeSample struct {
 // while the goroutine still runs.
 type sampler struct {
 	origin time.Time
+	// tick mirrors each sample into the flight recorder (EvSamplerTick,
+	// arg = live heap bytes) so sampler observations land on the trace
+	// timeline; nil when no recorder is live.
+	tick *Marker
 
 	mu      sync.Mutex
 	samples []RuntimeSample
@@ -42,10 +46,11 @@ type sampler struct {
 }
 
 // startSampler begins sampling every interval, with offsets relative to
-// origin. One sample is taken immediately so even sessions shorter than the
-// interval record a point.
-func startSampler(interval time.Duration, origin time.Time) *sampler {
-	s := &sampler{origin: origin, stop: make(chan struct{}), done: make(chan struct{})}
+// origin; tick (possibly nil) receives one flight event per sample. One
+// sample is taken immediately so even sessions shorter than the interval
+// record a point.
+func startSampler(interval time.Duration, origin time.Time, tick *Marker) *sampler {
+	s := &sampler{origin: origin, tick: tick, stop: make(chan struct{}), done: make(chan struct{})}
 	s.sample()
 	go func() {
 		defer close(s.done)
@@ -80,6 +85,7 @@ func (s *sampler) sample() {
 	s.mu.Lock()
 	s.samples = append(s.samples, p)
 	s.mu.Unlock()
+	s.tick.Emit(-1, int64(ms.HeapAlloc))
 }
 
 // Samples snapshots the timeline collected so far.

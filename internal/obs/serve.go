@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -15,10 +17,12 @@ import (
 // -debug-addr flag, see CLI) that exposes the run's Recorder while it is
 // still running — the counterpart of the post-mortem manifest. Endpoints:
 //
-//	/metrics        live counters, gauges and runtime/metrics in Prometheus
-//	                text exposition format
+//	/metrics        live counters, gauges, histograms and runtime/metrics
+//	                in Prometheus text exposition format
 //	/progress       the live span tree as JSON, with elapsed times, unit
 //	                progress and ETAs
+//	/events         the flight recorder's tail as JSON (?n= limits to the
+//	                last n events)
 //	/healthz        liveness probe, always "ok"
 //	/debug/pprof/   the standard net/http/pprof profile handlers
 //
@@ -45,6 +49,19 @@ func NewDebugHandler(rec *Recorder) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(progressSnapshot(rec))
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		events := rec.Flight().Events()
+		if nStr := r.URL.Query().Get("n"); nStr != "" {
+			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.Encode(struct {
+			Events []Event `json:"events"`
+		}{Events: events})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -80,29 +97,141 @@ func progressSnapshot(rec *Recorder) *ProgressSnapshot {
 	}
 }
 
+// metricHelp maps internal metric names (counter/gauge/histogram registry
+// keys) to their # HELP text. Metrics not listed fall back to a generic
+// line; keeping the registry here — not at every call site — means one
+// place to scan for the exposition vocabulary.
+var metricHelp = map[string]string{
+	"benchjson.lines":          "Benchmark output lines parsed.",
+	"betweenness.sources_done": "Brandes/MS-BFS betweenness source vertices completed.",
+	"bfs.bottomup_levels":      "BFS levels expanded bottom-up.",
+	"bfs.direction_switches":   "BFS direction-optimizing switches.",
+	"bfs.sources_done":         "BFS source vertices completed.",
+	"bfs.topdown_levels":       "BFS levels expanded top-down.",
+	"brandes.edge_folds":       "Edge-dependency fold operations in batched Brandes.",
+	"claims.checked":           "Paper claims checked.",
+	"claims.failed":            "Paper claims that failed verification.",
+	"closeness.sources_done":   "Closeness centrality source vertices completed.",
+	"crr.delta_abs_micros":     "Absolute CRR deltaChange per rewiring attempt, in micro-units.",
+	"crr.rewire.accepted":      "CRR Phase 2 rewiring attempts accepted.",
+	"crr.rewire.attempts":      "CRR Phase 2 rewiring attempts examined.",
+	"crr.sweep.ratio_ns":       "Wall time per CRR sweep ratio, in nanoseconds.",
+	"flatpq.pops":              "Flat priority-queue pop operations.",
+	"flatpq.pushes":            "Flat priority-queue push operations.",
+	"flatpq.removes":           "Flat priority-queue remove operations.",
+	"flatpq.updates":           "Flat priority-queue update operations.",
+	"graph.edges":              "Input graph edge count.",
+	"heap_alloc_bytes":         "Live heap bytes at sample time.",
+	"ingest.bytes":             "Input bytes ingested.",
+	"ingest.edges":             "Edges ingested.",
+	"ingest.lines":             "Input lines ingested.",
+	"msbfs.batch_ns":           "Wall time per MS-BFS source batch, in nanoseconds.",
+	"msbfs.batch_occupancy":    "Source bits carried per MS-BFS batch.",
+	"msbfs.batches_done":       "MS-BFS source batches traversed.",
+	"msbfs.direction_switches": "MS-BFS direction switches.",
+	"msbfs.level_width":        "Frontier words scanned per MS-BFS level.",
+	"msbfs.words_scanned":      "MS-BFS frontier words scanned.",
+	"pack.bytes.out":           "Packed CSR bytes written.",
+	"pack.spill.chunks":        "External-sort spill chunks written.",
+	"pack.spill.keys":          "External-sort keys spilled.",
+	"pagerank.iterations":      "PageRank power iterations.",
+	"run_info":                 "Constant 1, labeled with the observed command.",
+	"stream.deletes":           "Streaming edge deletions applied.",
+	"stream.inserts":           "Streaming edge insertions applied.",
+	"stream.novel_kept":        "Streaming novel edges kept.",
+	"stream.swaps_accepted":    "Streaming reservoir swaps accepted.",
+	"targeted.repair.rounds":   "Targeted-repair rounds executed.",
+}
+
+// helpFor returns the HELP text for an internal metric name, with a
+// generic fallback so every family always carries a HELP line.
+func helpFor(name string) string {
+	if h, ok := metricHelp[name]; ok {
+		return h
+	}
+	return "edgeshed metric " + name + "."
+}
+
+// uniqueMetricNames maps internal names to unique exposition family names:
+// prefix + sanitizeMetricName(name) + suffix, with "_2", "_3", … appended
+// when sanitization collapses distinct internal names (e.g. "a.b" vs
+// "a_b") onto one family — Prometheus treats duplicate families as
+// corrupt, so collisions must disambiguate rather than silently merge.
+// Names are processed in sorted order, so the assignment is deterministic.
+func uniqueMetricNames(names []string, prefix, suffix string) map[string]string {
+	sorted := make([]string, len(names))
+	copy(sorted, names)
+	sort.Strings(sorted)
+	taken := make(map[string]bool, len(sorted))
+	out := make(map[string]string, len(sorted))
+	for _, name := range sorted {
+		m := prefix + sanitizeMetricName(name) + suffix
+		for i := 2; taken[m]; i++ {
+			m = fmt.Sprintf("%s%s_%d%s", prefix, sanitizeMetricName(name), i, suffix)
+		}
+		taken[m] = true
+		out[name] = m
+	}
+	return out
+}
+
 // writeMetrics renders the Prometheus text exposition: every Recorder
 // counter as an edgeshed_*_total counter, every gauge as an edgeshed_*
-// gauge, and the curated runtime/metrics set as go_* gauges. Families are
-// emitted in sorted name order so consecutive scrapes diff cleanly.
+// gauge, every histogram as an edgeshed_* histogram family (cumulative
+// power-of-two buckets), and the curated runtime/metrics set as go_*
+// gauges — each family with # HELP and # TYPE lines. Families are emitted
+// in sorted name order so consecutive scrapes diff cleanly.
 func writeMetrics(w http.ResponseWriter, rec *Recorder) {
 	if rec != nil {
+		fmt.Fprintf(w, "# HELP edgeshed_run_info %s\n", helpFor("run_info"))
 		fmt.Fprintf(w, "# TYPE edgeshed_run_info gauge\nedgeshed_run_info{command=%q} 1\n", rec.root.name)
 		counters := rec.CounterValues()
+		counterFams := uniqueMetricNames(sortedKeys(counters), "edgeshed_", "_total")
 		for _, name := range sortedKeys(counters) {
-			m := "edgeshed_" + sanitizeMetricName(name) + "_total"
-			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, counters[name])
+			m := counterFams[name]
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m, helpFor(name), m, m, counters[name])
 		}
 		gauges := rec.GaugeValues()
+		gaugeFams := uniqueMetricNames(sortedKeys(gauges), "edgeshed_", "")
 		for _, name := range sortedKeys(gauges) {
-			m := "edgeshed_" + sanitizeMetricName(name)
-			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m, m, gauges[name])
+			m := gaugeFams[name]
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", m, helpFor(name), m, m, gauges[name])
+		}
+		hists := rec.HistogramValues()
+		histNames := make([]string, 0, len(hists))
+		for name := range hists {
+			histNames = append(histNames, name)
+		}
+		sort.Strings(histNames)
+		histFams := uniqueMetricNames(histNames, "edgeshed_", "")
+		for _, name := range histNames {
+			writeHistogram(w, histFams[name], name, hists[name])
 		}
 	}
 	rm := captureRuntimeMetrics()
+	rmFams := uniqueMetricNames(sortedFloatKeys(rm), "go_", "")
 	for _, name := range sortedFloatKeys(rm) {
-		m := "go_" + sanitizeMetricName(name)
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", m, m, rm[name])
+		m := rmFams[name]
+		fmt.Fprintf(w, "# HELP %s runtime/metrics %s\n# TYPE %s gauge\n%s %v\n", m, name, m, m, rm[name])
 	}
+}
+
+// writeHistogram renders one histogram family in Prometheus exposition:
+// cumulative power-of-two buckets (le = each bucket's inclusive upper
+// bound), the +Inf bucket, exact sum and count.
+func writeHistogram(w http.ResponseWriter, fam, name string, snap *HistogramSnapshot) {
+	if snap == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", fam, helpFor(name), fam)
+	var cum int64
+	for b, n := range snap.Buckets {
+		cum += n
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", fam, BucketUpper(b), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", fam, snap.Count)
+	fmt.Fprintf(w, "%s_sum %d\n", fam, snap.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", fam, snap.Count)
 }
 
 // sanitizeMetricName maps an internal dotted or runtime/metrics-style name
@@ -176,11 +305,22 @@ func (d *debugServer) Addr() string {
 	return d.l.Addr().String()
 }
 
-// stop closes the listener and the server; in-flight scrapes are cut off —
-// the plane exists for the duration of the run only.
+// debugShutdownTimeout bounds how long stop waits for in-flight scrapes; a
+// variable so the regression test can tighten it.
+var debugShutdownTimeout = 2 * time.Second
+
+// stop shuts the server down gracefully: new connections stop being
+// accepted immediately, but an in-flight scrape — say a final /metrics pull
+// racing Session.Close — gets up to debugShutdownTimeout to finish its
+// response body instead of being cut mid-line. Only if the deadline passes
+// is the server torn down hard.
 func (d *debugServer) stop() {
 	if d == nil {
 		return
 	}
-	d.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), debugShutdownTimeout)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil {
+		d.srv.Close()
+	}
 }

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestUniqueMetricNamesCollision pins the satellite contract: distinct
+// internal names whose sanitized forms collide ("a.b" vs "a_b") must map to
+// distinct exposition families, deterministically.
+func TestUniqueMetricNamesCollision(t *testing.T) {
+	names := []string{"a_b", "a.b", "a-b", "plain"}
+	got := uniqueMetricNames(names, "edgeshed_", "_total")
+	// Sorted order decides who keeps the clean family: '-' < '.' < '_'.
+	want := map[string]string{
+		"a-b":   "edgeshed_a_b_total",
+		"a.b":   "edgeshed_a_b_2_total",
+		"a_b":   "edgeshed_a_b_3_total",
+		"plain": "edgeshed_plain_total",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("uniqueMetricNames = %v, want %v", got, want)
+	}
+	// Determinism: input order must not matter (assignment is by sorted name).
+	reversed := []string{"plain", "a-b", "a.b", "a_b"}
+	if got2 := uniqueMetricNames(reversed, "edgeshed_", "_total"); !reflect.DeepEqual(got2, want) {
+		t.Fatalf("uniqueMetricNames order-sensitive: %v vs %v", got2, want)
+	}
+	// No collision, no suffix.
+	if m := uniqueMetricNames([]string{"x.y"}, "p_", ""); m["x.y"] != "p_x_y" {
+		t.Fatalf("singleton name mangled: %v", m)
+	}
+}
+
+// slowServer builds a debugServer over a handler that signals when a request
+// is in flight and then takes `delay` to finish its body — the shape of a
+// scrape racing Session.Close.
+func slowServer(t *testing.T, started chan<- struct{}, delay time.Duration) *debugServer {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		time.Sleep(delay)
+		io.WriteString(w, "full-body")
+	})
+	d := &debugServer{l: l, srv: &http.Server{Handler: h}}
+	go d.srv.Serve(l)
+	return d
+}
+
+// TestDebugServerGracefulStop is the regression test for the stop()
+// rewrite: an in-flight scrape must receive its complete response body even
+// when stop() is called mid-request — srv.Close() would cut it mid-line.
+func TestDebugServerGracefulStop(t *testing.T) {
+	started := make(chan struct{}, 1)
+	d := slowServer(t, started, 50*time.Millisecond)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var body string
+	var getErr error
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get("http://" + d.Addr() + "/metrics")
+		if err != nil {
+			getErr = err
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			getErr = err
+			return
+		}
+		body = string(b)
+	}()
+
+	<-started // the request is in the handler; now race the shutdown
+	t0 := time.Now()
+	d.stop()
+	wg.Wait()
+	if getErr != nil {
+		t.Fatalf("in-flight scrape failed across stop(): %v", getErr)
+	}
+	if body != "full-body" {
+		t.Fatalf("scrape truncated across stop(): %q", body)
+	}
+	if elapsed := time.Since(t0); elapsed > debugShutdownTimeout {
+		t.Fatalf("stop() took %v, beyond the %v deadline", elapsed, debugShutdownTimeout)
+	}
+	// After stop, new connections are refused.
+	if _, err := http.Get("http://" + d.Addr() + "/metrics"); err == nil {
+		t.Fatal("server accepted a connection after stop()")
+	}
+}
+
+// TestDebugServerStopDeadline pins the fallback: a handler that outlives
+// debugShutdownTimeout must not wedge stop() — the hard Close kicks in.
+func TestDebugServerStopDeadline(t *testing.T) {
+	defer func(old time.Duration) { debugShutdownTimeout = old }(debugShutdownTimeout)
+	debugShutdownTimeout = 20 * time.Millisecond
+
+	started := make(chan struct{}, 1)
+	d := slowServer(t, started, 10*time.Second)
+	go http.Get("http://" + d.Addr() + "/metrics")
+	<-started
+
+	done := make(chan struct{})
+	go func() {
+		d.stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop() wedged on a handler that ignores the deadline")
+	}
+}
+
+// TestDebugServerStopNil pins nil-safety: stop on a nil server (no
+// -debug-addr) is a no-op.
+func TestDebugServerStopNil(t *testing.T) {
+	var d *debugServer
+	d.stop() // must not panic
+	if d.Addr() != "" {
+		t.Fatal("nil debugServer has an address")
+	}
+}

@@ -5,6 +5,7 @@ package obs_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -16,6 +17,7 @@ import (
 	"edgeshed/internal/graph"
 	"edgeshed/internal/graph/gen"
 	"edgeshed/internal/obs"
+	"edgeshed/internal/par"
 )
 
 func get(t *testing.T, url string) (string, *http.Response) {
@@ -90,6 +92,126 @@ func TestDebugHandlerEndpoints(t *testing.T) {
 	}
 }
 
+// TestMetricsHelpAndHistograms pins the exposition satellites: every family
+// carries a registry HELP line (curated text for known names, a generic
+// fallback otherwise), histograms render as cumulative bucket families, and
+// sanitization collisions ("a.b" vs "a_b") surface as distinct families
+// instead of a corrupt duplicate.
+func TestMetricsHelpAndHistograms(t *testing.T) {
+	rec := obs.New("shed")
+	rec.Counter("crr.rewire.attempts").Add(9)
+	rec.Counter("made.up.name").Add(1)
+	rec.Counter("a.b").Add(1)
+	rec.Counter("a_b").Add(2)
+	h := rec.Histogram("msbfs.batch_ns")
+	for _, v := range []int64{100, 200, 400} {
+		h.Observe(v)
+	}
+
+	srv := httptest.NewServer(obs.NewDebugHandler(rec))
+	defer srv.Close()
+	body, _ := get(t, srv.URL+"/metrics")
+
+	for _, want := range []string{
+		"# HELP edgeshed_crr_rewire_attempts_total CRR Phase 2 rewiring attempts examined.",
+		"# HELP edgeshed_made_up_name_total edgeshed metric made.up.name.",
+		"# HELP edgeshed_msbfs_batch_ns Wall time per MS-BFS source batch, in nanoseconds.",
+		"# TYPE edgeshed_msbfs_batch_ns histogram",
+		`edgeshed_msbfs_batch_ns_bucket{le="+Inf"} 3`,
+		"edgeshed_msbfs_batch_ns_sum 700",
+		"edgeshed_msbfs_batch_ns_count 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// The collision pair: "a.b" sorts first and keeps the clean family,
+	// "a_b" is disambiguated — both present, values distinguishable.
+	if !strings.Contains(body, "edgeshed_a_b_total 1") || !strings.Contains(body, "edgeshed_a_b_2_total 2") {
+		t.Errorf("sanitization collision not disambiguated:\n%s", body)
+	}
+	if strings.Count(body, "# TYPE edgeshed_a_b_total counter") != 1 {
+		t.Errorf("duplicate family for edgeshed_a_b_total:\n%s", body)
+	}
+	// Cumulative buckets are non-decreasing and end at the count.
+	var lastCum int64 = -1
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "edgeshed_msbfs_batch_ns_bucket") {
+			continue
+		}
+		var cum int64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &cum); err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if cum < lastCum {
+			t.Fatalf("bucket counts not cumulative: %q after %d", line, lastCum)
+		}
+		lastCum = cum
+	}
+	if lastCum != 3 {
+		t.Fatalf("final cumulative bucket = %d, want 3", lastCum)
+	}
+}
+
+// TestDebugHandlerEvents pins the /events endpoint: the flight recorder's
+// tail as JSON, with ?n= limiting to the newest n events.
+func TestDebugHandlerEvents(t *testing.T) {
+	rec := obs.New("shed")
+	mk := rec.Flight().Marker(obs.EvBatch, "serve")
+	for i := 0; i < 10; i++ {
+		mk.Emit(0, int64(i))
+	}
+
+	srv := httptest.NewServer(obs.NewDebugHandler(rec))
+	defer srv.Close()
+
+	var doc struct {
+		Events []obs.Event `json:"events"`
+	}
+	body, resp := get(t, srv.URL+"/events")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("/events content type = %q", ct)
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/events is not JSON: %v\n%s", err, body)
+	}
+	var batches int
+	for _, e := range doc.Events {
+		if e.Kind == "batch" && e.Name == "serve" {
+			batches++
+		}
+	}
+	if batches != 10 {
+		t.Fatalf("/events returned %d batch events, want 10", batches)
+	}
+
+	body, _ = get(t, srv.URL+"/events?n=3")
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/events?n=3 is not JSON: %v", err)
+	}
+	if len(doc.Events) != 3 {
+		t.Fatalf("/events?n=3 returned %d events", len(doc.Events))
+	}
+	// The tail keeps the newest: the last emitted args.
+	if doc.Events[2].Arg != 9 {
+		t.Errorf("tail not the newest events: %+v", doc.Events)
+	}
+
+	// Without a recorder, /events degrades to an empty list.
+	nilSrv := httptest.NewServer(obs.NewDebugHandler(nil))
+	defer nilSrv.Close()
+	body, resp = get(t, nilSrv.URL+"/events")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/events without recorder = %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/events without recorder is not JSON: %v", err)
+	}
+	if len(doc.Events) != 0 {
+		t.Fatalf("/events without recorder returned events: %+v", doc.Events)
+	}
+}
+
 // TestDebugHandlerNilRecorder pins that the plane degrades gracefully with
 // no recorder: runtime metrics still flow, progress is an empty document.
 func TestDebugHandlerNilRecorder(t *testing.T) {
@@ -112,10 +234,11 @@ func TestDebugHandlerNilRecorder(t *testing.T) {
 	}
 }
 
-// TestConcurrentScrapeDuringSweep is the issue's race check: /metrics and
-// /progress are hammered from a goroutine while CRR.Sweep runs at
-// Workers=4, under -race in CI (make race), and the swept edge sets must
-// be bit-identical to an unobserved, unscraped run.
+// TestConcurrentScrapeDuringSweep is the issue's race check: /metrics,
+// /progress and /events are hammered from a goroutine while CRR.Sweep runs
+// at Workers=4 with the flight recorder installed as the par slot observer,
+// under -race in CI (make race), and the swept edge sets must be
+// bit-identical to an unobserved, unscraped run.
 func TestConcurrentScrapeDuringSweep(t *testing.T) {
 	g := gen.BarabasiAlbert(300, 3, 7)
 	ps := []float64{0.7, 0.5, 0.3}
@@ -126,6 +249,8 @@ func TestConcurrentScrapeDuringSweep(t *testing.T) {
 	}
 
 	rec := obs.New("scrape-test")
+	prev := par.SetSlotObserver(rec.Flight())
+	defer par.SetSlotObserver(prev)
 	srv := httptest.NewServer(obs.NewDebugHandler(rec))
 	defer srv.Close()
 	stop := make(chan struct{})
@@ -139,7 +264,7 @@ func TestConcurrentScrapeDuringSweep(t *testing.T) {
 				return
 			default:
 			}
-			for _, path := range []string{"/metrics", "/progress"} {
+			for _, path := range []string{"/metrics", "/progress", "/events"} {
 				resp, err := http.Get(srv.URL + path)
 				if err != nil {
 					continue
@@ -160,6 +285,13 @@ func TestConcurrentScrapeDuringSweep(t *testing.T) {
 	}
 	for i := range want {
 		assertSameEdges(t, want[i].Reduced, got[i].Reduced)
+	}
+	// The observed run recorded real flight traffic and histograms.
+	if len(rec.Flight().Events()) == 0 {
+		t.Error("observed sweep emitted no flight events")
+	}
+	if hv := rec.HistogramValues(); hv["crr.sweep.ratio_ns"] == nil || hv["crr.sweep.ratio_ns"].Count != int64(len(ps)) {
+		t.Errorf("crr.sweep.ratio_ns histogram = %+v, want count %d", hv["crr.sweep.ratio_ns"], len(ps))
 	}
 }
 

@@ -20,6 +20,10 @@ type Span struct {
 	rec   *Recorder
 	name  string
 	start time.Time
+	// nameID is the span name's flight-recorder intern id, resolved once at
+	// Start so the begin/end/busy events End and WorkerBusy emit stay off
+	// the intern mutex.
+	nameID uint32
 
 	// total and done are the span's optional unit-progress counts (BFS
 	// sources completed, sweep ratios finished, suite tasks done). They are
@@ -47,9 +51,11 @@ func (s *Span) Start(name string) *Span {
 		return nil
 	}
 	child := &Span{rec: s.rec, name: name, start: time.Now()}
+	child.nameID = s.rec.flight.intern(name)
 	s.mu.Lock()
 	s.children = append(s.children, child)
 	s.mu.Unlock()
+	s.rec.flight.emit(-1, EvSpanBegin, child.nameID, 0)
 	return child
 }
 
@@ -60,11 +66,15 @@ func (s *Span) End() {
 		return
 	}
 	s.mu.Lock()
-	if !s.ended {
+	first := !s.ended
+	if first {
 		s.dur = time.Since(s.start)
 		s.ended = true
 	}
 	s.mu.Unlock()
+	if first {
+		s.rec.flight.emit(-1, EvSpanEnd, s.nameID, s.dur.Nanoseconds())
+	}
 }
 
 // WorkerBusy adds busy time observed by worker w inside this span, so a
@@ -81,6 +91,10 @@ func (s *Span) WorkerBusy(w int, d time.Duration) {
 	}
 	s.workerBusy[w] += d
 	s.mu.Unlock()
+	// The busy stretch also lands in the flight recorder, stamped at its
+	// end with its length as the payload — the trace export rebuilds the
+	// per-worker busy slices from these.
+	s.rec.flight.emit(w, EvWorkerBusy, s.nameID, d.Nanoseconds())
 }
 
 // SetTotal declares how many work units the span expects to complete, the
@@ -122,6 +136,16 @@ func (s *Span) Counter(name string) *Counter {
 		return nil
 	}
 	return s.rec.Counter(name)
+}
+
+// Histogram returns the named histogram of the span's Recorder, the handle
+// kernels use for distribution telemetry. Nil-safe: a nil Span returns a
+// nil Histogram.
+func (s *Span) Histogram(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.rec.Histogram(name)
 }
 
 // Gauge returns the named gauge of the span's Recorder. Nil-safe.

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"edgeshed/internal/par"
+)
+
+// buildTracedManifest runs a small observed workload — spans, a parallel
+// region with slot identity, markers — and snapshots it like Session.Close
+// would.
+func buildTracedManifest(t *testing.T, workers int) *Manifest {
+	t.Helper()
+	r := New("tracecmd")
+	prev := par.SetSlotObserver(r.Flight())
+	defer par.SetSlotObserver(prev)
+	sp := r.Root().Start("kernel")
+	mk := sp.Marker(EvBatch, "kernel")
+	par.Run(workers, func(w int) {
+		t0 := time.Now()
+		for i := 0; i < 3; i++ {
+			mk.Emit(w, int64(i))
+		}
+		time.Sleep(time.Millisecond)
+		sp.WorkerBusy(w, time.Since(t0))
+	})
+	sp.End()
+	r.Counter("events").Add(9)
+	r.Root().End()
+	return &Manifest{
+		Command:      "tracecmd",
+		Spans:        r.SpanTree(),
+		Counters:     r.CounterValues(),
+		FlightEvents: r.Flight().Events(),
+	}
+}
+
+// decodeTrace parses an exported trace back into its event list.
+func decodeTrace(t *testing.T, buf *bytes.Buffer) []traceEvent {
+	t.Helper()
+	var doc traceFile
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	return doc.TraceEvents
+}
+
+// TestTraceEventsSchema pins the exported document's schema invariants:
+// valid JSON, monotone non-decreasing ts, balanced B/E pairs per thread,
+// one named track per worker slot plus main.
+func TestTraceEventsSchema(t *testing.T) {
+	const workers = 4
+	m := buildTracedManifest(t, workers)
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, &buf)
+	if len(evs) == 0 {
+		t.Fatal("no trace events")
+	}
+	lastTS := -1.0
+	depth := map[int]int{}
+	threadNames := map[int]string{}
+	for _, e := range evs {
+		if e.Ph == "M" {
+			if e.Name == "thread_name" {
+				threadNames[e.TID] = e.Args["name"].(string)
+			}
+			continue
+		}
+		if e.TS < lastTS {
+			t.Fatalf("ts not monotone: %v after %v", e.TS, lastTS)
+		}
+		lastTS = e.TS
+		switch e.Ph {
+		case "B":
+			depth[e.TID]++
+		case "E":
+			depth[e.TID]--
+			if depth[e.TID] < 0 {
+				t.Fatalf("E without B on tid %d", e.TID)
+			}
+		case "X", "i", "C":
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Fatalf("unbalanced B/E on tid %d: depth %d", tid, d)
+		}
+	}
+	if threadNames[0] != "main" {
+		t.Fatalf("tid 0 named %q, want main", threadNames[0])
+	}
+	workerTracks := 0
+	for tid, name := range threadNames {
+		if tid > 0 && name != "" {
+			workerTracks++
+		}
+	}
+	if workerTracks < workers {
+		t.Fatalf("%d worker tracks, want >= %d (names: %v)", workerTracks, workers, threadNames)
+	}
+}
+
+// TestTraceEventsContent pins the span/slot/counter mapping: the span tree
+// appears as X events on tid 0, each worker's slot run as a B/E pair on its
+// own tid, markers as instants, and final counters as C samples.
+func TestTraceEventsContent(t *testing.T) {
+	m := buildTracedManifest(t, 2)
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeTrace(t, &buf)
+	var kernelX, slotB, batchI, counterC int
+	for _, e := range evs {
+		switch {
+		case e.Ph == "X" && e.Name == "kernel" && e.TID == 0:
+			kernelX++
+		case e.Ph == "B" && e.Name == "par.slot" && e.TID > 0:
+			slotB++
+		case e.Ph == "i" && e.Name == "batch":
+			batchI++
+		case e.Ph == "C" && e.Name == "events":
+			counterC++
+			if v, ok := e.Args["value"].(float64); !ok || v != 9 {
+				t.Errorf("counter C args = %v", e.Args)
+			}
+		}
+	}
+	if kernelX != 1 {
+		t.Errorf("kernel X events = %d, want 1", kernelX)
+	}
+	if slotB != 2 {
+		t.Errorf("slot B events = %d, want 2", slotB)
+	}
+	if batchI != 6 {
+		t.Errorf("batch instants = %d, want 6", batchI)
+	}
+	if counterC != 1 {
+		t.Errorf("counter samples = %d, want 1", counterC)
+	}
+}
+
+// TestTraceEventsNilManifest pins the error path.
+func TestTraceEventsNilManifest(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, nil); err == nil {
+		t.Fatal("nil manifest exported without error")
+	}
+}
