@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-centrality bench-tasks bench-shedding bench-ingest bench-bfs bench-gate experiments claims profile fmt vet clean
+.PHONY: all build test race bench bench-centrality bench-tasks bench-shedding bench-ingest bench-bfs bench-gate obsreport experiments claims profile fmt vet clean
 
 all: build test
 
@@ -80,6 +80,16 @@ CUR ?= BENCH_shedding.json
 MAX_REGRESS ?= 25%
 bench-gate:
 	$(GO) run ./cmd/obsdiff -max-regress $(MAX_REGRESS) $(BASE) $(CUR)
+
+# Render the cross-run quality trend report over a directory of run
+# manifests (-metrics output) and BENCH_*.json baselines. Add
+# OBSREPORT_FLAGS="-gate -max-regress 10%" to fail on quality regressions.
+#
+#	make obsreport RUNS=results/quality
+RUNS ?= results
+OBSREPORT_FLAGS ?=
+obsreport:
+	$(GO) run ./cmd/obsreport $(OBSREPORT_FLAGS) $(RUNS)
 
 # Reproduce every paper artifact at laptop scale and self-audit the shapes.
 experiments:

@@ -76,6 +76,33 @@ func main() {
 // not a regression.
 const gateFloorNs = 1_000_000
 
+// histogramGateFloors is the unit registry for histogram gating: a family
+// whose name ends in a registered suffix gates when its baseline quantile
+// clears the suffix's noise floor, expressed in the family's own unit.
+// Durations (_ns) reuse the 1ms span floor; micro-scaled quality magnitudes
+// (_micros, e.g. crr.delta_abs_micros, bm2.gain_micros) floor at 1e3 micros
+// = one thousandth of a unit, below which a ratio is rounding noise, not a
+// quality regression. Unregistered suffixes (occupancies, widths) report
+// without ever gating — their shifts are semantic, not regressions.
+var histogramGateFloors = []struct {
+	suffix string
+	floor  float64
+}{
+	{"_ns", gateFloorNs},
+	{"_micros", 1e3},
+}
+
+// histogramGateFloor returns the gating noise floor for a histogram family
+// and whether the family's unit is registered for gating at all.
+func histogramGateFloor(name string) (floor float64, gated bool) {
+	for _, f := range histogramGateFloors {
+		if strings.HasSuffix(name, f.suffix) {
+			return f.floor, true
+		}
+	}
+	return 0, false
+}
+
 // run diffs baseline against current and returns the process exit code
 // (0 ok, 1 breach). Errors mean the inputs were unusable (exit 2).
 func run(w io.Writer, basePath, curPath, maxRegressStr string, allowEnv bool, sess *obs.Session) (int, error) {
@@ -168,7 +195,18 @@ func detectKind(path string) (fileKind, error) {
 
 // checkEnv enforces the same-machine rule: an env error is fatal unless
 // -allow-env-mismatch downgrades it, and warnings are always printed.
+// Either side measured on a dirty worktree is flagged too — its commit
+// stamp does not identify the code the numbers came from.
 func checkEnv(w io.Writer, base, cur *obs.Env, allowEnv bool) error {
+	for _, side := range []struct {
+		name string
+		env  *obs.Env
+	}{{"baseline", base}, {"current", cur}} {
+		if side.env.Dirty() {
+			fmt.Fprintf(w, "warning: %s was measured on a dirty worktree (%s) — its commit does not identify the code\n",
+				side.name, side.env.GitCommit)
+		}
+	}
 	warning, err := base.Comparable(cur)
 	if err != nil {
 		if !allowEnv {
@@ -286,12 +324,13 @@ func diffManifest(w io.Writer, basePath, curPath string, gate float64, allowEnv 
 }
 
 // manifestEnv lifts a manifest's identity fields into an Env so manifests
-// and baselines share one comparability rule.
+// and baselines share one comparability and dirtiness rule.
 func manifestEnv(m *obs.Manifest) *obs.Env {
 	if m.GoVersion == "" && m.GOOS == "" {
 		return nil
 	}
-	return &obs.Env{GoVersion: m.GoVersion, GOOS: m.GOOS, GOARCH: m.GOARCH, CPUs: m.CPUs}
+	return &obs.Env{GoVersion: m.GoVersion, GOOS: m.GOOS, GOARCH: m.GOARCH,
+		CPUs: m.CPUs, GitCommit: m.GitCommit}
 }
 
 // diffCountMaps prints old → new (delta) for the union of two counter or
@@ -319,11 +358,11 @@ func diffCountMaps(w io.Writer, kind string, base, cur map[string]int64) {
 }
 
 // diffHistograms prints p50/p99 shifts for the union of two manifests'
-// histogram maps and returns gate breaches. Only duration histograms
-// (names ending "_ns") whose baseline quantile clears the gateFloorNs
-// noise floor can breach: count histograms (occupancies, widths, delta
-// magnitudes) shift legitimately with inputs, and sub-millisecond
-// quantiles are scheduler noise — both report without gating.
+// histogram maps and returns gate breaches. Only families with a
+// registered unit suffix (see histogramGateFloors) whose baseline
+// quantile clears that unit's noise floor can breach: unregistered
+// families (occupancies, widths) shift legitimately with inputs, and
+// near-floor quantiles are noise — both report without gating.
 func diffHistograms(w io.Writer, base, cur map[string]*obs.HistogramSnapshot, gate float64) []string {
 	keys := map[string]bool{}
 	for k := range base {
@@ -349,9 +388,10 @@ func diffHistograms(w io.Writer, base, cur map[string]*obs.HistogramSnapshot, ga
 			q    float64
 		}{{"p50", 0.50}, {"p99", 0.99}} {
 			bq, cq := b.Quantile(q.q), c.Quantile(q.q)
+			floor, gated := histogramGateFloor(k)
 			qGate := gate
-			if !strings.HasSuffix(k, "_ns") || bq < gateFloorNs {
-				qGate = -1 // not a duration, or below the noise floor
+			if !gated || bq < floor {
+				qGate = -1 // unregistered unit, or below its noise floor
 			}
 			line, breach := ratioLine("histogram "+k+" "+q.name, bq, cq, qGate)
 			fmt.Fprintln(w, line)

@@ -286,3 +286,110 @@ func TestManifestDiffHistograms(t *testing.T) {
 		t.Errorf("one-sided family not surfaced:\n%s", out.String())
 	}
 }
+
+// TestHistogramGateFloorRegistry pins the unit registry: each registered
+// suffix maps to its own noise floor, everything else is ungated.
+func TestHistogramGateFloorRegistry(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		floor float64
+		gated bool
+	}{
+		{"crr.sweep.ratio_ns", 1e6, true},
+		{"bfs.level_ns", 1e6, true},
+		{"crr.delta_abs_micros", 1e3, true},
+		{"bm2.gain_micros", 1e3, true},
+		{"msbfs.batch_occupancy", 0, false},
+		{"flatpq.heap_size", 0, false},
+	} {
+		floor, gated := histogramGateFloor(tc.name)
+		if floor != tc.floor || gated != tc.gated {
+			t.Errorf("histogramGateFloor(%q) = (%v, %v), want (%v, %v)",
+				tc.name, floor, gated, tc.floor, tc.gated)
+		}
+	}
+}
+
+// TestMicrosHistogramGating pins the quality-histogram half of the unit
+// registry end to end: a _micros family above its 1e3 floor gates like a
+// duration, while one whose baseline quantile sits under the floor reports
+// without breaching, however much it moves.
+func TestMicrosHistogramGating(t *testing.T) {
+	dir := t.TempDir()
+	withMicros := func(gain, tiny int64) *obs.Manifest {
+		m := manifest(80_000_000, 1000)
+		m.Histograms = map[string]*obs.HistogramSnapshot{
+			"bm2.gain_micros":      histSnap(gain, 10),
+			"crr.delta_abs_micros": histSnap(tiny, 10),
+		}
+		return m
+	}
+	base := writeJSON(t, dir, "mbase.json", withMicros(100_000, 100))
+
+	// Identical: no breach.
+	var out bytes.Buffer
+	code, err := run(&out, base, writeJSON(t, dir, "msame.json", withMicros(100_000, 100)), "25%", false, nil)
+	if err != nil || code != 0 {
+		t.Fatalf("identical micros histograms = (%d, %v), want (0, nil)\n%s", code, err, out.String())
+	}
+
+	// 4x blowup of an above-floor _micros family breaches.
+	out.Reset()
+	code, err = run(&out, base, writeJSON(t, dir, "mworse.json", withMicros(400_000, 100)), "25%", false, nil)
+	if err != nil || code != 1 {
+		t.Fatalf("regressed micros histogram = (%d, %v), want (1, nil)\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "bm2.gain_micros") {
+		t.Errorf("breach does not name the regressed family:\n%s", out.String())
+	}
+
+	// The sub-floor family (baseline quantile ~100 micros < 1e3) blowing up
+	// 8x is rounding noise, never a breach.
+	out.Reset()
+	code, err = run(&out, base, writeJSON(t, dir, "mnoise.json", withMicros(100_000, 800)), "25%", false, nil)
+	if err != nil || code != 0 {
+		t.Fatalf("sub-floor micros blowup = (%d, %v), want (0, nil)\n%s", code, err, out.String())
+	}
+}
+
+// TestDirtyCommitWarnings pins the forged-env satellite: baselines and
+// manifests stamped with a "-dirty" commit are flagged on either side.
+func TestDirtyCommitWarnings(t *testing.T) {
+	dir := t.TempDir()
+
+	dirty := benchReport(100, 0)
+	dirty.Env.GitCommit = "abc1234-dirty"
+	base := writeJSON(t, dir, "dirty.json", dirty)
+	cur := writeJSON(t, dir, "clean.json", benchReport(100, 0))
+	var out bytes.Buffer
+	code, err := run(&out, base, cur, "", false, nil)
+	if err != nil || code != 0 {
+		t.Fatalf("bench diff = (%d, %v), want (0, nil)", code, err)
+	}
+	if !strings.Contains(out.String(), "baseline was measured on a dirty worktree (abc1234-dirty)") {
+		t.Errorf("dirty baseline not flagged:\n%s", out.String())
+	}
+
+	dm := manifest(80_000_000, 1000)
+	dm.GitCommit = "def5678-dirty"
+	mbase := writeJSON(t, dir, "m.json", manifest(80_000_000, 1000))
+	mcur := writeJSON(t, dir, "mdirty.json", dm)
+	out.Reset()
+	code, err = run(&out, mbase, mcur, "", false, nil)
+	if err != nil || code != 0 {
+		t.Fatalf("manifest diff = (%d, %v), want (0, nil)", code, err)
+	}
+	if !strings.Contains(out.String(), "current was measured on a dirty worktree (def5678-dirty)") {
+		t.Errorf("dirty manifest not flagged:\n%s", out.String())
+	}
+
+	// Clean on both sides: no dirty warning.
+	out.Reset()
+	code, err = run(&out, mbase, writeJSON(t, dir, "mclean.json", manifest(80_000_000, 1000)), "", false, nil)
+	if err != nil || code != 0 {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "dirty worktree") {
+		t.Errorf("clean manifests flagged as dirty:\n%s", out.String())
+	}
+}

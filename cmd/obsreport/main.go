@@ -1,0 +1,547 @@
+// Command obsreport aggregates observability artifacts from many runs —
+// run manifests (-metrics output) and BENCH_*.json benchmark baselines
+// (cmd/benchjson output) — into one cross-run trend report: the registry
+// view of how algorithm quality and performance move over time.
+//
+//	obsreport results/
+//	obsreport -json trend.json results/ BENCH_shedding.json
+//	obsreport -gate -max-regress 10% results/
+//
+// Arguments are files or directories; a directory contributes every *.json
+// file directly inside it. Files that are neither a manifest nor a
+// benchmark baseline are skipped with a note, so a results directory can
+// hold other artifacts. Manifests are grouped by command plus machine
+// identity (Go version, GOOS/GOARCH, CPU count — see internal/obs.Env) so
+// numbers from different machines never land in one trend line, ordered by
+// start time within each group, and rendered as one markdown table per
+// group: one row per (quality metric, preservation ratio) series from each
+// manifest's quality_timeline, one column per run. Benchmark baselines get
+// the same treatment keyed by benchmark name (ns/op, report-only). Runs
+// whose git_commit carries the "-dirty" suffix are flagged: the commit does
+// not identify the measured code.
+//
+// With -gate, obsreport becomes a quality regression gate: for every
+// directional series ("better": "lower" or "higher" — tasks.Suite scores,
+// theorem-bound headroom, Δ trajectories) with at least two runs, the
+// latest value is compared against the previous one, and any move in the
+// bad direction by more than -max-regress makes obsreport exit 1. "info"
+// series (edge counts, bounds) trend but never gate. Exit codes: 0 no
+// breach, 1 threshold breached, 2 unusable input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"edgeshed/internal/benchfmt"
+	"edgeshed/internal/obs"
+)
+
+func main() {
+	var opt reportOpts
+	flag.BoolVar(&opt.gate, "gate", false, "fail (exit 1) when a directional quality series regresses beyond -max-regress")
+	flag.StringVar(&opt.maxRegress, "max-regress", "10%", "gate threshold, e.g. 10% or 0.1 (used with -gate)")
+	flag.StringVar(&opt.jsonPath, "json", "", "also write the report machine-readable to this file")
+	cli := obs.BindFlags(flag.CommandLine)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: obsreport [flags] file-or-dir [file-or-dir...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opt.args = flag.Args()
+	sess, err := cli.Start("obsreport")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsreport:", err)
+		os.Exit(2)
+	}
+	var code int
+	runErr := obs.Run(sess, func() error {
+		var rerr error
+		code, rerr = run(os.Stdout, opt, sess)
+		return rerr
+	})
+	if cerr := sess.Close(); runErr == nil && cerr != nil {
+		runErr = cerr
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "obsreport:", runErr)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// reportOpts carries the command's flag values into run.
+type reportOpts struct {
+	gate       bool
+	maxRegress string
+	jsonPath   string
+	args       []string
+}
+
+// report is the whole trend document: the -json output and the source of
+// both the markdown rendering and the gate verdict.
+type report struct {
+	// Groups holds one manifest trend group per (command, machine) pair.
+	Groups []*runGroup `json:"groups,omitempty"`
+	// BenchGroups holds one benchmark trend group per machine.
+	BenchGroups []*benchGroup `json:"bench_groups,omitempty"`
+	// Breaches lists the gate violations found (empty without -gate).
+	Breaches []string `json:"breaches,omitempty"`
+}
+
+// runGroup is the trend of one command on one machine.
+type runGroup struct {
+	// Command is the manifests' command name (e.g. "shed").
+	Command string `json:"command"`
+	// Env is the shared machine identity of every run in the group.
+	Env *obs.Env `json:"env"`
+	// Runs are the group's manifests in start-time order.
+	Runs []runInfo `json:"runs"`
+	// Series holds one quality trend line per (metric, ratio) pair.
+	Series []*series `json:"series,omitempty"`
+}
+
+// runInfo identifies one manifest column of a trend table.
+type runInfo struct {
+	// Path is the manifest file.
+	Path string `json:"path"`
+	// StartUTC is the run's start timestamp, the column sort key.
+	StartUTC string `json:"start_utc"`
+	// GitCommit is the code identity the run was measured at; a "-dirty"
+	// suffix flags an unidentifiable worktree.
+	GitCommit string `json:"git_commit,omitempty"`
+}
+
+// series is one trend line: a quality metric at one preservation ratio
+// across a group's runs.
+type series struct {
+	// Metric is the probe name (e.g. "crr.headroom.theorem1").
+	Metric string `json:"metric"`
+	// Ratio is the preservation ratio; 0 for ratio-less metrics.
+	Ratio float64 `json:"ratio,omitempty"`
+	// Better is the good direction ("lower", "higher", "info"); only
+	// directional series gate.
+	Better string `json:"better,omitempty"`
+	// Values is the final recorded value per run, aligned with the group's
+	// Runs; nil where the run did not record the metric.
+	Values []*float64 `json:"values"`
+}
+
+// benchGroup is the ns/op trend of the benchmark baselines measured on one
+// machine, report-only.
+type benchGroup struct {
+	// Env is the shared machine identity.
+	Env *obs.Env `json:"env"`
+	// Files are the baseline paths in input order.
+	Files []runInfo `json:"files"`
+	// Series holds one ns/op trend line per benchmark name.
+	Series []*series `json:"series,omitempty"`
+}
+
+// run builds and renders the trend report and returns the process exit
+// code (0 ok, 1 gate breach). Errors mean the inputs were unusable (exit 2).
+func run(w io.Writer, opt reportOpts, sess *obs.Session) (int, error) {
+	gate, err := parseMaxRegress(opt.maxRegress)
+	if err != nil {
+		return 0, err
+	}
+	files, err := collectFiles(opt.args)
+	if err != nil {
+		return 0, err
+	}
+	var manifests []*obs.Manifest
+	var manifestPaths []string
+	var benches []*benchfmt.Report
+	var benchPaths []string
+	for _, path := range files {
+		switch kind := sniffKind(path); kind {
+		case kindManifest:
+			m, err := obs.ReadManifest(path)
+			if err != nil {
+				return 0, err
+			}
+			manifests = append(manifests, m)
+			manifestPaths = append(manifestPaths, path)
+		case kindBench:
+			b, err := benchfmt.ReadFile(path)
+			if err != nil {
+				return 0, err
+			}
+			benches = append(benches, b)
+			benchPaths = append(benchPaths, path)
+		default:
+			sess.Verbosef("skipping %s: neither a run manifest nor a benchmark baseline", path)
+		}
+	}
+	if len(manifests) == 0 && len(benches) == 0 {
+		return 0, fmt.Errorf("no run manifests or benchmark baselines among %d file(s)", len(files))
+	}
+	sess.Verbosef("aggregating %d manifest(s), %d baseline(s)", len(manifests), len(benchPaths))
+
+	rep := &report{
+		Groups:      groupManifests(manifests, manifestPaths),
+		BenchGroups: groupBenches(benches, benchPaths),
+	}
+	renderMarkdown(w, rep)
+	if opt.gate {
+		rep.Breaches = gateSeries(rep.Groups, gate)
+	}
+	if opt.jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return 0, err
+		}
+		if err := os.WriteFile(opt.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return 0, err
+		}
+	}
+	if len(rep.Breaches) > 0 {
+		fmt.Fprintf(w, "\nBREACH: %d quality series regressed beyond %s:\n", len(rep.Breaches), opt.maxRegress)
+		for _, b := range rep.Breaches {
+			fmt.Fprintf(w, "  %s\n", b)
+		}
+		return 1, nil
+	}
+	if opt.gate {
+		fmt.Fprintf(w, "\nok: no directional quality series regressed beyond %s\n", opt.maxRegress)
+	}
+	return 0, nil
+}
+
+// collectFiles expands the positional arguments into a sorted list of
+// candidate JSON files: a directory contributes every *.json directly
+// inside it, a file contributes itself.
+func collectFiles(args []string) ([]string, error) {
+	var files []string
+	for _, a := range args {
+		st, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			files = append(files, a)
+			continue
+		}
+		ents, err := os.ReadDir(a)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+				files = append(files, filepath.Join(a, e.Name()))
+			}
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+type fileKind int
+
+const (
+	kindUnknown fileKind = iota
+	kindManifest
+	kindBench
+)
+
+// sniffKind decides what a JSON file is by its top-level keys, without
+// committing to either schema; unreadable or unrecognized files are
+// kindUnknown (skipped, not fatal — directories hold other artifacts too).
+func sniffKind(path string) fileKind {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return kindUnknown
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return kindUnknown
+	}
+	if _, ok := probe["benchmarks"]; ok {
+		return kindBench
+	}
+	if _, ok := probe["command"]; ok {
+		return kindManifest
+	}
+	return kindUnknown
+}
+
+// manifestEnv lifts a manifest's identity fields into an Env, the shared
+// grouping and dirtiness vocabulary.
+func manifestEnv(m *obs.Manifest) *obs.Env {
+	return &obs.Env{GoVersion: m.GoVersion, GOOS: m.GOOS, GOARCH: m.GOARCH,
+		CPUs: m.CPUs, GitCommit: m.GitCommit}
+}
+
+// envKey is the machine-identity half of a grouping key. GitCommit is
+// deliberately excluded: commits vary along a trend line, machines must not.
+func envKey(e *obs.Env) string {
+	return fmt.Sprintf("%s|%s|%s|%d", e.GoVersion, e.GOOS, e.GOARCH, e.CPUs)
+}
+
+// groupManifests buckets manifests by (command, machine), orders each
+// bucket by start time, and builds the per-(metric, ratio) series from the
+// final quality_timeline entry each run recorded for that pair.
+func groupManifests(ms []*obs.Manifest, paths []string) []*runGroup {
+	type entry struct {
+		m    *obs.Manifest
+		path string
+	}
+	buckets := map[string][]entry{}
+	for i, m := range ms {
+		k := m.Command + "|" + envKey(manifestEnv(m))
+		buckets[k] = append(buckets[k], entry{m, paths[i]})
+	}
+	var groups []*runGroup
+	for _, k := range sortedKeys(buckets) {
+		runs := buckets[k]
+		sort.SliceStable(runs, func(i, j int) bool {
+			if runs[i].m.StartUTC != runs[j].m.StartUTC {
+				return runs[i].m.StartUTC < runs[j].m.StartUTC
+			}
+			return runs[i].path < runs[j].path
+		})
+		env := manifestEnv(runs[0].m)
+		env.GitCommit = "" // per-run, not group identity
+		g := &runGroup{Command: runs[0].m.Command, Env: env}
+		type seriesKey struct {
+			metric string
+			ratio  float64
+		}
+		byKey := map[seriesKey]*series{}
+		for _, r := range runs {
+			g.Runs = append(g.Runs, runInfo{Path: r.path, StartUTC: r.m.StartUTC, GitCommit: r.m.GitCommit})
+		}
+		for i, r := range runs {
+			// The timeline is offset-ordered; the last point per (metric,
+			// ratio) is the run's final word on that series.
+			for _, q := range r.m.Quality {
+				sk := seriesKey{q.Metric, q.Ratio}
+				s, ok := byKey[sk]
+				if !ok {
+					s = &series{Metric: q.Metric, Ratio: q.Ratio, Better: q.Better,
+						Values: make([]*float64, len(runs))}
+					byKey[sk] = s
+					g.Series = append(g.Series, s)
+				}
+				v := q.Value
+				s.Values[i] = &v
+			}
+		}
+		sort.SliceStable(g.Series, func(i, j int) bool {
+			if g.Series[i].Metric != g.Series[j].Metric {
+				return g.Series[i].Metric < g.Series[j].Metric
+			}
+			return g.Series[i].Ratio < g.Series[j].Ratio
+		})
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// groupBenches buckets benchmark baselines by machine and builds one
+// report-only ns/op series per benchmark name.
+func groupBenches(bs []*benchfmt.Report, paths []string) []*benchGroup {
+	type entry struct {
+		b    *benchfmt.Report
+		path string
+	}
+	buckets := map[string][]entry{}
+	for i, b := range bs {
+		k := ""
+		if b.Env != nil {
+			k = envKey(b.Env)
+		}
+		buckets[k] = append(buckets[k], entry{b, paths[i]})
+	}
+	var groups []*benchGroup
+	for _, k := range sortedKeys(buckets) {
+		files := buckets[k]
+		g := &benchGroup{Env: files[0].b.Env}
+		if g.Env != nil {
+			env := *g.Env
+			env.GitCommit = ""
+			g.Env = &env
+		}
+		byName := map[string]*series{}
+		for _, f := range files {
+			commit := ""
+			if f.b.Env != nil {
+				commit = f.b.Env.GitCommit
+			}
+			g.Files = append(g.Files, runInfo{Path: f.path, GitCommit: commit})
+		}
+		for i, f := range files {
+			for name, b := range f.b.ByName() {
+				s, ok := byName[name]
+				if !ok {
+					s = &series{Metric: name + " ns/op", Better: "info",
+						Values: make([]*float64, len(files))}
+					byName[name] = s
+					g.Series = append(g.Series, s)
+				}
+				v := b.NsPerOp
+				s.Values[i] = &v
+			}
+		}
+		sort.SliceStable(g.Series, func(i, j int) bool { return g.Series[i].Metric < g.Series[j].Metric })
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// renderMarkdown writes the human half of the report: one section per
+// group, a run legend, dirty-worktree warnings, and the trend table.
+func renderMarkdown(w io.Writer, rep *report) {
+	fmt.Fprintln(w, "# edgeshed cross-run trend report")
+	for _, g := range rep.Groups {
+		fmt.Fprintf(w, "\n## %s — %s %s/%s, %d CPUs\n\n", g.Command,
+			g.Env.GoVersion, g.Env.GOOS, g.Env.GOARCH, g.Env.CPUs)
+		renderLegend(w, g.Runs)
+		renderSeries(w, g.Series, len(g.Runs))
+	}
+	for _, g := range rep.BenchGroups {
+		if g.Env != nil {
+			fmt.Fprintf(w, "\n## benchmarks — %s %s/%s, %d CPUs\n\n", g.Env.GoVersion, g.Env.GOOS, g.Env.GOARCH, g.Env.CPUs)
+		} else {
+			fmt.Fprintf(w, "\n## benchmarks — environment not recorded\n\n")
+		}
+		renderLegend(w, g.Files)
+		renderSeries(w, g.Series, len(g.Files))
+	}
+}
+
+// renderLegend prints the column key: run index, file, start time, commit,
+// plus a warning line for every dirty-worktree measurement.
+func renderLegend(w io.Writer, runs []runInfo) {
+	for i, r := range runs {
+		line := fmt.Sprintf("- run %d: %s", i+1, filepath.Base(r.Path))
+		if r.StartUTC != "" {
+			line += " (" + r.StartUTC + ")"
+		}
+		if r.GitCommit != "" {
+			line += " @" + r.GitCommit
+		}
+		fmt.Fprintln(w, line)
+		if obs.DirtyCommit(r.GitCommit) {
+			fmt.Fprintf(w, "  warning: %s was measured on a dirty worktree — its commit does not identify the code\n", filepath.Base(r.Path))
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// renderSeries prints the trend table: one row per series, one value
+// column per run, "—" where a run did not record the metric.
+func renderSeries(w io.Writer, ss []*series, nruns int) {
+	if len(ss) == 0 {
+		fmt.Fprintln(w, "(no quality series recorded)")
+		return
+	}
+	fmt.Fprint(w, "| metric | p | better |")
+	for i := 0; i < nruns; i++ {
+		fmt.Fprintf(w, " run %d |", i+1)
+	}
+	fmt.Fprint(w, "\n|---|---|---|")
+	for i := 0; i < nruns; i++ {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, s := range ss {
+		ratio := "—"
+		if s.Ratio != 0 {
+			ratio = strconv.FormatFloat(s.Ratio, 'g', -1, 64)
+		}
+		fmt.Fprintf(w, "| %s | %s | %s |", s.Metric, ratio, s.Better)
+		for _, v := range s.Values {
+			if v == nil {
+				fmt.Fprint(w, " — |")
+			} else {
+				fmt.Fprintf(w, " %.6g |", *v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// gateSeries applies the regression gate to every directional quality
+// series: the latest recorded value against the previous one, regression
+// measured relative to the previous value's magnitude. "info" series and
+// series with fewer than two recorded runs never gate.
+func gateSeries(groups []*runGroup, gate float64) []string {
+	if gate < 0 {
+		return nil
+	}
+	var breaches []string
+	for _, g := range groups {
+		for _, s := range g.Series {
+			var present []float64
+			for _, v := range s.Values {
+				if v != nil {
+					present = append(present, *v)
+				}
+			}
+			if len(present) < 2 {
+				continue
+			}
+			prev, latest := present[len(present)-2], present[len(present)-1]
+			var regress float64
+			switch s.Better {
+			case "lower":
+				regress = (latest - prev) / math.Max(math.Abs(prev), 1e-12)
+			case "higher":
+				regress = (prev - latest) / math.Max(math.Abs(prev), 1e-12)
+			default:
+				continue
+			}
+			if regress > gate {
+				label := g.Command + " " + s.Metric
+				if s.Ratio != 0 {
+					label += fmt.Sprintf("@p=%g", s.Ratio)
+				}
+				breaches = append(breaches, fmt.Sprintf("%s: %g -> %g (%+.1f%% worse, limit %.1f%%, better=%s)",
+					label, prev, latest, regress*100, gate*100, s.Better))
+			}
+		}
+	}
+	return breaches
+}
+
+// parseMaxRegress turns "10%" or "0.1" into the fraction 0.1.
+func parseMaxRegress(s string) (float64, error) {
+	if s == "" {
+		return -1, nil
+	}
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad -max-regress %q: %w", s, err)
+	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("bad -max-regress %q: negative threshold", s)
+	}
+	return v, nil
+}
+
+// sortedKeys returns m's keys in sorted order, for deterministic output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

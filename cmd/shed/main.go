@@ -111,6 +111,26 @@ type shedStatsRow struct {
 	// Bound is the theorem's bound on avg |dis| (CRR: Theorem 1, BM2:
 	// Theorem 2); 0 and absent for other methods.
 	Bound float64 `json:"bound,omitempty"`
+	// Headroom is Bound − AvgDisPerNode, the margin by which the run beat
+	// its theorem; 0 and absent without a bound.
+	Headroom float64 `json:"headroom,omitempty"`
+}
+
+// statsRow builds one -stats-json row from a reduction's quality summary.
+// The summary is the same core.QualityOf derivation the kernels record
+// onto the manifest's quality timeline, so the two outputs agree
+// field-for-field by construction (pinned by TestStatsMatchManifestQuality).
+func statsRow(q core.RatioQuality) shedStatsRow {
+	return shedStatsRow{
+		P:             q.P,
+		KeptEdges:     q.KeptEdges,
+		KeptFraction:  q.KeptFraction,
+		Delta:         q.Delta,
+		AvgDisPerNode: q.AvgDisPerNode,
+		BoundName:     q.BoundName,
+		Bound:         q.Bound,
+		Headroom:      q.Headroom,
+	}
 }
 
 func run(opt shedOpts, sess *obs.Session) error {
@@ -186,21 +206,13 @@ func run(opt shedOpts, sess *obs.Session) error {
 	write := sess.Root().Start("write")
 	for i, res := range results {
 		p := ps[i]
-		row := shedStatsRow{
-			P:             p,
-			KeptEdges:     res.Reduced.NumEdges(),
-			KeptFraction:  float64(res.Reduced.NumEdges()) / float64(g.NumEdges()),
-			Delta:         res.Delta(),
-			AvgDisPerNode: res.AvgDisPerNode(),
-		}
+		row := statsRow(core.QualityOf(res, reducer.Name()))
 		sess.Logf("%s p=%.3f: |E'|=%d (%.1f%% of |E|), Δ=%.3f, avg |dis|=%.4f",
 			reducer.Name(), p, row.KeptEdges, 100*row.KeptFraction, row.Delta, row.AvgDisPerNode)
-		switch reducer.Name() {
-		case "CRR":
-			row.BoundName, row.Bound = "theorem1", core.CRRBound(g, p)
+		switch row.BoundName {
+		case "theorem1":
 			sess.Logf("Theorem 1 bound on avg |dis|: %.4f", row.Bound)
-		case "BM2":
-			row.BoundName, row.Bound = "theorem2", core.BM2Bound(g, p)
+		case "theorem2":
 			sess.Logf("Theorem 2 bound on avg |dis|: %.4f", row.Bound)
 		}
 		stats.Rows = append(stats.Rows, row)

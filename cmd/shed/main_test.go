@@ -180,6 +180,100 @@ func TestRunStatsJSON(t *testing.T) {
 	}
 }
 
+// TestStatsMatchManifestQuality pins the no-drift contract between the two
+// quality outputs: every -stats-json row and the manifest's quality_timeline
+// derive from the same core.QualityOf call on the same Result, so the final
+// timeline point of each metric must equal the stats field bit-for-bit.
+func TestStatsMatchManifestQuality(t *testing.T) {
+	in, _ := writeTestGraph(t)
+	for _, tc := range []struct {
+		method, ps, prefix, bound string
+	}{
+		{"crr", "0.6,0.3", "crr.", "theorem1"},
+		{"bm2", "0.5", "bm2.", "theorem2"},
+	} {
+		t.Run(tc.method, func(t *testing.T) {
+			dir := t.TempDir()
+			manifest := filepath.Join(dir, "run.json")
+			statsPath := filepath.Join(dir, "stats.json")
+
+			fs := flag.NewFlagSet("shed", flag.ContinueOnError)
+			cli := obs.BindFlags(fs)
+			if err := fs.Parse([]string{"-metrics", manifest, "-quiet"}); err != nil {
+				t.Fatal(err)
+			}
+			sess, err := cli.Start("shed")
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := shedOpts{in: in, out: filepath.Join(dir, "r.txt"),
+				method: tc.method, ps: tc.ps, seed: 1, statsJSON: statsPath}
+			runErr := run(opt, sess)
+			if cerr := sess.Close(); runErr == nil {
+				runErr = cerr
+			}
+			if runErr != nil {
+				t.Fatal(runErr)
+			}
+
+			m, err := obs.ReadManifest(manifest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(m.Quality) == 0 {
+				t.Fatal("manifest quality_timeline is empty")
+			}
+			data, err := os.ReadFile(statsPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var stats shedStats
+			if err := json.Unmarshal(data, &stats); err != nil {
+				t.Fatal(err)
+			}
+
+			// last returns the final timeline value for metric at ratio p;
+			// the end-of-reduce record always lands after any mid-run folds.
+			last := func(metric string, p float64) float64 {
+				found := false
+				var v float64
+				for _, q := range m.Quality {
+					if q.Metric == metric && q.Ratio == p {
+						v, found = q.Value, true
+					}
+				}
+				if !found {
+					t.Fatalf("metric %q at p=%v missing from quality_timeline", metric, p)
+				}
+				return v
+			}
+			for _, row := range stats.Rows {
+				if row.BoundName != tc.bound {
+					t.Fatalf("p=%v: bound_name = %q, want %q", row.P, row.BoundName, tc.bound)
+				}
+				for _, f := range []struct {
+					metric string
+					want   float64
+				}{
+					{tc.prefix + "kept_edges", float64(row.KeptEdges)},
+					{tc.prefix + "kept_fraction", row.KeptFraction},
+					{tc.prefix + "delta", row.Delta},
+					{tc.prefix + "avg_dis", row.AvgDisPerNode},
+					{tc.prefix + "bound." + tc.bound, row.Bound},
+					{tc.prefix + "headroom." + tc.bound, row.Headroom},
+				} {
+					if got := last(f.metric, row.P); got != f.want {
+						t.Errorf("p=%v: %s = %v in manifest, %v in stats", row.P, f.metric, got, f.want)
+					}
+				}
+				if row.Headroom != row.Bound-row.AvgDisPerNode {
+					t.Errorf("p=%v: headroom %v != bound %v - avg_dis %v", row.P, row.Headroom, row.Bound, row.AvgDisPerNode)
+				}
+			}
+		})
+	}
+}
+
 func TestRunBadPList(t *testing.T) {
 	in, _ := writeTestGraph(t)
 	if err := run(shedOpts{in: in, method: "crr", ps: "0.5,abc", seed: 1}, nil); err == nil {

@@ -151,14 +151,35 @@ func (b BM2) Reduce(g *graph.Graph, p float64) (*Result, error) {
 		phase2.Marker(obs.EvPQBuild, "bm2.bipartite").Emit(0, q.Stats.Pushes)
 	}
 
+	// Quality probes (DESIGN.md §12): the matching-weight progression folds
+	// the popped gains the loop already has in hand, recorded every
+	// bm2WeightFlush pops and once at the end; the per-pop gain histogram
+	// shares the micro-unit scaling of crr.delta_abs_micros.
+	var qWeight *obs.Probe
+	var gainHist *obs.Histogram
+	var matchWeight float64
+	pops := 0
+	if phase2.Enabled() {
+		qWeight = phase2.Quality("bm2.matching_weight", obs.DirHigher)
+		gainHist = phase2.Histogram("bm2.gain_micros")
+	}
+
 	// Algorithm 3: pop best edges, update discrepancies, re-weight.
 	for {
-		eid, _, ok := q.Pop()
+		eid, popW, ok := q.Pop()
 		if !ok {
 			break
 		}
 		a, bb := bpA[eid], bpB[eid]
 		selected = append(selected, eid)
+		if qWeight != nil {
+			matchWeight += popW
+			gainHist.Observe(int64(popW * 1e6))
+			pops++
+			if pops%bm2WeightFlush == 0 {
+				qWeight.Record(p, matchWeight)
+			}
+		}
 		// b joins group C (dis > 0): drop it and all its edges (line 6).
 		dis[bb]++
 		for _, id := range adjB[bb] {
@@ -197,6 +218,9 @@ func (b BM2) Reduce(g *graph.Graph, p float64) (*Result, error) {
 			adjA[a] = nil
 		}
 	}
+	if qWeight != nil {
+		qWeight.Record(p, matchWeight)
+	}
 	if q.Stats != nil {
 		phase2.Counter("flatpq.pushes").Add(q.Stats.Pushes)
 		phase2.Counter("flatpq.pops").Add(q.Stats.Pops)
@@ -204,5 +228,15 @@ func (b BM2) Reduce(g *graph.Graph, p float64) (*Result, error) {
 		phase2.Counter("flatpq.removes").Add(q.Stats.Removes)
 	}
 	phase2.End()
-	return newResultIDs(g, p, selected)
+	res, err := newResultIDs(g, p, selected)
+	if err == nil && sp.Enabled() {
+		// End-of-reduce quality record: kept counts, exact Δ, and Theorem 2
+		// bound headroom, the same derivation as cmd/shed's stats rows.
+		QualityOf(res, "BM2").record(sp, 0, "BM2")
+	}
+	return res, err
 }
+
+// bm2WeightFlush is how many Algorithm 3 pops pass between recordings of
+// the matching-weight progression probe.
+const bm2WeightFlush = 1 << 10

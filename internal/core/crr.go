@@ -211,7 +211,11 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64, par
 	tgt := targetEdges(g, p)
 	m := g.NumEdges()
 	if tgt >= m {
-		return newResult(g, p, g.Edges())
+		res, err := newResult(g, p, g.Edges())
+		if err == nil && sp.Enabled() {
+			QualityOf(res, "CRR").record(sp, slot, "CRR")
+		}
+		return res, err
 	}
 
 	// Phase 1 (lines 1-6): rank all edges by importance and keep the top
@@ -265,11 +269,23 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64, par
 		var attCtr, accCtr *obs.Counter
 		var deltaHist *obs.Histogram
 		var flushMk *obs.Marker
+		var qDelta, qRate, qLinf *obs.Probe
+		var curDelta float64
 		if rw.Enabled() {
 			attCtr = rw.Counter("crr.rewire.attempts")
 			accCtr = rw.Counter("crr.rewire.accepted")
 			deltaHist = rw.Histogram("crr.delta_abs_micros")
 			flushMk = rw.Marker(obs.EvRewireFlush, "crr.phase2.rewire")
+			// Quality probes (DESIGN.md §12): the Δ trajectory is maintained
+			// incrementally from the accepted swap deltas the loop already
+			// computes, so its upkeep is one add per accepted swap; the L∞
+			// error is a read-only O(|V|) scan run only at flush cadence.
+			qDelta = rw.Quality("crr.delta", obs.DirLower)
+			qRate = rw.Quality("crr.accept_rate", obs.DirInfo)
+			qLinf = rw.Quality("crr.deg_err_linf", obs.DirLower)
+			for u := range degKept {
+				curDelta += math.Abs(float64(degKept[u]) - exp[u])
+			}
 		}
 		accepted, window := 0, 0
 		attempts, acceptedTotal := 0, 0
@@ -280,6 +296,9 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64, par
 				attCtr.AddAt(slot, int64(attempts-flushedAtt))
 				accCtr.AddAt(slot, int64(acceptedTotal-flushedAcc))
 				rw.Done(int64(attempts - flushedAtt))
+				qDelta.RecordAt(slot, p, curDelta)
+				qRate.RecordAt(slot, p, float64(acceptedTotal-flushedAcc)/float64(attempts-flushedAtt))
+				qLinf.RecordAt(slot, p, maxAbsDis(degKept, exp))
 				flushedAtt, flushedAcc = attempts, acceptedTotal
 				flushMk.Emit(slot, int64(attempts))
 			}
@@ -316,6 +335,9 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64, par
 				degKept[ev[e2]]++
 				accepted++
 				acceptedTotal++
+				if qDelta != nil {
+					curDelta += d
+				}
 			}
 			if c.AdaptiveStop > 0 {
 				window++
@@ -331,11 +353,35 @@ func (c CRR) reduce(g *graph.Graph, p float64, scores []float64, seed int64, par
 			attCtr.AddAt(slot, int64(attempts-flushedAtt))
 			accCtr.AddAt(slot, int64(acceptedTotal-flushedAcc))
 			rw.Done(int64(attempts - flushedAtt))
+			if attempts > flushedAtt {
+				qRate.RecordAt(slot, p, float64(acceptedTotal-flushedAcc)/float64(attempts-flushedAtt))
+			}
+			qDelta.RecordAt(slot, p, curDelta)
+			qLinf.RecordAt(slot, p, maxAbsDis(degKept, exp))
 			flushMk.Emit(slot, int64(attempts))
 		}
 		rw.End()
 	}
-	return newResultIDs(g, p, kept[:tgt])
+	res, err := newResultIDs(g, p, kept[:tgt])
+	if err == nil && sp.Enabled() {
+		// The authoritative end-of-reduce quality record: kept counts, exact
+		// Δ, and Theorem 1 bound headroom — the same derivation cmd/shed's
+		// -stats-json rows use, so manifest and stats cannot drift.
+		QualityOf(res, "CRR").record(sp, slot, "CRR")
+	}
+	return res, err
+}
+
+// maxAbsDis returns the L∞ degree-preservation error max_u |degKept(u) −
+// exp(u)|.
+func maxAbsDis(degKept []int, exp []float64) float64 {
+	var worst float64
+	for u := range degKept {
+		if d := math.Abs(float64(degKept[u]) - exp[u]); d > worst {
+			worst = d
+		}
+	}
+	return worst
 }
 
 // edgeImportance computes the Phase 1 ranking scores, aligned with

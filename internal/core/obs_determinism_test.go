@@ -93,6 +93,22 @@ func TestCRRSweepBitIdenticalWithObs(t *testing.T) {
 		if workers > 1 && slots == 0 {
 			t.Fatalf("workers=%d: no slot_begin flight events", workers)
 		}
+		// The quality plane recorded per ratio: the Phase 2 fold probes plus
+		// the end-of-reduce summary, each tagged with its own ratio.
+		perRatio := map[string]map[float64]bool{}
+		for _, q := range rec.QualityPoints() {
+			if perRatio[q.Metric] == nil {
+				perRatio[q.Metric] = map[float64]bool{}
+			}
+			perRatio[q.Metric][q.Ratio] = true
+		}
+		for _, metric := range []string{"crr.delta", "crr.accept_rate", "crr.deg_err_linf", "crr.headroom.theorem1"} {
+			for _, p := range ps {
+				if !perRatio[metric][p] {
+					t.Fatalf("workers=%d: quality metric %s missing at ratio %v: %v", workers, metric, p, perRatio[metric])
+				}
+			}
+		}
 	}
 }
 
@@ -126,6 +142,14 @@ func TestBM2BitIdenticalWithObs(t *testing.T) {
 		}
 		if pqBuilds == 0 {
 			t.Fatalf("p=%v: no pq_build flight event", p)
+		}
+		// The quality plane recorded too: the Algorithm 3 matching-weight
+		// progression and the Theorem 2 summary, each at this ratio.
+		qv := rec.QualityValues()
+		for _, metric := range []string{"bm2.matching_weight", "bm2.delta", "bm2.headroom.theorem2"} {
+			if _, ok := qv[metric]; !ok {
+				t.Fatalf("p=%v: quality metric %s missing: %v", p, metric, qv)
+			}
 		}
 	}
 }

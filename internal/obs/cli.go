@@ -400,6 +400,8 @@ func (s *Session) buildManifest(timeline []RuntimeSample) *Manifest {
 		Mem:            memDelta(&s.memBefore, &after),
 		RuntimeMetrics: captureRuntimeMetrics(),
 		Timeline:       timeline,
+		Quality:        s.rec.QualityPoints(),
+		GitCommit:      gitCommit(),
 	}
 }
 

@@ -21,7 +21,9 @@ type Env struct {
 	// CPUs is runtime.NumCPU of the measuring machine.
 	CPUs int `json:"cpus"`
 	// GitCommit is the repository HEAD at measurement time, when the
-	// measuring process ran inside a git checkout; empty otherwise.
+	// measuring process ran inside a git checkout; empty otherwise. A
+	// "-dirty" suffix means the worktree had uncommitted modifications, so
+	// the commit does not fully identify the measured code.
 	GitCommit string `json:"git_commit,omitempty"`
 }
 
@@ -38,13 +40,39 @@ func CaptureEnv() *Env {
 	}
 }
 
-// gitCommit returns the short HEAD hash, or "" when unavailable.
+// gitCommit returns the short HEAD hash with a "-dirty" suffix when the
+// worktree has uncommitted modifications, or "" when unavailable. The
+// dirtiness check is best-effort too: if `git status` fails, the bare hash
+// is returned rather than nothing.
 func gitCommit() string {
 	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
 	if err != nil {
 		return ""
 	}
-	return strings.TrimSpace(string(out))
+	c := strings.TrimSpace(string(out))
+	if c == "" {
+		return ""
+	}
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(strings.TrimSpace(string(st))) > 0 {
+		c += dirtySuffix
+	}
+	return c
+}
+
+// dirtySuffix marks a commit stamp taken from a modified worktree.
+const dirtySuffix = "-dirty"
+
+// DirtyCommit reports whether a git_commit stamp (from an Env or a
+// Manifest) was taken from a modified worktree. Trend consumers warn on
+// such baselines: the commit does not identify the measured code.
+func DirtyCommit(commit string) bool {
+	return strings.HasSuffix(commit, dirtySuffix)
+}
+
+// Dirty reports whether the env's commit stamp came from a modified
+// worktree. Nil-safe: an unrecorded env is not dirty.
+func (e *Env) Dirty() bool {
+	return e != nil && DirtyCommit(e.GitCommit)
 }
 
 // Comparable reports whether perf numbers measured under e and other can be

@@ -69,6 +69,10 @@ const (
 	// EvPanic is recorded by Run's recover hook just before the panic
 	// manifest is dumped; Name carries the panic value's rendering.
 	EvPanic
+	// EvQuality is one quality-probe recording (Name = the probe's metric
+	// name, Arg = the value in micro-units), so quality inflections line up
+	// with the per-worker tracks of the trace export.
+	EvQuality
 )
 
 // String returns the kind's manifest/JSON spelling.
@@ -96,6 +100,8 @@ func (k EventKind) String() string {
 		return "sampler_tick"
 	case EvPanic:
 		return "panic"
+	case EvQuality:
+		return "quality"
 	}
 	return "unknown"
 }

@@ -70,6 +70,14 @@ type Manifest struct {
 	// sampler was off. Where Mem says how much a run allocated, the timeline
 	// says when.
 	Timeline []RuntimeSample `json:"runtime_timeline,omitempty"`
+	// Quality is the run's quality-probe timeline (DESIGN.md §12): every
+	// Probe recording in offset order, the raw material of cmd/obsreport's
+	// cross-run trend registry. Absent when no probe recorded.
+	Quality []QualityPoint `json:"quality_timeline,omitempty"`
+	// GitCommit is the repository HEAD the emitting binary ran from, with a
+	// "-dirty" suffix when the worktree was modified; empty outside a git
+	// checkout.
+	GitCommit string `json:"git_commit,omitempty"`
 }
 
 // GraphInfo is the input graph's size as recorded in a Manifest.

@@ -58,6 +58,12 @@ type Recorder struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	probes     map[string]*Probe
+
+	// The quality timeline has its own mutex so probe recordings (rare,
+	// flush-point cadence) never contend with registry lookups.
+	qmu     sync.Mutex
+	quality []QualityPoint
 }
 
 // New returns an enabled Recorder whose root span, named after the command
@@ -70,6 +76,7 @@ func New(name string) *Recorder {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		probes:     make(map[string]*Probe),
 	}
 	r.flight = newFlight(r.start)
 	r.root = &Span{rec: r, name: name, start: r.start, nameID: r.flight.intern(name)}

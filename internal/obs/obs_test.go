@@ -32,6 +32,12 @@ func TestNilReceiversNoOp(t *testing.T) {
 	if r.CounterValues() != nil || r.GaugeValues() != nil || r.HistogramValues() != nil || r.SpanTree() != nil {
 		t.Error("nil Recorder snapshots != nil")
 	}
+	if r.Quality("x", DirLower) != nil {
+		t.Error("nil Recorder.Quality() != nil")
+	}
+	if r.QualityValues() != nil || r.QualityPoints() != nil {
+		t.Error("nil Recorder quality snapshots != nil")
+	}
 
 	var sp *Span
 	if sp.Enabled() {
@@ -47,6 +53,16 @@ func TestNilReceiversNoOp(t *testing.T) {
 	}
 	if sp.Marker(EvBatch, "x") != nil {
 		t.Error("nil Span.Marker() != nil")
+	}
+	if sp.Quality("x", DirHigher) != nil {
+		t.Error("nil Span.Quality() != nil")
+	}
+
+	var p *Probe
+	p.Record(0.5, 1.5)
+	p.RecordAt(3, 0.5, 1.5)
+	if v, ok := p.Value(); ok || v != 0 {
+		t.Error("nil Probe.Value() != (0, false)")
 	}
 
 	var c *Counter
@@ -105,6 +121,12 @@ func disabledKernelPath(parent *Span) {
 		panic("nil span reported progress")
 	}
 	sp.Gauge("level").SetMax(42)
+	q := sp.Quality("delta", DirLower)
+	q.RecordAt(0, 0.5, 1.5)
+	q.Record(0.5, 2.5)
+	if _, ok := q.Value(); ok {
+		panic("nil probe reported a value")
+	}
 	sp.WorkerBusy(0, time.Millisecond)
 	sp.End()
 }

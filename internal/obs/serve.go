@@ -102,45 +102,64 @@ func progressSnapshot(rec *Recorder) *ProgressSnapshot {
 // line; keeping the registry here — not at every call site — means one
 // place to scan for the exposition vocabulary.
 var metricHelp = map[string]string{
-	"benchjson.lines":          "Benchmark output lines parsed.",
-	"betweenness.sources_done": "Brandes/MS-BFS betweenness source vertices completed.",
-	"bfs.bottomup_levels":      "BFS levels expanded bottom-up.",
-	"bfs.direction_switches":   "BFS direction-optimizing switches.",
-	"bfs.sources_done":         "BFS source vertices completed.",
-	"bfs.topdown_levels":       "BFS levels expanded top-down.",
-	"brandes.edge_folds":       "Edge-dependency fold operations in batched Brandes.",
-	"claims.checked":           "Paper claims checked.",
-	"claims.failed":            "Paper claims that failed verification.",
-	"closeness.sources_done":   "Closeness centrality source vertices completed.",
-	"crr.delta_abs_micros":     "Absolute CRR deltaChange per rewiring attempt, in micro-units.",
-	"crr.rewire.accepted":      "CRR Phase 2 rewiring attempts accepted.",
-	"crr.rewire.attempts":      "CRR Phase 2 rewiring attempts examined.",
-	"crr.sweep.ratio_ns":       "Wall time per CRR sweep ratio, in nanoseconds.",
-	"flatpq.pops":              "Flat priority-queue pop operations.",
-	"flatpq.pushes":            "Flat priority-queue push operations.",
-	"flatpq.removes":           "Flat priority-queue remove operations.",
-	"flatpq.updates":           "Flat priority-queue update operations.",
-	"graph.edges":              "Input graph edge count.",
-	"heap_alloc_bytes":         "Live heap bytes at sample time.",
-	"ingest.bytes":             "Input bytes ingested.",
-	"ingest.edges":             "Edges ingested.",
-	"ingest.lines":             "Input lines ingested.",
-	"msbfs.batch_ns":           "Wall time per MS-BFS source batch, in nanoseconds.",
-	"msbfs.batch_occupancy":    "Source bits carried per MS-BFS batch.",
-	"msbfs.batches_done":       "MS-BFS source batches traversed.",
-	"msbfs.direction_switches": "MS-BFS direction switches.",
-	"msbfs.level_width":        "Frontier words scanned per MS-BFS level.",
-	"msbfs.words_scanned":      "MS-BFS frontier words scanned.",
-	"pack.bytes.out":           "Packed CSR bytes written.",
-	"pack.spill.chunks":        "External-sort spill chunks written.",
-	"pack.spill.keys":          "External-sort keys spilled.",
-	"pagerank.iterations":      "PageRank power iterations.",
-	"run_info":                 "Constant 1, labeled with the observed command.",
-	"stream.deletes":           "Streaming edge deletions applied.",
-	"stream.inserts":           "Streaming edge insertions applied.",
-	"stream.novel_kept":        "Streaming novel edges kept.",
-	"stream.swaps_accepted":    "Streaming reservoir swaps accepted.",
-	"targeted.repair.rounds":   "Targeted-repair rounds executed.",
+	"benchjson.lines":            "Benchmark output lines parsed.",
+	"betweenness.sources_done":   "Brandes/MS-BFS betweenness source vertices completed.",
+	"bm2.avg_dis":                "BM2 achieved average degree discrepancy per node.",
+	"bm2.bound.theorem2":         "Theorem 2 bound on BM2 average discrepancy per node.",
+	"bm2.delta":                  "BM2 final objective Δ (total degree discrepancy).",
+	"bm2.gain_micros":            "Per-pop BM2 Phase 2 gain, in micro-units.",
+	"bm2.headroom.theorem2":      "Theorem 2 bound minus achieved BM2 discrepancy (higher is better).",
+	"bm2.kept_edges":             "Edges kept by the BM2 reduction.",
+	"bm2.kept_fraction":          "Fraction of input edges kept by the BM2 reduction.",
+	"bm2.matching_weight":        "Cumulative BM2 Phase 2 matching weight popped so far.",
+	"bfs.bottomup_levels":        "BFS levels expanded bottom-up.",
+	"bfs.direction_switches":     "BFS direction-optimizing switches.",
+	"bfs.sources_done":           "BFS source vertices completed.",
+	"bfs.topdown_levels":         "BFS levels expanded top-down.",
+	"brandes.edge_folds":         "Edge-dependency fold operations in batched Brandes.",
+	"claims.checked":             "Paper claims checked.",
+	"claims.failed":              "Paper claims that failed verification.",
+	"closeness.sources_done":     "Closeness centrality source vertices completed.",
+	"crr.accept_rate":            "CRR Phase 2 swap acceptance rate over the last flush window.",
+	"crr.avg_dis":                "CRR achieved average degree discrepancy per node.",
+	"crr.bound.theorem1":         "Theorem 1 bound on CRR average discrepancy per node.",
+	"crr.deg_err_linf":           "Maximum per-node degree discrepancy (L∞) at the last flush.",
+	"crr.delta":                  "CRR Phase 2 objective Δ (total degree discrepancy), live trajectory.",
+	"crr.delta_abs_micros":       "Absolute CRR deltaChange per rewiring attempt, in micro-units.",
+	"crr.headroom.theorem1":      "Theorem 1 bound minus achieved CRR discrepancy (higher is better).",
+	"crr.kept_edges":             "Edges kept by the CRR reduction.",
+	"crr.kept_fraction":          "Fraction of input edges kept by the CRR reduction.",
+	"crr.rewire.accepted":        "CRR Phase 2 rewiring attempts accepted.",
+	"crr.rewire.attempts":        "CRR Phase 2 rewiring attempts examined.",
+	"crr.sweep.ratio_ns":         "Wall time per CRR sweep ratio, in nanoseconds.",
+	"flatpq.pops":                "Flat priority-queue pop operations.",
+	"flatpq.pushes":              "Flat priority-queue push operations.",
+	"flatpq.removes":             "Flat priority-queue remove operations.",
+	"flatpq.updates":             "Flat priority-queue update operations.",
+	"graph.edges":                "Input graph edge count.",
+	"heap_alloc_bytes":           "Live heap bytes at sample time.",
+	"ingest.bytes":               "Input bytes ingested.",
+	"ingest.edges":               "Edges ingested.",
+	"ingest.lines":               "Input lines ingested.",
+	"msbfs.batch_ns":             "Wall time per MS-BFS source batch, in nanoseconds.",
+	"msbfs.batch_occupancy":      "Source bits carried per MS-BFS batch.",
+	"msbfs.batches_done":         "MS-BFS source batches traversed.",
+	"msbfs.direction_switches":   "MS-BFS direction switches.",
+	"msbfs.level_width":          "Frontier words scanned per MS-BFS level.",
+	"msbfs.words_scanned":        "MS-BFS frontier words scanned.",
+	"pack.bytes.out":             "Packed CSR bytes written.",
+	"pack.spill.chunks":          "External-sort spill chunks written.",
+	"pack.spill.keys":            "External-sort keys spilled.",
+	"pagerank.iterations":        "PageRank power iterations.",
+	"run_info":                   "Constant 1, labeled with the observed command.",
+	"stream.deletes":             "Streaming edge deletions applied.",
+	"stream.epoch.delta":         "Stream shedder objective Δ at the last insert epoch.",
+	"stream.epoch.kept_fraction": "Fraction of seen edges kept at the last insert epoch.",
+	"stream.epoch.swap_rate":     "Reservoir swaps accepted per insert over the last epoch.",
+	"stream.inserts":             "Streaming edge insertions applied.",
+	"stream.novel_kept":          "Streaming novel edges kept.",
+	"stream.swaps_accepted":      "Streaming reservoir swaps accepted.",
+	"targeted.repair.rounds":     "Targeted-repair rounds executed.",
 }
 
 // helpFor returns the HELP text for an internal metric name, with a
@@ -196,6 +215,12 @@ func writeMetrics(w http.ResponseWriter, rec *Recorder) {
 		for _, name := range sortedKeys(gauges) {
 			m := gaugeFams[name]
 			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", m, helpFor(name), m, m, gauges[name])
+		}
+		quals := rec.QualityValues()
+		qualFams := uniqueMetricNames(sortedFloatKeys(quals), "edgeshed_quality_", "")
+		for _, name := range sortedFloatKeys(quals) {
+			m := qualFams[name]
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", m, helpFor(name), m, m, quals[name])
 		}
 		hists := rec.HistogramValues()
 		histNames := make([]string, 0, len(hists))

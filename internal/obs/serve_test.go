@@ -18,6 +18,7 @@ import (
 	"edgeshed/internal/graph/gen"
 	"edgeshed/internal/obs"
 	"edgeshed/internal/par"
+	"edgeshed/internal/stream"
 )
 
 func get(t *testing.T, url string) (string, *http.Response) {
@@ -292,6 +293,85 @@ func TestConcurrentScrapeDuringSweep(t *testing.T) {
 	}
 	if hv := rec.HistogramValues(); hv["crr.sweep.ratio_ns"] == nil || hv["crr.sweep.ratio_ns"].Count != int64(len(ps)) {
 		t.Errorf("crr.sweep.ratio_ns histogram = %+v, want count %d", hv["crr.sweep.ratio_ns"], len(ps))
+	}
+	// The quality plane recorded under concurrent scraping too: the sweep's
+	// per-ratio probes landed, and the final theorem headroom is coherent.
+	qv := rec.QualityValues()
+	for _, metric := range []string{"crr.delta", "crr.headroom.theorem1", "crr.kept_edges"} {
+		if _, ok := qv[metric]; !ok {
+			t.Errorf("quality gauge %s missing after scraped sweep: %v", metric, qv)
+		}
+	}
+	// A final scrape of the settled recorder exposes the quality families.
+	body, _ := get(t, srv.URL+"/metrics")
+	if !strings.Contains(body, "edgeshed_quality_crr_delta") {
+		t.Errorf("/metrics missing edgeshed_quality_crr_delta:\n%.400s", body)
+	}
+}
+
+// TestConcurrentScrapeDuringStreamIngest extends the scrape-during-work
+// bit-identity pin to the stream shedder: hammering /metrics and /progress
+// while a multi-epoch ingestion folds its quality probes must not change a
+// single kept edge, and the settled exposition carries the epoch families.
+func TestConcurrentScrapeDuringStreamIngest(t *testing.T) {
+	g := gen.BarabasiAlbert(12_000, 3, 11) // ~36k inserts: > 2 epochs
+	ingest := func(sp *obs.Span) *stream.Shedder {
+		s, err := stream.NewShedder(stream.Options{P: 0.5, Seed: 5, Nodes: g.NumNodes(), Obs: sp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range g.Edges() {
+			if err := s.Insert(e.U, e.V); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	want := ingest(nil)
+	if want.Seen() < 2*stream.StreamEpoch {
+		t.Fatalf("stream too short to cross two epochs: %d inserts", want.Seen())
+	}
+
+	rec := obs.New("scrape-stream-test")
+	srv := httptest.NewServer(obs.NewDebugHandler(rec))
+	defer srv.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, path := range []string{"/metrics", "/progress"} {
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}()
+	got := ingest(rec.Root())
+	close(stop)
+	wg.Wait()
+
+	we, ge := want.Edges(), got.Edges()
+	if len(we) != len(ge) {
+		t.Fatalf("kept counts differ under scraping: %d vs %d", len(we), len(ge))
+	}
+	for i := range we {
+		if we[i] != ge[i] {
+			t.Fatalf("kept edge %d differs under scraping: %v vs %v", i, we[i], ge[i])
+		}
+	}
+	body, _ := get(t, srv.URL+"/metrics")
+	if !strings.Contains(body, "edgeshed_quality_stream_epoch_delta") {
+		t.Errorf("/metrics missing edgeshed_quality_stream_epoch_delta:\n%.400s", body)
 	}
 }
 

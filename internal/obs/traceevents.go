@@ -22,9 +22,9 @@ import (
 //   - Per-span worker busy stretches (EvWorkerBusy) become X events on the
 //     worker's track, named after the span.
 //   - Point events (direction switches, batch boundaries, rewire flushes,
-//     PQ builds, sampler ticks, panics) become instant ("i") events on
-//     their slot's track; rewire flushes and sampler ticks additionally
-//     feed counter ("C") tracks.
+//     PQ builds, sampler ticks, quality recordings, panics) become instant
+//     ("i") events on their slot's track; rewire flushes, sampler ticks and
+//     quality recordings additionally feed counter ("C") tracks.
 //   - Final counter values land as one "C" sample each at the timeline's
 //     end, and thread_name metadata labels every track.
 //
@@ -134,6 +134,14 @@ func WriteTraceEvents(w io.Writer, m *Manifest) error {
 				evs = append(evs, traceEvent{
 					Name: "heap_alloc_bytes", Ph: "C", TS: usec(e.TSNs), PID: 1, TID: 0,
 					Args: map[string]any{"bytes": e.Arg},
+				})
+			case EvQuality.String():
+				// One counter track per quality metric, so quality
+				// inflections line up with the worker tracks. The flight
+				// payload is micro-units; render natural units.
+				evs = append(evs, traceEvent{
+					Name: "quality." + e.Name, Ph: "C", TS: usec(e.TSNs), PID: 1, TID: 0,
+					Args: map[string]any{"value": float64(e.Arg) / 1e6},
 				})
 			}
 		}

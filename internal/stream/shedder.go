@@ -49,6 +49,15 @@ type Shedder struct {
 	novelCtr *obs.Counter
 	swapCtr  *obs.Counter
 	delCtr   *obs.Counter
+
+	// Quality probes, folded once per StreamEpoch inserts (DESIGN.md §12):
+	// the hot path only bumps the two plain epoch tallies, and the O(|V|)
+	// Delta scan runs at epoch cadence only. Nil without Options.Obs.
+	qSwap      *obs.Probe
+	qDelta     *obs.Probe
+	qKept      *obs.Probe
+	epochIns   int
+	epochSwaps int
 }
 
 // Options configures a Shedder.
@@ -73,8 +82,10 @@ type Options struct {
 	// Obs is the parent observability span; nil (the zero value) records
 	// nothing at no cost. When set, the shedder tallies "stream.inserts",
 	// "stream.novel_kept" (kept edges the base graph never saw),
-	// "stream.swaps_accepted" and "stream.deletes". The kept edge set stays
-	// bit-identical with Obs on or off: counting never touches the rng.
+	// "stream.swaps_accepted" and "stream.deletes", and folds the
+	// "stream.epoch.*" quality probes every StreamEpoch insertions. The
+	// kept edge set stays bit-identical with Obs on or off: counting never
+	// touches the rng (pinned by TestShedderBitIdenticalWithObs).
 	Obs *obs.Span
 }
 
@@ -114,8 +125,32 @@ func NewShedder(opt Options) (*Shedder, error) {
 		s.novelCtr = opt.Obs.Counter("stream.novel_kept")
 		s.swapCtr = opt.Obs.Counter("stream.swaps_accepted")
 		s.delCtr = opt.Obs.Counter("stream.deletes")
+		s.qSwap = opt.Obs.Quality("stream.epoch.swap_rate", obs.DirInfo)
+		s.qDelta = opt.Obs.Quality("stream.epoch.delta", obs.DirLower)
+		s.qKept = opt.Obs.Quality("stream.epoch.kept_fraction", obs.DirInfo)
 	}
 	return s, nil
+}
+
+// StreamEpoch is how many insertions pass between quality-probe folds: the
+// per-epoch swap rate, the exact Δ (an O(|V|) scan, invisible at this
+// cadence) and the kept fraction. Exported so tests and callers can size
+// streams to hit epoch boundaries.
+const StreamEpoch = 1 << 14
+
+// foldEpoch records the epoch's quality stats and resets the tallies.
+// Called only when probes are live; reads shedder state, never mutates
+// anything the swap policy consumes, so the kept set stays bit-identical
+// with observation on or off.
+func (s *Shedder) foldEpoch() {
+	s.qSwap.Record(s.p, float64(s.epochSwaps)/float64(s.epochIns))
+	s.qDelta.Record(s.p, s.Delta())
+	frac := 0.0
+	if s.seen > 0 {
+		frac = float64(len(s.kept)) / float64(s.seen)
+	}
+	s.qKept.Record(s.p, frac)
+	s.epochIns, s.epochSwaps = 0, 0
 }
 
 // lookup returns the kept position of e, resolving base-graph edges through
@@ -213,6 +248,12 @@ func (s *Shedder) Insert(u, v graph.NodeID) error {
 	}
 	// Shrinkage never happens (the target is non-decreasing in m), but the
 	// budget can lag one edge behind after rounding; nothing to do.
+	if s.qSwap != nil {
+		s.epochIns++
+		if s.epochIns == StreamEpoch {
+			s.foldEpoch()
+		}
+	}
 	return nil
 }
 
@@ -264,6 +305,9 @@ func (s *Shedder) maybeSwap(e graph.Edge) {
 		s.evict(bestIdx)
 		s.keep(e)
 		s.swapCtr.Add(1)
+		if s.qSwap != nil {
+			s.epochSwaps++
+		}
 	}
 }
 

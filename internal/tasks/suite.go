@@ -69,6 +69,16 @@ func (s Suite) Evaluate(orig, red *graph.Graph) []Measurement {
 		}
 		m := f(tsp)
 		tsp.End()
+		if sp.Enabled() {
+			// Each row lands on the quality timeline as "suite.<task>" with
+			// the measurement's own good direction, so cmd/obsreport can
+			// trend and gate task fidelity across runs.
+			dir := obs.DirLower
+			if m.HigherIsBetter {
+				dir = obs.DirHigher
+			}
+			sp.Quality("suite."+m.Task, dir).Record(0, m.Value)
+		}
 		sp.Done(1)
 		return m
 	}
